@@ -1,0 +1,55 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (§IV), plus the
+// ablation set from DESIGN.md. Each iteration runs the corresponding
+// end-to-end experiment driver at reduced (quick) scale; the printed paper
+// tables come from `go run ./cmd/canopus-bench -fig <id>` at paper scale.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func benchFig(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	r := bench.New(io.Discard, bench.ScaleQuick)
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(id); err != nil {
+			b.Fatalf("figure %s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the refactoring gallery (levels vs deltas).
+func BenchmarkFig4(b *testing.B) { benchFig(b, "4") }
+
+// BenchmarkFig5 regenerates Canopus vs direct multi-level compression.
+func BenchmarkFig5(b *testing.B) { benchFig(b, "5") }
+
+// BenchmarkFig6a regenerates the storage-to-compute trend table.
+func BenchmarkFig6a(b *testing.B) { benchFig(b, "6a") }
+
+// BenchmarkFig6b regenerates the write-time-fraction breakdown.
+func BenchmarkFig6b(b *testing.B) { benchFig(b, "6b") }
+
+// BenchmarkFig7 regenerates the blob-detection gallery across levels.
+func BenchmarkFig7(b *testing.B) { benchFig(b, "7") }
+
+// BenchmarkFig8 regenerates the quantitative blob evaluation.
+func BenchmarkFig8(b *testing.B) { benchFig(b, "8") }
+
+// BenchmarkFig9 regenerates the XGC1 progressive-exploration timings.
+func BenchmarkFig9(b *testing.B) { benchFig(b, "9") }
+
+// BenchmarkFig10 regenerates the GenASiS retrieval timings.
+func BenchmarkFig10(b *testing.B) { benchFig(b, "10") }
+
+// BenchmarkFig11 regenerates the CFD retrieval timings.
+func BenchmarkFig11(b *testing.B) { benchFig(b, "11") }
+
+// BenchmarkAblation runs the design-choice ablations: estimator form,
+// collapse priority, delta codec, and placement policy.
+func BenchmarkAblation(b *testing.B) { benchFig(b, "ablation") }

@@ -1,0 +1,45 @@
+// Command canopus-bench regenerates the tables and figures of the Canopus
+// paper's evaluation (§IV). Each figure driver runs the full pipeline —
+// synthetic workload, refactoring, tiered placement, progressive retrieval,
+// analytics — and prints the series the paper plots.
+//
+// Usage:
+//
+//	canopus-bench -fig all            # every figure, paper-scale meshes
+//	canopus-bench -fig 5              # one figure
+//	canopus-bench -fig 9 -scale quick # reduced meshes for a fast pass
+//	canopus-bench -fig 7 -ascii       # include text-art galleries
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: "+strings.Join(bench.Figures(), ", ")+", or all")
+	scale := flag.String("scale", "paper", "dataset scale: paper or quick")
+	ascii := flag.Bool("ascii", false, "render text-art galleries for Figs. 4 and 7")
+	flag.Parse()
+
+	var s bench.Scale
+	switch *scale {
+	case "paper":
+		s = bench.ScalePaper
+	case "quick":
+		s = bench.ScaleQuick
+	default:
+		fmt.Fprintf(os.Stderr, "canopus-bench: unknown scale %q (want paper or quick)\n", *scale)
+		os.Exit(2)
+	}
+	r := bench.New(os.Stdout, s)
+	r.ASCII = *ascii
+	if err := r.Run(*fig); err != nil {
+		fmt.Fprintf(os.Stderr, "canopus-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Command canopus-inspect dumps the contents of a file-backed Canopus
+// storage hierarchy: which key sits on which tier, and the variables and
+// attributes inside each BP container — the adios_inq_var view of a
+// refactored dataset.
+//
+// Usage:
+//
+//	canopus-inspect -dir /tmp/canopus
+//	canopus-inspect -dir /tmp/canopus -key dpot/L2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/adios"
+	"repro/internal/storage"
+)
+
+func main() {
+	dir := flag.String("dir", "canopus-data", "storage hierarchy directory")
+	key := flag.String("key", "", "inspect one container in detail (default: list everything)")
+	flag.Parse()
+
+	if err := run(*dir, *key); err != nil {
+		fmt.Fprintf(os.Stderr, "canopus-inspect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, key string) error {
+	h, err := storage.FileTwoTier(dir, 0)
+	if err != nil {
+		return err
+	}
+	aio := adios.NewIO(h, nil)
+	if key != "" {
+		return dump(aio, key)
+	}
+	keys := h.Keys()
+	if len(keys) == 0 {
+		fmt.Printf("no containers under %s\n", dir)
+		return nil
+	}
+	for _, k := range keys {
+		if err := dump(aio, k); err != nil {
+			return fmt.Errorf("%s: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func dump(aio *adios.IO, key string) error {
+	hd, err := aio.Open(key, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s (tier %d: %s)\n", key, hd.TierIdx, hd.TierName)
+	vars := hd.BP.Vars()
+	if len(vars) == 0 {
+		fmt.Println("  [attributes only]")
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  variable\tlevel\ttype\tcount\tbytes\tattrs")
+	for _, v := range vars {
+		fmt.Fprintf(tw, "  %s\t%d\t%s\t%d\t%d\t%v\n", v.Name, v.Level, v.Type, v.Count, v.Size, v.Attrs)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, k := range []string{"name", "mode", "levels", "codec", "tolerance", "estimator", "raw-bytes"} {
+		if val, ok := hd.BP.Attr(k); ok {
+			fmt.Printf("  @%s = %s\n", k, val)
+		}
+	}
+	return nil
+}

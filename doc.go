@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Canopus: A Paradigm
+// Shift Towards Elastic Extreme-Scale Data Analytics on HPC Storage"
+// (CLUSTER 2017).
+//
+// The system lives under internal/: the core library in internal/core, one
+// package per substrate (mesh, decimate, delta, compress, storage, bp,
+// adios, analysis, sim), and the experiment harness in internal/bench.
+// Executables are under cmd/, runnable examples under examples/. See
+// README.md for a tour, DESIGN.md for the system inventory and experiment
+// index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

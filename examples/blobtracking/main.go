@@ -1,0 +1,118 @@
+// Blobtracking follows blob filaments across a multi-timestep XGC1
+// campaign — the transport study the paper's fusion use case builds toward
+// ("examine ... the trajectory of high energy particles", §IV-D). The
+// campaign is written through the series API, which stores the static mesh
+// hierarchy once and per-step payloads only (the XGC1 write pattern of
+// §II-A), and the tracker runs on *base-level* data: if reduced accuracy
+// preserves the trajectories, the whole transport analysis runs at
+// fast-tier speed and never touches the deltas.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/adios"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+const (
+	steps   = 8
+	rasterN = 256
+	gatePx  = 30
+)
+
+func main() {
+	seq := sim.XGC1Sequence(sim.XGC1Config{Blobs: 6, Seed: 31}, steps)
+	ds0 := seq[0].Dataset
+	fmt.Printf("XGC1 campaign: %d timesteps, %d vertices each, %d blob filaments\n",
+		steps, ds0.Mesh.NumVerts(), len(seq[0].Truth))
+
+	// Field range across the campaign, for the series codec bound.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, snap := range seq {
+		for _, v := range snap.Dataset.Data {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+
+	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
+	sw, err := core.NewSeriesWriter(aio, "dpot", ds0.Mesh, hi-lo, core.Options{
+		Levels: 4, RelTolerance: 1e-4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var payload int64
+	for _, snap := range seq {
+		rep, err := sw.WriteStep(snap.Dataset.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		payload += rep.PayloadBytes
+	}
+	fmt.Printf("stored: hierarchy %d B once + %d B of per-step payloads (%d steps)\n",
+		sw.HierarchyBytes(), payload, steps)
+
+	sr, err := core.OpenSeriesReader(aio, "dpot")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Detect per step at two accuracies and track both.
+	detectAll := func(level int) ([][]analysis.Blob, float64) {
+		frames := make([][]analysis.Blob, steps)
+		var io float64
+		for s := 0; s < steps; s++ {
+			v, err := sr.RetrieveStep(s, level)
+			if err != nil {
+				log.Fatal(err)
+			}
+			io += v.Timings.IOSeconds
+			ras, err := analysis.Rasterize(v.Mesh, v.Data, rasterN, rasterN)
+			if err != nil {
+				log.Fatal(err)
+			}
+			frames[s], err = analysis.DetectBlobs(ras.ToGray(), ras.W, ras.H, analysis.Config1)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		return frames, io
+	}
+	fullFrames, fullIO := detectAll(0)
+	baseFrames, baseIO := detectAll(sr.Levels() - 1)
+
+	fullTracks := analysis.LongTracks(analysis.TrackBlobs(fullFrames, gatePx), steps/2)
+	baseTracks := analysis.LongTracks(analysis.TrackBlobs(baseFrames, gatePx), steps/2)
+
+	fmt.Printf("\nfull accuracy:  %d long trajectories, I/O %.1f ms\n", len(fullTracks), fullIO*1e3)
+	fmt.Printf("base level:     %d long trajectories, I/O %.2f ms (%.0fx cheaper)\n",
+		len(baseTracks), baseIO*1e3, fullIO/baseIO)
+
+	fmt.Printf("\n%-28s %14s %14s\n", "trajectory (base level)", "displacement", "path length")
+	for i, tr := range baseTracks {
+		fmt.Printf("track %-2d frames %d-%-10d %11.1f px %11.1f px\n",
+			i, tr.Start, tr.End(), tr.Displacement(), tr.PathLength())
+	}
+
+	// Do base-level trajectories agree with full-accuracy ones? Match by
+	// start position.
+	matched := 0
+	for _, bt := range baseTracks {
+		for _, ft := range fullTracks {
+			if bt.Blobs[0].Overlaps(ft.Blobs[0]) {
+				matched++
+				break
+			}
+		}
+	}
+	fmt.Printf("\n%d of %d base-level trajectories start where a full-accuracy one does —\n",
+		matched, len(baseTracks))
+	fmt.Println("transport dynamics survive the accuracy trade, at a fraction of the I/O.")
+}

@@ -1,0 +1,72 @@
+// Cfdjet runs Canopus on the CFD pressure workload twice over: first
+// comparing the floating-point codecs on the same refactoring (the §III-C3
+// choice the paper leaves pluggable), then placing products across the
+// four-tier CORAL-style hierarchy the paper anticipates (Fig. 2) to show
+// capacity-driven tier bypass.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adios"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func main() {
+	ds := sim.CFD(sim.CFDConfig{Seed: 11})
+	fmt.Printf("CFD jet pressure: %d vertices, %d triangles\n",
+		ds.Mesh.NumVerts(), ds.Mesh.NumTris())
+
+	// Part 1: codec shoot-out at a fixed 1e-5 relative tolerance.
+	fmt.Printf("\n%-8s %10s %12s %14s %12s\n", "codec", "lossless", "payload (B)", "vs raw", "max error")
+	for _, name := range []string{"zfp", "sz", "fpc", "flate", "raw"} {
+		aio := adios.NewIO(storage.TitanTwoTier(0), nil)
+		rep, err := core.Write(aio, ds, core.Options{
+			Levels: 3, Codec: name, RelTolerance: 1e-5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rd, err := core.OpenReader(aio, ds.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := rd.Retrieve(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fe, err := analysis.CompareFields(ds.Data, v.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var payload int64
+		for _, b := range rep.PayloadBytes {
+			payload += b
+		}
+		lossless := name == "fpc" || name == "flate" || name == "raw"
+		fmt.Printf("%-8s %10v %12d %13.1f%% %12.2e\n",
+			name, lossless, payload, 100*float64(payload)/float64(rep.RawBytes), fe.MaxErr)
+	}
+
+	// Part 2: deep hierarchy placement. Tiny NVRAM and burst-buffer
+	// capacities force the paper's bypass rule into action: products
+	// skip full tiers and land on the next one down.
+	fmt.Println("\nplacement on a 4-tier hierarchy (NVRAM 8 KiB, burst buffer 64 KiB):")
+	deep := storage.DeepHierarchy(8<<10, 64<<10)
+	aio := adios.NewIO(deep, nil)
+	rep, err := core.Write(aio, ds, core.Options{Levels: 4, RelTolerance: 1e-5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range rep.Placements {
+		note := ""
+		if len(p.Bypassed) > 0 {
+			note = fmt.Sprintf("  (bypassed %v: full)", p.Bypassed)
+		}
+		fmt.Printf("  %-14s %8d B -> %-12s%s\n", p.Key, p.Cost.Bytes, p.TierName, note)
+	}
+}

@@ -1,0 +1,245 @@
+package adios
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/bp"
+	"repro/internal/storage"
+)
+
+func newIO(t *testing.T) *IO {
+	t.Helper()
+	return NewIO(storage.TitanTwoTier(0), nil)
+}
+
+func container(t *testing.T) *bp.Writer {
+	t.Helper()
+	w := bp.NewWriter()
+	if err := w.PutFloats("dpot", 2, []float64{1, 2, 3, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutBytes("mesh", 2, make([]byte, 4096), nil); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWriteOpenReadRoundTrip(t *testing.T) {
+	io := newIO(t)
+	p, err := io.WriteContainer("level2", container(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TierName != "tmpfs" {
+		t.Fatalf("placed on %s, want tmpfs", p.TierName)
+	}
+	h, err := io.Open("level2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TierName != "tmpfs" {
+		t.Fatalf("opened on %s", h.TierName)
+	}
+	vals, err := h.ReadFloats("dpot", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 4 || vals[3] != 4 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	io := newIO(t)
+	if _, err := io.Open("ghost", 1); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSelectiveReadCostsLessThanFullContainer(t *testing.T) {
+	io := newIO(t)
+	if _, err := io.WriteContainer("c", container(t), 1); err != nil {
+		t.Fatal(err)
+	}
+	h, err := io.Open("c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openCost := h.Cost()
+	// Read only the small float variable, not the 4 KiB mesh blob.
+	if _, err := h.ReadFloats("dpot", 2); err != nil {
+		t.Fatal(err)
+	}
+	afterRead := h.Cost()
+	varBytes := afterRead.Bytes - openCost.Bytes
+	if varBytes != 32 {
+		t.Fatalf("selective read moved %d bytes, want 32", varBytes)
+	}
+	if afterRead.Bytes >= 4096 {
+		t.Fatalf("read cost counted the unread mesh blob (%d bytes)", afterRead.Bytes)
+	}
+	if afterRead.Seconds <= openCost.Seconds {
+		t.Fatal("read added no simulated time")
+	}
+}
+
+func TestReadMissingVariable(t *testing.T) {
+	io := newIO(t)
+	if _, err := io.WriteContainer("c", container(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	h, err := io.Open("c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadFloats("dpot", 0); err == nil {
+		t.Fatal("read of absent level succeeded")
+	}
+	if _, err := h.ReadBytes("nope", 2); err == nil {
+		t.Fatal("read of absent variable succeeded")
+	}
+	if _, ok := h.InqVar("dpot", 2); !ok {
+		t.Fatal("InqVar failed on present variable")
+	}
+}
+
+func TestPOSIXTransportCost(t *testing.T) {
+	h := storage.TitanTwoTier(0)
+	p, err := POSIX{}.Write(h, "k", make([]byte, 3_000_000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-3 + 3e6/1e7
+	if math.Abs(p.Cost.Seconds-want) > 1e-9 {
+		t.Fatalf("posix cost %g, want %g", p.Cost.Seconds, want)
+	}
+}
+
+func TestMPIAggregateCost(t *testing.T) {
+	h := storage.TitanTwoTier(0)
+	tr := MPIAggregate{Ranks: 512, Aggregators: 8, NetBandwidth: 1e9}
+	data := make([]byte, 8_000_000)
+	p, err := tr.Write(h, "k", data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Storage phase: 8 concurrent writers share 3e8 B/s; gather phase:
+	// 1e6 bytes per aggregator over 1e9 B/s.
+	want := 1e-3 + 8e6*8/1e7 + 1e6/1e9
+	if math.Abs(p.Cost.Seconds-want) > 1e-9 {
+		t.Fatalf("aggregate cost %g, want %g", p.Cost.Seconds, want)
+	}
+}
+
+func TestMPIAggregateClampsDegenerateParams(t *testing.T) {
+	h := storage.TitanTwoTier(0)
+	tr := MPIAggregate{Ranks: 0, Aggregators: -1, NetBandwidth: 0}
+	if _, err := tr.Write(h, "k", []byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStagingPrefersFastTier(t *testing.T) {
+	h := storage.TitanTwoTier(0)
+	p, err := Staging{}.Write(h, "k", make([]byte, 1024), 1) // pref ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TierIdx != 0 {
+		t.Fatalf("staging placed on tier %d, want 0", p.TierIdx)
+	}
+}
+
+func TestStagingNetworkBound(t *testing.T) {
+	h := storage.TitanTwoTier(0)
+	// Slow network: 1 MB at 1e6 B/s => 1 s, dominating the memory write.
+	p, err := Staging{NetBandwidth: 1e6}.Write(h, "k", make([]byte, 1_000_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Cost.Seconds-1.0) > 1e-6 {
+		t.Fatalf("staging cost %g, want ~1.0", p.Cost.Seconds)
+	}
+}
+
+func TestTransportByName(t *testing.T) {
+	for _, name := range []string{"posix", "mpi-aggregate", "staging"} {
+		tr, err := TransportByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Name() != name {
+			t.Fatalf("TransportByName(%q).Name() = %q", name, tr.Name())
+		}
+	}
+	if tr, err := TransportByName(""); err != nil || tr.Name() != "posix" {
+		t.Fatal("empty method must default to posix")
+	}
+	if _, err := TransportByName("rdma-magic"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestParseConfigAndBuild(t *testing.T) {
+	doc := []byte(`
+<adios-config>
+  <transport method="mpi-aggregate" ranks="128" aggregators="4" net-bandwidth="2e9"/>
+  <tier name="nvram" capacity="1048576" read-bw="1e10" write-bw="5e9" latency="1e-6"/>
+  <tier name="pfs" read-bw="3e8" write-bw="3e8" latency="5e-3"/>
+</adios-config>`)
+	c, err := ParseConfig(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, tr, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumTiers() != 2 || h.Tier(0).Name != "nvram" {
+		t.Fatalf("hierarchy misbuilt: %d tiers", h.NumTiers())
+	}
+	agg, ok := tr.(MPIAggregate)
+	if !ok {
+		t.Fatalf("transport = %T, want MPIAggregate", tr)
+	}
+	if agg.Ranks != 128 || agg.Aggregators != 4 || agg.NetBandwidth != 2e9 {
+		t.Fatalf("transport params = %+v", agg)
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	c := &Config{}
+	h, tr, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumTiers() != 2 {
+		t.Fatalf("default hierarchy has %d tiers, want 2 (Titan emulation)", h.NumTiers())
+	}
+	if tr.Name() != "posix" {
+		t.Fatalf("default transport %q, want posix", tr.Name())
+	}
+}
+
+func TestBuildRejectsBadTier(t *testing.T) {
+	c := &Config{Tiers: []TierConfig{{Name: "", ReadBW: 1, WriteBW: 1}}}
+	if _, _, err := c.Build(); err == nil {
+		t.Fatal("accepted tier without name")
+	}
+	c = &Config{Tiers: []TierConfig{{Name: "x", ReadBW: 0, WriteBW: 1}}}
+	if _, _, err := c.Build(); err == nil {
+		t.Fatal("accepted tier without bandwidth")
+	}
+	c = &Config{Transport: TransportConfig{Method: "warp"}}
+	if _, _, err := c.Build(); err == nil {
+		t.Fatal("accepted unknown transport")
+	}
+}
+
+func TestParseConfigRejectsJunk(t *testing.T) {
+	if _, err := ParseConfig([]byte("not xml at all <<<")); err == nil {
+		t.Fatal("accepted junk config")
+	}
+}

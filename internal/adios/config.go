@@ -1,0 +1,96 @@
+package adios
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Config mirrors the external XML configuration file real ADIOS deployments
+// use to select transports and describe storage without recompiling
+// (§III-D: "an I/O transport that best utilizes a specific storage tier is
+// selected and configured in an external XML configuration file").
+//
+// Example:
+//
+//	<adios-config>
+//	  <transport method="mpi-aggregate" ranks="512" aggregators="8" net-bandwidth="1e9"/>
+//	  <tier name="tmpfs" capacity="1073741824" read-bw="6e9" write-bw="6e9" latency="2e-6"/>
+//	  <tier name="lustre" read-bw="3e8" write-bw="3e8" latency="5e-3"/>
+//	</adios-config>
+type Config struct {
+	XMLName   xml.Name        `xml:"adios-config"`
+	Transport TransportConfig `xml:"transport"`
+	Tiers     []TierConfig    `xml:"tier"`
+}
+
+// TransportConfig selects and parameterizes the I/O method.
+type TransportConfig struct {
+	Method       string  `xml:"method,attr"`
+	Ranks        int     `xml:"ranks,attr"`
+	Aggregators  int     `xml:"aggregators,attr"`
+	NetBandwidth float64 `xml:"net-bandwidth,attr"`
+}
+
+// TierConfig describes one storage tier, fastest first.
+type TierConfig struct {
+	Name     string  `xml:"name,attr"`
+	Capacity int64   `xml:"capacity,attr"`
+	ReadBW   float64 `xml:"read-bw,attr"`
+	WriteBW  float64 `xml:"write-bw,attr"`
+	Latency  float64 `xml:"latency,attr"`
+}
+
+// ParseConfig decodes the XML document.
+func ParseConfig(data []byte) (*Config, error) {
+	var c Config
+	if err := xml.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("adios: parse config: %w", err)
+	}
+	return &c, nil
+}
+
+// Build materializes the configured hierarchy and transport. With no tiers
+// configured it falls back to the paper's two-tier Titan emulation.
+func (c *Config) Build() (*storage.Hierarchy, Transport, error) {
+	var h *storage.Hierarchy
+	if len(c.Tiers) == 0 {
+		h = storage.TitanTwoTier(0)
+	} else {
+		tiers := make([]*storage.Tier, 0, len(c.Tiers))
+		for i, tc := range c.Tiers {
+			if tc.Name == "" {
+				return nil, nil, fmt.Errorf("adios: tier %d missing name", i)
+			}
+			if tc.ReadBW <= 0 || tc.WriteBW <= 0 {
+				return nil, nil, fmt.Errorf("adios: tier %q needs positive read-bw and write-bw", tc.Name)
+			}
+			tiers = append(tiers, &storage.Tier{
+				Name:           tc.Name,
+				Capacity:       tc.Capacity,
+				ReadBandwidth:  tc.ReadBW,
+				WriteBandwidth: tc.WriteBW,
+				LatencySeconds: tc.Latency,
+			})
+		}
+		h = storage.NewHierarchy(tiers...)
+	}
+
+	var t Transport
+	switch c.Transport.Method {
+	case "", "posix":
+		t = POSIX{}
+	case "mpi-aggregate":
+		t = MPIAggregate{
+			Ranks:        c.Transport.Ranks,
+			Aggregators:  c.Transport.Aggregators,
+			NetBandwidth: c.Transport.NetBandwidth,
+		}
+	case "staging":
+		t = Staging{NetBandwidth: c.Transport.NetBandwidth}
+	default:
+		return nil, nil, fmt.Errorf("adios: unknown transport method %q", c.Transport.Method)
+	}
+	return h, t, nil
+}

@@ -1,0 +1,126 @@
+// Package adios is the thin I/O façade Canopus plugs into (Fig. 2 of the
+// paper): simulations write through a declarative API, analytics query and
+// read selectively, and an exchangeable transport method decides how bytes
+// reach each storage tier. Switching transports is a runtime (config file)
+// choice, not a code change — the property the paper highlights for ADIOS.
+package adios
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Transport models one ADIOS I/O method's write strategy. Implementations
+// store the same bytes; they differ in the simulated cost of getting them
+// onto the tier, mirroring how ADIOS methods differ in aggregation strategy
+// rather than file content.
+type Transport interface {
+	Name() string
+	// Write places data under key, preferring tier pref, and returns the
+	// placement with its simulated cost.
+	Write(h *storage.Hierarchy, key string, data []byte, pref int) (storage.Placement, error)
+}
+
+// POSIX is the single-writer transport: one process streams the whole
+// product to the tier (the ADIOS POSIX method, suited to node-local tiers).
+type POSIX struct{}
+
+// Name implements Transport.
+func (POSIX) Name() string { return "posix" }
+
+// Write implements Transport.
+func (POSIX) Write(h *storage.Hierarchy, key string, data []byte, pref int) (storage.Placement, error) {
+	return h.Put(key, data, pref, 1)
+}
+
+// MPIAggregate models the ADIOS MPI_AGGREGATE method used for Lustre in the
+// paper: Ranks processes each hold a shard of the product, Aggregators of
+// them gather shards over the interconnect and then write concurrently to
+// the tier, sharing its bandwidth.
+type MPIAggregate struct {
+	// Ranks is the number of producing processes.
+	Ranks int
+	// Aggregators is the number of writer processes (<= Ranks).
+	Aggregators int
+	// NetBandwidth is the interconnect bandwidth per aggregator in
+	// bytes/second used during the gather phase.
+	NetBandwidth float64
+}
+
+// Name implements Transport.
+func (t MPIAggregate) Name() string { return "mpi-aggregate" }
+
+// Write implements Transport.
+func (t MPIAggregate) Write(h *storage.Hierarchy, key string, data []byte, pref int) (storage.Placement, error) {
+	ranks := t.Ranks
+	if ranks < 1 {
+		ranks = 1
+	}
+	aggrs := t.Aggregators
+	if aggrs < 1 {
+		aggrs = 1
+	}
+	if aggrs > ranks {
+		aggrs = ranks
+	}
+	net := t.NetBandwidth
+	if net <= 0 {
+		net = 1e9
+	}
+	p, err := h.Put(key, data, pref, aggrs)
+	if err != nil {
+		return p, err
+	}
+	// Gather phase: each aggregator collects len(data)/aggrs bytes from
+	// its rank group over the interconnect; groups gather in parallel,
+	// so the phase costs one group's transfer.
+	gather := float64(len(data)) / float64(aggrs) / net
+	p.Cost.Seconds += gather
+	return p, nil
+}
+
+// Staging models in-memory staging transports (DataSpaces, FLEXPATH): data
+// moves over the network to staging nodes' memory, so it always prefers the
+// fastest tier and is bounded by interconnect bandwidth, not storage.
+type Staging struct {
+	// NetBandwidth in bytes/second; defaults to 5 GB/s.
+	NetBandwidth float64
+}
+
+// Name implements Transport.
+func (Staging) Name() string { return "staging" }
+
+// Write implements Transport.
+func (t Staging) Write(h *storage.Hierarchy, key string, data []byte, _ int) (storage.Placement, error) {
+	net := t.NetBandwidth
+	if net <= 0 {
+		net = 5e9
+	}
+	p, err := h.Put(key, data, 0, 1)
+	if err != nil {
+		return p, err
+	}
+	// The network transfer replaces (not adds to) the storage write when
+	// it is slower — memory-to-memory staging is pipelined.
+	netSeconds := float64(len(data)) / net
+	if netSeconds > p.Cost.Seconds {
+		p.Cost.Seconds = netSeconds
+	}
+	return p, nil
+}
+
+// TransportByName builds a transport from a method name with defaults,
+// mirroring adios_select_method.
+func TransportByName(name string) (Transport, error) {
+	switch name {
+	case "posix", "":
+		return POSIX{}, nil
+	case "mpi-aggregate":
+		return MPIAggregate{Ranks: 512, Aggregators: 8, NetBandwidth: 1e9}, nil
+	case "staging":
+		return Staging{}, nil
+	default:
+		return nil, fmt.Errorf("adios: unknown transport method %q", name)
+	}
+}

@@ -1,0 +1,431 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// gaussianField evaluates a sum of Gaussian bumps, giving known blob ground
+// truth.
+type bump struct {
+	x, y, sigma, amp float64
+}
+
+func evalBumps(bumps []bump, x, y float64) float64 {
+	var s float64
+	for _, b := range bumps {
+		dx, dy := x-b.x, y-b.y
+		s += b.amp * math.Exp(-(dx*dx+dy*dy)/(2*b.sigma*b.sigma))
+	}
+	return s
+}
+
+func bumpDataset(bumps []bump, nx int) (*mesh.Mesh, []float64) {
+	m := mesh.Rect(nx, nx, 1, 1)
+	data := make([]float64, m.NumVerts())
+	for i, v := range m.Verts {
+		data[i] = evalBumps(bumps, v.X, v.Y)
+	}
+	return m, data
+}
+
+func TestRasterizeConstantField(t *testing.T) {
+	m := mesh.Rect(8, 8, 1, 1)
+	data := make([]float64, m.NumVerts())
+	for i := range data {
+		data[i] = 7.5
+	}
+	r, err := Rasterize(m, data, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for i, ok := range r.Mask {
+		if !ok {
+			continue
+		}
+		covered++
+		if math.Abs(r.Pix[i]-7.5) > 1e-9 {
+			t.Fatalf("pixel %d = %g, want 7.5", i, r.Pix[i])
+		}
+	}
+	// A rectangle mesh covers (almost) the full raster.
+	if covered < 32*32*95/100 {
+		t.Fatalf("only %d/1024 pixels covered", covered)
+	}
+}
+
+func TestRasterizeLinearFieldInterpolatesExactly(t *testing.T) {
+	m := mesh.Rect(10, 10, 2, 1)
+	data := make([]float64, m.NumVerts())
+	for i, v := range m.Verts {
+		data[i] = 3*v.X - 2*v.Y + 1
+	}
+	r, err := Rasterize(m, data, 40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx := (r.MaxX - r.MinX) / float64(r.W)
+	dy := (r.MaxY - r.MinY) / float64(r.H)
+	for py := 0; py < r.H; py++ {
+		for px := 0; px < r.W; px++ {
+			i := py*r.W + px
+			if !r.Mask[i] {
+				continue
+			}
+			x := r.MinX + (float64(px)+0.5)*dx
+			y := r.MinY + (float64(py)+0.5)*dy
+			want := 3*x - 2*y + 1
+			if math.Abs(r.Pix[i]-want) > 1e-9 {
+				t.Fatalf("pixel (%d,%d) = %g, want %g", px, py, r.Pix[i], want)
+			}
+		}
+	}
+}
+
+func TestRasterizeMasksOutsideMesh(t *testing.T) {
+	m := mesh.Disk(8, 32, 1.0)
+	data := make([]float64, m.NumVerts())
+	r, err := Rasterize(m, data, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corners of the bounding box lie outside the disk.
+	if r.Mask[0] || r.Mask[63] || r.Mask[64*63] || r.Mask[64*64-1] {
+		t.Fatal("corner pixels should be masked out for a disk mesh")
+	}
+	if !r.Mask[32*64+32] {
+		t.Fatal("center pixel should be covered")
+	}
+}
+
+func TestRasterizeErrors(t *testing.T) {
+	m := mesh.Rect(4, 4, 1, 1)
+	data := make([]float64, m.NumVerts())
+	if _, err := Rasterize(m, data, 0, 10); err == nil {
+		t.Error("accepted zero width")
+	}
+	if _, err := Rasterize(m, data[:2], 10, 10); err == nil {
+		t.Error("accepted short data")
+	}
+	if _, err := Rasterize(&mesh.Mesh{}, nil, 10, 10); err == nil {
+		t.Error("accepted empty mesh")
+	}
+}
+
+func TestToGrayRange(t *testing.T) {
+	m := mesh.Rect(6, 6, 1, 1)
+	data := make([]float64, m.NumVerts())
+	for i, v := range m.Verts {
+		data[i] = v.X // 0..1 ramp
+	}
+	r, err := Rasterize(m, data, 30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.ToGray()
+	var lo, hi uint8 = 255, 0
+	for i, ok := range r.Mask {
+		if !ok {
+			continue
+		}
+		if g[i] < lo {
+			lo = g[i]
+		}
+		if g[i] > hi {
+			hi = g[i]
+		}
+	}
+	if lo > 10 || hi < 245 {
+		t.Fatalf("gray range [%d, %d] does not span 0..255", lo, hi)
+	}
+}
+
+func TestDetectSingleBlob(t *testing.T) {
+	m, data := bumpDataset([]bump{{0.5, 0.5, 0.08, 1}}, 48)
+	r, err := Rasterize(m, data, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := DetectBlobs(r.ToGray(), r.W, r.H, Config1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 1 {
+		t.Fatalf("detected %d blobs, want 1 (%v)", len(blobs), blobs)
+	}
+	b := blobs[0]
+	if math.Abs(b.X-64) > 6 || math.Abs(b.Y-64) > 6 {
+		t.Fatalf("blob at (%g, %g), want ~(64, 64)", b.X, b.Y)
+	}
+	if b.Radius < 3 {
+		t.Fatalf("blob radius %g implausibly small", b.Radius)
+	}
+}
+
+func TestDetectMultipleBlobs(t *testing.T) {
+	bumps := []bump{
+		{0.25, 0.25, 0.06, 1.0},
+		{0.75, 0.3, 0.05, 0.9},
+		{0.5, 0.75, 0.07, 0.8},
+	}
+	m, data := bumpDataset(bumps, 64)
+	r, err := Rasterize(m, data, 160, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := DetectBlobs(r.ToGray(), r.W, r.H, Config1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 3 {
+		t.Fatalf("detected %d blobs, want 3", len(blobs))
+	}
+	// Every ground-truth center must be near some detected blob.
+	for _, gb := range bumps {
+		px := gb.x * float64(r.W)
+		py := gb.y * float64(r.H)
+		found := false
+		for _, b := range blobs {
+			if math.Hypot(b.X-px, b.Y-py) < 12 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ground-truth blob at (%g,%g) not detected; got %v", px, py, blobs)
+		}
+	}
+}
+
+func TestMinAreaFiltersSmallBlobs(t *testing.T) {
+	bumps := []bump{
+		{0.3, 0.5, 0.10, 1.0},   // big blob
+		{0.75, 0.5, 0.015, 1.0}, // tiny blob
+	}
+	m, data := bumpDataset(bumps, 96)
+	r, err := Rasterize(m, data, 160, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := DetectBlobs(r.ToGray(), r.W, r.H, BlobParams{MinThreshold: 10, MaxThreshold: 200, MinArea: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := DetectBlobs(r.ToGray(), r.W, r.H, BlobParams{MinThreshold: 10, MaxThreshold: 200, MinArea: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose) < 2 {
+		t.Fatalf("loose params found %d blobs, want >= 2", len(loose))
+	}
+	if len(strict) != 1 {
+		t.Fatalf("strict MinArea found %d blobs, want 1", len(strict))
+	}
+}
+
+func TestHigherMinThresholdFindsFewerOrEqualBlobs(t *testing.T) {
+	bumps := []bump{
+		{0.25, 0.25, 0.06, 1.0},
+		{0.7, 0.6, 0.06, 0.45}, // dim blob disappears at high threshold
+	}
+	m, data := bumpDataset(bumps, 64)
+	r, err := Rasterize(m, data, 160, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.ToGray()
+	c1, err := DetectBlobs(g, r.W, r.H, Config1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := DetectBlobs(g, r.W, r.H, Config2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2) > len(c1) {
+		t.Fatalf("Config2 (minThreshold 150) found %d > Config1's %d", len(c2), len(c1))
+	}
+	if len(c1) != 2 || len(c2) != 1 {
+		t.Fatalf("c1=%d c2=%d, want 2 and 1", len(c1), len(c2))
+	}
+}
+
+func TestDetectBlobsEmptyImage(t *testing.T) {
+	g := make([]uint8, 64*64)
+	blobs, err := DetectBlobs(g, 64, 64, Config1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 0 {
+		t.Fatalf("found %d blobs in a black image", len(blobs))
+	}
+}
+
+func TestDetectBlobsBadArgs(t *testing.T) {
+	if _, err := DetectBlobs(make([]uint8, 10), 4, 4, Config1); err == nil {
+		t.Error("accepted mismatched image size")
+	}
+	if _, err := DetectBlobs(nil, 0, 0, Config1); err == nil {
+		t.Error("accepted empty image")
+	}
+}
+
+func TestBlobOverlap(t *testing.T) {
+	a := Blob{X: 0, Y: 0, Radius: 5}
+	b := Blob{X: 8, Y: 0, Radius: 4}
+	if !a.Overlaps(b) {
+		t.Error("blobs 8 apart with radii 5+4 must overlap")
+	}
+	c := Blob{X: 10, Y: 0, Radius: 4}
+	if a.Overlaps(c) {
+		t.Error("blobs 10 apart with radii 5+4 must not overlap")
+	}
+}
+
+func TestOverlapRatio(t *testing.T) {
+	ref := []Blob{{X: 0, Y: 0, Radius: 5}, {X: 100, Y: 100, Radius: 5}}
+	det := []Blob{{X: 2, Y: 0, Radius: 5}, {X: 50, Y: 50, Radius: 2}}
+	if got := OverlapRatio(det, ref); got != 0.5 {
+		t.Fatalf("OverlapRatio = %g, want 0.5", got)
+	}
+	if got := OverlapRatio(nil, ref); got != 1 {
+		t.Fatalf("empty detected: %g, want 1", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := Stats([]Blob{{Radius: 2, Area: 10}, {Radius: 4, Area: 30}})
+	if s.Count != 2 || s.TotalArea != 40 || math.Abs(s.AvgDiameter-6) > 1e-12 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	empty := Stats(nil)
+	if empty.Count != 0 || empty.AvgDiameter != 0 {
+		t.Fatalf("empty Stats = %+v", empty)
+	}
+}
+
+func TestCompareFields(t *testing.T) {
+	ref := []float64{0, 1, 2, 3}
+	got := []float64{0, 1, 2, 3}
+	fe, err := CompareFields(ref, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe.RMSE != 0 || !math.IsInf(fe.PSNR, 1) {
+		t.Fatalf("identical fields: %+v", fe)
+	}
+	got2 := []float64{0.1, 1, 2, 3}
+	fe, err = CompareFields(ref, got2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fe.RMSE-0.05) > 1e-12 {
+		t.Fatalf("RMSE = %g, want 0.05", fe.RMSE)
+	}
+	if math.Abs(fe.MaxErr-0.1) > 1e-12 {
+		t.Fatalf("MaxErr = %g", fe.MaxErr)
+	}
+	if math.Abs(fe.NRMSE-0.05/3) > 1e-12 {
+		t.Fatalf("NRMSE = %g", fe.NRMSE)
+	}
+	if _, err := CompareFields(ref, got2[:2]); err == nil {
+		t.Error("accepted length mismatch")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	if v := Variance([]float64{1, 1, 1}); v != 0 {
+		t.Fatalf("constant variance %g", v)
+	}
+	if v := Variance([]float64{-1, 1}); v != 1 {
+		t.Fatalf("variance %g, want 1", v)
+	}
+	if v := Variance(nil); v != 0 {
+		t.Fatalf("empty variance %g", v)
+	}
+	if s := StdDev([]float64{-2, 2}); s != 2 {
+		t.Fatalf("stddev %g, want 2", s)
+	}
+}
+
+func TestRMSBetweenLevels(t *testing.T) {
+	m := mesh.Rect(8, 8, 1, 1)
+	a := make([]float64, m.NumVerts())
+	b := make([]float64, m.NumVerts())
+	for i := range a {
+		a[i] = 1
+		b[i] = 2
+	}
+	ra, err := Rasterize(m, a, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Rasterize(m, b, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := RMSBetweenLevels(ra, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rms-1) > 1e-9 {
+		t.Fatalf("RMS = %g, want 1", rms)
+	}
+	rc, _ := Rasterize(m, a, 10, 10)
+	if _, err := RMSBetweenLevels(ra, rc); err == nil {
+		t.Error("accepted mismatched raster sizes")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	m, data := bumpDataset([]bump{{0.5, 0.5, 0.1, 1}}, 32)
+	r, err := Rasterize(m, data, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := r.RenderASCII(40)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("ASCII render has %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 40 {
+			t.Fatalf("line width %d, want 40", len(l))
+		}
+	}
+	if !strings.Contains(art, "@") {
+		t.Fatal("peak character missing from render")
+	}
+}
+
+func BenchmarkRasterize(b *testing.B) {
+	m, data := bumpDataset([]bump{{0.5, 0.5, 0.1, 1}}, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rasterize(m, data, 256, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectBlobs(b *testing.B) {
+	m, data := bumpDataset([]bump{
+		{0.25, 0.25, 0.06, 1}, {0.75, 0.3, 0.05, 0.9}, {0.5, 0.75, 0.07, 0.8},
+	}, 64)
+	r, err := Rasterize(m, data, 256, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := r.ToGray()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectBlobs(g, r.W, r.H, Config1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BlobParams mirrors the OpenCV SimpleBlobDetector knobs the paper tunes:
+// the evaluation sweeps <minThreshold, maxThreshold, minArea> as Config1
+// <10, 200, 100>, Config2 <150, 200, 100>, Config3 <10, 200, 200>.
+type BlobParams struct {
+	// MinThreshold..MaxThreshold is swept in ThresholdStep increments on
+	// the 0..255 grayscale; each threshold produces a binary image.
+	MinThreshold  float64
+	MaxThreshold  float64
+	ThresholdStep float64
+	// MinArea filters components smaller than this many pixels.
+	MinArea float64
+	// MaxArea filters huge components; <= 0 disables.
+	MaxArea float64
+	// MinDistance merges per-threshold candidates whose centers are
+	// closer than this many pixels (OpenCV minDistBetweenBlobs).
+	MinDistance float64
+	// MinRepeatability keeps only blobs detected at at least this many
+	// consecutive thresholds (OpenCV default 2).
+	MinRepeatability int
+}
+
+func (p BlobParams) withDefaults() BlobParams {
+	if p.ThresholdStep <= 0 {
+		p.ThresholdStep = 10
+	}
+	if p.MinDistance <= 0 {
+		p.MinDistance = 10
+	}
+	if p.MinRepeatability <= 0 {
+		p.MinRepeatability = 2
+	}
+	return p
+}
+
+// Config1, Config2, Config3 are the paper's parameter sets (§IV-D). MaxArea
+// carries OpenCV SimpleBlobDetector's default (5000 px^2), which the paper
+// leaves untouched; it keeps a flooded low-threshold plane from counting as
+// one giant blob.
+var (
+	Config1 = BlobParams{MinThreshold: 10, MaxThreshold: 200, MinArea: 100, MaxArea: 5000}
+	Config2 = BlobParams{MinThreshold: 150, MaxThreshold: 200, MinArea: 100, MaxArea: 5000}
+	Config3 = BlobParams{MinThreshold: 10, MaxThreshold: 200, MinArea: 200, MaxArea: 5000}
+)
+
+// Blob is a detected bright region.
+type Blob struct {
+	// X, Y is the center in pixel coordinates.
+	X, Y float64
+	// Radius is the equivalent circular radius in pixels.
+	Radius float64
+	// Area in pixels.
+	Area float64
+}
+
+// Diameter returns 2*Radius.
+func (b Blob) Diameter() float64 { return 2 * b.Radius }
+
+// Overlaps implements the paper's criterion: two blobs overlap if their
+// center distance is less than the sum of their radii.
+func (b Blob) Overlaps(o Blob) bool {
+	return math.Hypot(b.X-o.X, b.Y-o.Y) < b.Radius+o.Radius
+}
+
+// DetectBlobs finds bright blobs in a row-major 8-bit image, reimplementing
+// the SimpleBlobDetector pipeline: threshold sweep → connected components →
+// area filter → cross-threshold grouping by center distance → repeatability
+// filter.
+func DetectBlobs(gray []uint8, w, h int, params BlobParams) ([]Blob, error) {
+	if w < 1 || h < 1 || len(gray) != w*h {
+		return nil, fmt.Errorf("analysis: image %dx%d with %d pixels", w, h, len(gray))
+	}
+	p := params.withDefaults()
+
+	// series accumulates one blob candidate tracked across thresholds.
+	type series struct {
+		blobs []Blob
+	}
+	var tracked []*series
+
+	labels := make([]int32, w*h)
+	queue := make([]int32, 0, w*h/4)
+	for th := p.MinThreshold; th <= p.MaxThreshold; th += p.ThresholdStep {
+		cands := components(gray, w, h, uint8(th), labels, &queue)
+		// Filter by area.
+		filtered := cands[:0]
+		for _, c := range cands {
+			if c.Area < p.MinArea {
+				continue
+			}
+			if p.MaxArea > 0 && c.Area > p.MaxArea {
+				continue
+			}
+			filtered = append(filtered, c)
+		}
+		// Group with existing series by nearest center.
+		for _, c := range filtered {
+			var best *series
+			bestD := p.MinDistance
+			for _, s := range tracked {
+				last := s.blobs[len(s.blobs)-1]
+				d := math.Hypot(last.X-c.X, last.Y-c.Y)
+				if d < bestD {
+					bestD = d
+					best = s
+				}
+			}
+			if best != nil {
+				best.blobs = append(best.blobs, c)
+			} else {
+				tracked = append(tracked, &series{blobs: []Blob{c}})
+			}
+		}
+	}
+
+	var out []Blob
+	for _, s := range tracked {
+		if len(s.blobs) < p.MinRepeatability {
+			continue
+		}
+		var b Blob
+		for _, c := range s.blobs {
+			b.X += c.X
+			b.Y += c.Y
+			b.Radius += c.Radius
+			b.Area += c.Area
+		}
+		n := float64(len(s.blobs))
+		b.X /= n
+		b.Y /= n
+		b.Radius /= n
+		b.Area /= n
+		out = append(out, b)
+	}
+	// Deterministic order: by area descending, then position.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Area != out[j].Area {
+			return out[i].Area > out[j].Area
+		}
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].X < out[j].X
+	})
+	return out, nil
+}
+
+// components labels 8-connected regions of pixels >= th and returns one
+// candidate blob (centroid, area, equivalent radius) per region.
+func components(gray []uint8, w, h int, th uint8, labels []int32, queue *[]int32) []Blob {
+	for i := range labels {
+		labels[i] = 0
+	}
+	var cands []Blob
+	next := int32(1)
+	q := (*queue)[:0]
+	for start := 0; start < w*h; start++ {
+		if labels[start] != 0 || gray[start] < th || th == 0 {
+			continue
+		}
+		// BFS flood fill.
+		labels[start] = next
+		q = append(q[:0], int32(start))
+		var sumX, sumY, area float64
+		for len(q) > 0 {
+			idx := int(q[len(q)-1])
+			q = q[:len(q)-1]
+			x, y := idx%w, idx/w
+			sumX += float64(x)
+			sumY += float64(y)
+			area++
+			for dy := -1; dy <= 1; dy++ {
+				ny := y + dy
+				if ny < 0 || ny >= h {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					nx := x + dx
+					if nx < 0 || nx >= w {
+						continue
+					}
+					nidx := ny*w + nx
+					if labels[nidx] == 0 && gray[nidx] >= th {
+						labels[nidx] = next
+						q = append(q, int32(nidx))
+					}
+				}
+			}
+		}
+		cands = append(cands, Blob{
+			X:      sumX / area,
+			Y:      sumY / area,
+			Area:   area,
+			Radius: math.Sqrt(area / math.Pi),
+		})
+		next++
+	}
+	*queue = q
+	return cands
+}
+
+// BlobStats aggregates a detection result the way Fig. 8 reports it.
+type BlobStats struct {
+	Count int
+	// AvgDiameter in pixels (0 when no blobs).
+	AvgDiameter float64
+	// TotalArea in square pixels.
+	TotalArea float64
+}
+
+// Stats summarizes a blob list.
+func Stats(blobs []Blob) BlobStats {
+	s := BlobStats{Count: len(blobs)}
+	for _, b := range blobs {
+		s.AvgDiameter += b.Diameter()
+		s.TotalArea += b.Area
+	}
+	if s.Count > 0 {
+		s.AvgDiameter /= float64(s.Count)
+	}
+	return s
+}
+
+// OverlapRatio is Fig. 8d's metric: the fraction of blobs detected in the
+// reduced-accuracy data that overlap some blob detected in the full-accuracy
+// data. It returns 1 when `detected` is empty (no spurious blobs).
+func OverlapRatio(detected, reference []Blob) float64 {
+	if len(detected) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, d := range detected {
+		for _, r := range reference {
+			if d.Overlaps(r) {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(detected))
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// FieldError compares two equal-length fields (e.g. restored vs original
+// vertex data) with the metrics common in lossy-compression evaluations.
+type FieldError struct {
+	RMSE   float64
+	NRMSE  float64 // RMSE / range(reference)
+	PSNR   float64 // dB; +Inf for identical fields
+	MaxErr float64
+}
+
+// CompareFields computes error metrics of got against ref.
+func CompareFields(ref, got []float64) (FieldError, error) {
+	if len(ref) != len(got) {
+		return FieldError{}, fmt.Errorf("analysis: field lengths differ: %d vs %d", len(ref), len(got))
+	}
+	if len(ref) == 0 {
+		return FieldError{PSNR: math.Inf(1)}, nil
+	}
+	var sum2, maxErr float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range ref {
+		e := got[i] - ref[i]
+		sum2 += e * e
+		maxErr = math.Max(maxErr, math.Abs(e))
+		lo = math.Min(lo, ref[i])
+		hi = math.Max(hi, ref[i])
+	}
+	rmse := math.Sqrt(sum2 / float64(len(ref)))
+	out := FieldError{RMSE: rmse, MaxErr: maxErr}
+	rng := hi - lo
+	if rng > 0 {
+		out.NRMSE = rmse / rng
+		if rmse > 0 {
+			out.PSNR = 20 * math.Log10(rng/rmse)
+		} else {
+			out.PSNR = math.Inf(1)
+		}
+	} else if rmse == 0 {
+		out.PSNR = math.Inf(1)
+	}
+	return out, nil
+}
+
+// Variance returns the population variance of x (0 for empty input). The
+// Fig. 4 stand-in uses it to show deltas are smoother than levels.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	var s float64
+	for _, v := range x {
+		s += (v - mean) * (v - mean)
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// RMSBetweenLevels computes the root-mean-square difference between two
+// fields, the paper's suggested automatic termination criterion for
+// progressive retrieval ("this process can be automated if the criteria to
+// terminate (e.g. root mean square error between two adjacent levels) is
+// known a priori", §III-E). The fields may live on different meshes, so the
+// caller passes values resampled onto a common raster.
+func RMSBetweenLevels(a, b *Raster) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("analysis: raster sizes differ: %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var sum2 float64
+	n := 0
+	for i := range a.Pix {
+		if !a.Mask[i] || !b.Mask[i] {
+			continue
+		}
+		e := a.Pix[i] - b.Pix[i]
+		sum2 += e * e
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("analysis: rasters share no covered pixels")
+	}
+	return math.Sqrt(sum2 / float64(n)), nil
+}

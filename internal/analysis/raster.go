@@ -1,0 +1,148 @@
+// Package analysis implements the downstream analytics of the paper's
+// evaluation (§IV-D): resampling mesh fields onto pixel grids, blob
+// detection in the OpenCV SimpleBlobDetector style used for the XGC1
+// electrostatic-potential study, blob-overlap scoring, and field error
+// metrics.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mesh"
+)
+
+// Raster is a mesh field resampled onto a regular pixel grid — the form the
+// blob detector consumes, standing in for the 2D images the paper feeds to
+// OpenCV.
+type Raster struct {
+	W, H int
+	// Bounds of the sampled region in mesh coordinates.
+	MinX, MinY, MaxX, MaxY float64
+	// Pix holds row-major samples; Mask marks pixels covered by the mesh.
+	Pix  []float64
+	Mask []bool
+}
+
+// Rasterize samples the field at every pixel center by barycentric
+// interpolation over the containing triangle. Pixels outside the mesh are
+// masked out.
+func Rasterize(m *mesh.Mesh, data []float64, w, h int) (*Raster, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("analysis: raster size %dx%d invalid", w, h)
+	}
+	if len(data) != m.NumVerts() {
+		return nil, fmt.Errorf("analysis: data length %d != vertex count %d", len(data), m.NumVerts())
+	}
+	if m.NumTris() == 0 {
+		return nil, fmt.Errorf("analysis: empty mesh")
+	}
+	minX, minY, maxX, maxY := m.Bounds()
+	r := &Raster{
+		W: w, H: h,
+		MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY,
+		Pix:  make([]float64, w*h),
+		Mask: make([]bool, w*h),
+	}
+	loc := mesh.NewLocator(m)
+	dx := (maxX - minX) / float64(w)
+	dy := (maxY - minY) / float64(h)
+	for py := 0; py < h; py++ {
+		y := minY + (float64(py)+0.5)*dy
+		for px := 0; px < w; px++ {
+			x := minX + (float64(px)+0.5)*dx
+			ti, ok := loc.Locate(x, y)
+			if !ok {
+				continue
+			}
+			t := m.Tris[ti]
+			u, v, wgt, ok := m.Barycentric(t, x, y)
+			if !ok {
+				continue
+			}
+			u, v, wgt = mesh.ClampBarycentric(u, v, wgt)
+			idx := py*w + px
+			r.Pix[idx] = u*data[t[0]] + v*data[t[1]] + wgt*data[t[2]]
+			r.Mask[idx] = true
+		}
+	}
+	return r, nil
+}
+
+// Range returns the min and max over covered pixels; (0, 0) if nothing is
+// covered.
+func (r *Raster) Range() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	any := false
+	for i, ok := range r.Mask {
+		if !ok {
+			continue
+		}
+		any = true
+		lo = math.Min(lo, r.Pix[i])
+		hi = math.Max(hi, r.Pix[i])
+	}
+	if !any {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// ToGray linearly maps covered pixels to 0..255 (uncovered pixels become 0),
+// producing the 8-bit image the blob detector thresholds — the same
+// preparation the paper applies before OpenCV.
+func (r *Raster) ToGray() []uint8 {
+	lo, hi := r.Range()
+	out := make([]uint8, len(r.Pix))
+	scale := 0.0
+	if hi > lo {
+		scale = 255 / (hi - lo)
+	}
+	for i, ok := range r.Mask {
+		if !ok {
+			continue
+		}
+		g := (r.Pix[i] - lo) * scale
+		if g < 0 {
+			g = 0
+		}
+		if g > 255 {
+			g = 255
+		}
+		out[i] = uint8(g + 0.5)
+	}
+	return out
+}
+
+// ASCIIRamp is the character ramp used by RenderASCII, darkest first.
+const ASCIIRamp = " .:-=+*#%@"
+
+// RenderASCII renders the raster as text art, `cols` characters wide, for
+// the qualitative galleries (Fig. 4 and Fig. 7 stand-ins in a terminal).
+func (r *Raster) RenderASCII(cols int) string {
+	if cols < 1 {
+		cols = 1
+	}
+	rows := cols * r.H / r.W / 2 // terminal cells are ~2x taller than wide
+	if rows < 1 {
+		rows = 1
+	}
+	gray := r.ToGray()
+	buf := make([]byte, 0, (cols+1)*rows)
+	for ry := 0; ry < rows; ry++ {
+		// Flip vertically: mesh y grows upward, text rows downward.
+		py := (rows - 1 - ry) * r.H / rows
+		for rx := 0; rx < cols; rx++ {
+			px := rx * r.W / cols
+			idx := py*r.W + px
+			if !r.Mask[idx] {
+				buf = append(buf, ' ')
+				continue
+			}
+			c := int(gray[idx]) * (len(ASCIIRamp) - 1) / 255
+			buf = append(buf, ASCIIRamp[c])
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// Blob tracking across timesteps. The paper's fusion use case exists to
+// "study the trajectory of high energy particles" via blob transport
+// (§IV-D, citing D'Ippolito et al. on intermittent blob-filaments), so the
+// analytic that ultimately consumes Canopus output is not one detection but
+// a time series of them stitched into trajectories. TrackBlobs associates
+// detections frame to frame by nearest center within a gate distance —
+// the standard greedy tracker.
+
+// Track is one blob followed through consecutive frames.
+type Track struct {
+	// Start is the frame index of the first detection.
+	Start int
+	// Blobs holds one detection per consecutive frame from Start.
+	Blobs []Blob
+}
+
+// End reports the last frame index covered.
+func (t *Track) End() int { return t.Start + len(t.Blobs) - 1 }
+
+// Displacement is the straight-line distance between the first and last
+// detections, in pixels.
+func (t *Track) Displacement() float64 {
+	if len(t.Blobs) < 2 {
+		return 0
+	}
+	a, b := t.Blobs[0], t.Blobs[len(t.Blobs)-1]
+	return math.Hypot(b.X-a.X, b.Y-a.Y)
+}
+
+// PathLength sums the frame-to-frame movement, in pixels.
+func (t *Track) PathLength() float64 {
+	var s float64
+	for i := 1; i < len(t.Blobs); i++ {
+		s += math.Hypot(t.Blobs[i].X-t.Blobs[i-1].X, t.Blobs[i].Y-t.Blobs[i-1].Y)
+	}
+	return s
+}
+
+// TrackBlobs links per-frame detections into trajectories. A detection
+// extends the active track whose last position is nearest, if within
+// maxDist pixels; assignments are made globally per frame in ascending
+// distance order (each track and each detection used at most once).
+// Unmatched detections open new tracks; unmatched tracks retire. Output is
+// ordered by (Start, first-blob position) for determinism.
+func TrackBlobs(frames [][]Blob, maxDist float64) []Track {
+	type active struct {
+		track *Track
+	}
+	var done []*Track
+	var live []*active
+
+	for f, blobs := range frames {
+		type cand struct {
+			dist float64
+			ti   int // index into live
+			bi   int // index into blobs
+		}
+		var cands []cand
+		for ti, a := range live {
+			last := a.track.Blobs[len(a.track.Blobs)-1]
+			for bi, b := range blobs {
+				d := math.Hypot(b.X-last.X, b.Y-last.Y)
+				if d <= maxDist {
+					cands = append(cands, cand{d, ti, bi})
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].dist != cands[j].dist {
+				return cands[i].dist < cands[j].dist
+			}
+			if cands[i].ti != cands[j].ti {
+				return cands[i].ti < cands[j].ti
+			}
+			return cands[i].bi < cands[j].bi
+		})
+		usedTrack := make([]bool, len(live))
+		usedBlob := make([]bool, len(blobs))
+		for _, c := range cands {
+			if usedTrack[c.ti] || usedBlob[c.bi] {
+				continue
+			}
+			usedTrack[c.ti] = true
+			usedBlob[c.bi] = true
+			live[c.ti].track.Blobs = append(live[c.ti].track.Blobs, blobs[c.bi])
+		}
+		// Retire unmatched tracks; open tracks for unmatched blobs.
+		var still []*active
+		for ti, a := range live {
+			if usedTrack[ti] {
+				still = append(still, a)
+			} else {
+				done = append(done, a.track)
+			}
+		}
+		for bi, b := range blobs {
+			if !usedBlob[bi] {
+				still = append(still, &active{track: &Track{Start: f, Blobs: []Blob{b}}})
+			}
+		}
+		live = still
+	}
+	for _, a := range live {
+		done = append(done, a.track)
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Start != done[j].Start {
+			return done[i].Start < done[j].Start
+		}
+		if done[i].Blobs[0].Y != done[j].Blobs[0].Y {
+			return done[i].Blobs[0].Y < done[j].Blobs[0].Y
+		}
+		return done[i].Blobs[0].X < done[j].Blobs[0].X
+	})
+	out := make([]Track, len(done))
+	for i, t := range done {
+		out[i] = *t
+	}
+	return out
+}
+
+// LongTracks filters to trajectories spanning at least minFrames frames —
+// the ones a transport study would keep.
+func LongTracks(tracks []Track, minFrames int) []Track {
+	var out []Track
+	for _, t := range tracks {
+		if len(t.Blobs) >= minFrames {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrackSingleMovingBlob(t *testing.T) {
+	var frames [][]Blob
+	for f := 0; f < 10; f++ {
+		frames = append(frames, []Blob{{X: float64(10 + 5*f), Y: 20, Radius: 4}})
+	}
+	tracks := TrackBlobs(frames, 10)
+	if len(tracks) != 1 {
+		t.Fatalf("tracks = %d, want 1", len(tracks))
+	}
+	tr := tracks[0]
+	if tr.Start != 0 || len(tr.Blobs) != 10 {
+		t.Fatalf("track start=%d len=%d", tr.Start, len(tr.Blobs))
+	}
+	if math.Abs(tr.Displacement()-45) > 1e-9 {
+		t.Fatalf("displacement = %g, want 45", tr.Displacement())
+	}
+	if math.Abs(tr.PathLength()-45) > 1e-9 {
+		t.Fatalf("path length = %g, want 45", tr.PathLength())
+	}
+	if tr.End() != 9 {
+		t.Fatalf("End = %d", tr.End())
+	}
+}
+
+func TestTrackTwoParallelBlobs(t *testing.T) {
+	var frames [][]Blob
+	for f := 0; f < 6; f++ {
+		frames = append(frames, []Blob{
+			{X: float64(10 + 3*f), Y: 10},
+			{X: float64(10 + 3*f), Y: 100},
+		})
+	}
+	tracks := TrackBlobs(frames, 8)
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(tracks))
+	}
+	for _, tr := range tracks {
+		if len(tr.Blobs) != 6 {
+			t.Fatalf("track length %d, want 6", len(tr.Blobs))
+		}
+		// No cross-talk between the two lanes.
+		for _, b := range tr.Blobs {
+			if math.Abs(b.Y-tr.Blobs[0].Y) > 1e-9 {
+				t.Fatal("track jumped lanes")
+			}
+		}
+	}
+}
+
+func TestTrackGateRejectsJumps(t *testing.T) {
+	frames := [][]Blob{
+		{{X: 0, Y: 0}},
+		{{X: 100, Y: 0}}, // too far for the gate
+	}
+	tracks := TrackBlobs(frames, 10)
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2 (gate must split them)", len(tracks))
+	}
+}
+
+func TestTrackBirthAndDeath(t *testing.T) {
+	frames := [][]Blob{
+		{{X: 0, Y: 0}},
+		{{X: 1, Y: 0}, {X: 50, Y: 50}}, // second blob born at frame 1
+		{{X: 52, Y: 50}},               // first blob died
+		{{X: 54, Y: 50}},
+	}
+	tracks := TrackBlobs(frames, 5)
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(tracks))
+	}
+	// Sorted by start: first the frame-0 track, then the frame-1 track.
+	if tracks[0].Start != 0 || len(tracks[0].Blobs) != 2 {
+		t.Fatalf("track0 start=%d len=%d", tracks[0].Start, len(tracks[0].Blobs))
+	}
+	if tracks[1].Start != 1 || len(tracks[1].Blobs) != 3 {
+		t.Fatalf("track1 start=%d len=%d", tracks[1].Start, len(tracks[1].Blobs))
+	}
+}
+
+func TestTrackNearestWinsAssignment(t *testing.T) {
+	// Two tracks, two detections: the global ascending-distance pass
+	// must give each track its nearer detection.
+	frames := [][]Blob{
+		{{X: 0, Y: 0}, {X: 10, Y: 0}},
+		{{X: 1, Y: 0}, {X: 9, Y: 0}},
+	}
+	tracks := TrackBlobs(frames, 20)
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %d", len(tracks))
+	}
+	for _, tr := range tracks {
+		if len(tr.Blobs) != 2 {
+			t.Fatalf("track length %d", len(tr.Blobs))
+		}
+		if math.Abs(tr.Blobs[1].X-tr.Blobs[0].X) > 1.5 {
+			t.Fatalf("assignment crossed: %v -> %v", tr.Blobs[0], tr.Blobs[1])
+		}
+	}
+}
+
+func TestTrackEmptyFrames(t *testing.T) {
+	tracks := TrackBlobs([][]Blob{{}, {}, {}}, 10)
+	if len(tracks) != 0 {
+		t.Fatalf("tracks = %d for empty frames", len(tracks))
+	}
+	tracks = TrackBlobs(nil, 10)
+	if len(tracks) != 0 {
+		t.Fatalf("tracks = %d for nil input", len(tracks))
+	}
+	// Gap in the middle splits a track.
+	frames := [][]Blob{{{X: 0}}, {}, {{X: 0}}}
+	tracks = TrackBlobs(frames, 10)
+	if len(tracks) != 2 {
+		t.Fatalf("gap: tracks = %d, want 2", len(tracks))
+	}
+}
+
+func TestLongTracks(t *testing.T) {
+	tracks := []Track{
+		{Start: 0, Blobs: make([]Blob, 5)},
+		{Start: 1, Blobs: make([]Blob, 2)},
+	}
+	if got := LongTracks(tracks, 3); len(got) != 1 || len(got[0].Blobs) != 5 {
+		t.Fatalf("LongTracks = %v", got)
+	}
+	if got := LongTracks(tracks, 1); len(got) != 2 {
+		t.Fatal("minFrames=1 must keep all")
+	}
+}
+
+func TestTrackDeterministic(t *testing.T) {
+	frames := [][]Blob{
+		{{X: 0, Y: 0}, {X: 5, Y: 5}, {X: 10, Y: 10}},
+		{{X: 1, Y: 1}, {X: 6, Y: 6}, {X: 11, Y: 11}},
+		{{X: 2, Y: 2}, {X: 7, Y: 7}},
+	}
+	a := TrackBlobs(frames, 4)
+	b := TrackBlobs(frames, 4)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic track count")
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || len(a[i].Blobs) != len(b[i].Blobs) {
+			t.Fatal("nondeterministic tracks")
+		}
+	}
+}

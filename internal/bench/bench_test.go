@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runFig executes one figure at quick scale and returns its output.
+func runFig(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	r := New(&buf, ScaleQuick)
+	if err := r.Run(id); err != nil {
+		t.Fatalf("figure %s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestFig4ProducesStats(t *testing.T) {
+	out := runFig(t, "4")
+	for _, want := range []string{"XGC1", "GenASiS", "CFD", "delta0-1", "stddev"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig4 output missing %q", want)
+		}
+	}
+}
+
+func TestFig5ProducesAllLevelRows(t *testing.T) {
+	out := runFig(t, "5")
+	for _, want := range []string{"direct", "canopus", "improvement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig5 output missing %q", want)
+		}
+	}
+	// Three apps x four level rows.
+	if n := strings.Count(out, "%"); n < 12 {
+		t.Errorf("Fig5 printed %d improvement cells, want >= 12", n)
+	}
+}
+
+func TestFig6aStaticSeries(t *testing.T) {
+	out := runFig(t, "6a")
+	for _, want := range []string{"2009", "2024", "flops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6a output missing %q", want)
+		}
+	}
+}
+
+func TestFig6bScenarios(t *testing.T) {
+	out := runFig(t, "6b")
+	for _, want := range []string{"High", "Medium", "Low", "decimation", "I/O"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6b output missing %q", want)
+		}
+	}
+}
+
+func TestFig7Gallery(t *testing.T) {
+	out := runFig(t, "7")
+	if !strings.Contains(out, "L0 (full accuracy") {
+		t.Error("Fig7 missing full-accuracy panel")
+	}
+	if !strings.Contains(out, "blobs") {
+		t.Error("Fig7 missing blob counts")
+	}
+}
+
+func TestFig8AllConfigs(t *testing.T) {
+	out := runFig(t, "8")
+	for _, want := range []string{"Config1", "Config2", "Config3", "overlap ratio", "None"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig8 output missing %q", want)
+		}
+	}
+}
+
+func TestFig9Pipeline(t *testing.T) {
+	out := runFig(t, "9")
+	for _, want := range []string{"end-to-end", "restoring full accuracy", "blob detect", "None"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig9 output missing %q", want)
+		}
+	}
+}
+
+func TestFig10And11(t *testing.T) {
+	out := runFig(t, "10")
+	if !strings.Contains(out, "GenASiS") {
+		t.Error("Fig10 missing workload header")
+	}
+	out = runFig(t, "11")
+	if !strings.Contains(out, "CFD") {
+		t.Error("Fig11 missing workload header")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	out := runFig(t, "ablation")
+	for _, want := range []string{"estimator", "priority", "codec", "placement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(&buf, ScaleQuick).Run("99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFiguresListMatchesDispatch(t *testing.T) {
+	for _, id := range Figures() {
+		var buf bytes.Buffer
+		if err := New(&buf, ScaleQuick).Run(id); err != nil {
+			t.Fatalf("figure %s from Figures() failed: %v", id, err)
+		}
+	}
+}
+
+func TestLevelsForRatio(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 4: 3, 8: 4, 16: 5, 32: 6}
+	for ratio, want := range cases {
+		if got := levelsForRatio(ratio); got != want {
+			t.Errorf("levelsForRatio(%d) = %d, want %d", ratio, got, want)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2048:    "2.0 KiB",
+		1 << 21: "2.00 MiB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/decimate"
+	"repro/internal/delta"
+	"repro/internal/mesh"
+)
+
+// Fig4 reproduces the data-refactoring gallery: for each application it
+// builds three levels (d = 2 per level, 4x total like the paper's L2) and
+// reports the statistic the figure shows visually — the deltas between
+// adjacent levels are much less variable than the levels themselves, which
+// is what makes them compress well (§III-C2, "delta is less variable than
+// L^l").
+func (r *Runner) Fig4() error {
+	r.header("Figure 4: data refactoring (levels vs deltas)")
+	apps := []struct {
+		name string
+		ds   *core.Dataset
+	}{
+		{"XGC1 (dpot)", r.xgc1().Dataset},
+		{"GenASiS (normVec magnitude)", r.genasis()},
+		{"CFD (pressure)", r.cfd()},
+	}
+	for _, app := range apps {
+		fmt.Fprintf(r.Out, "\n-- %s --\n", app.name)
+		if err := r.fig4App(app.ds); err != nil {
+			return fmt.Errorf("%s: %w", app.name, err)
+		}
+	}
+	fmt.Fprintln(r.Out, "\nShape check: stddev(delta) << stddev(L) on every app, so Canopus")
+	fmt.Fprintln(r.Out, "stores near-zero, smoother payloads — the Fig. 4 visual in numbers.")
+	return nil
+}
+
+type fig4Level struct {
+	mesh *mesh.Mesh
+	data []float64
+}
+
+func (r *Runner) fig4App(ds *core.Dataset) error {
+	const levels = 3
+	lv := []fig4Level{{ds.Mesh, ds.Data}}
+	for l := 0; l < levels-1; l++ {
+		cur := lv[l]
+		res, err := decimate.Decimate(cur.mesh, cur.data,
+			decimate.TargetForRatio(cur.mesh.NumVerts(), 2), decimate.Options{})
+		if err != nil {
+			return err
+		}
+		lv = append(lv, fig4Level{res.Coarse, res.Data})
+	}
+	deltas := make([][]float64, levels-1)
+	for l := 0; l < levels-1; l++ {
+		mp, err := delta.Build(lv[l].mesh, lv[l+1].mesh)
+		if err != nil {
+			return err
+		}
+		d, err := delta.Compute(lv[l].mesh, lv[l].data, lv[l+1].mesh, lv[l+1].data, mp, delta.MeanEstimator{})
+		if err != nil {
+			return err
+		}
+		deltas[l] = d
+	}
+
+	tw := r.table()
+	fmt.Fprintln(tw, "product\tvertices\tmin\tmax\tstddev")
+	stats := func(label string, n int, x []float64) {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range x {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%+.3f\t%+.3f\t%.4f\n", label, n, lo, hi, analysis.StdDev(x))
+	}
+	for l, v := range lv {
+		stats(fmt.Sprintf("L%d", l), v.mesh.NumVerts(), v.data)
+	}
+	for l, d := range deltas {
+		stats(fmt.Sprintf("delta%d-%d", l, l+1), lv[l].mesh.NumVerts(), d)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if r.ASCII {
+		for l := 0; l < levels; l += 2 { // L0 and L2 like the paper panels
+			ras, err := analysis.Rasterize(lv[l].mesh, lv[l].data, 160, 160)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(r.Out, "\nL%d:\n%s", l, ras.RenderASCII(72))
+		}
+		ras, err := analysis.Rasterize(lv[0].mesh, deltas[0], 160, 160)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.Out, "\ndelta0-1:\n%s", ras.RenderASCII(72))
+	}
+	return nil
+}

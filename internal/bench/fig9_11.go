@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// pipelineRow is one point of the Fig. 9a/10a/11a end-to-end series.
+type pipelineRow struct {
+	label      string
+	io         float64 // simulated seconds
+	decompress float64
+	restore    float64
+	analysis   float64 // blob detection (XGC1 only)
+	bytes      int64
+}
+
+func (p pipelineRow) total() float64 { return p.io + p.decompress + p.restore + p.analysis }
+
+// runPipeline measures the analytics pipeline for a dataset:
+//
+//   - the "None" baseline reads the raw full-accuracy data from the slow
+//     tier (no decompression, no restoration), and
+//   - each decimation ratio d analyzes the level with that ratio, restored
+//     progressively from the base through the stored deltas.
+//
+// Timings are taken on a *warm* reader: the first retrieval primes the
+// static mesh-hierarchy and mapping caches, and the reported numbers come
+// from a second retrieval that pays only data/delta I/O. This mirrors the
+// paper's workloads, where the mesh is written once while fields are
+// analyzed many times. detect, when non-nil, runs the analysis phase (blob
+// detection for XGC1) on the restored level.
+func runPipeline(ds *core.Dataset, maxRatio int, relTol float64,
+	detect func(m *core.View) (float64, error)) ([]pipelineRow, []pipelineRow, error) {
+
+	levels := levelsForRatio(maxRatio)
+
+	// Baseline: raw full-accuracy product on the slow tier.
+	rawIO := newIO()
+	if _, err := core.WriteRaw(rawIO, ds); err != nil {
+		return nil, nil, err
+	}
+	rawReader, err := core.OpenRawReader(rawIO, ds.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := rawReader.Retrieve(); err != nil { // prime mesh cache
+		return nil, nil, err
+	}
+	rawView, err := rawReader.Retrieve()
+	if err != nil {
+		return nil, nil, err
+	}
+	noneRow := pipelineRow{
+		label: "None",
+		io:    rawView.Timings.IOSeconds,
+		bytes: rawView.Timings.IOBytes,
+	}
+	if detect != nil {
+		sec, err := detect(rawView)
+		if err != nil {
+			return nil, nil, err
+		}
+		noneRow.analysis = sec
+	}
+
+	// Canopus products.
+	aio := newIO()
+	if _, err := core.Write(aio, ds, core.Options{Levels: levels, RelTolerance: relTol}); err != nil {
+		return nil, nil, err
+	}
+	rd, err := core.OpenReader(aio, ds.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := rd.Retrieve(0); err != nil { // prime mesh/mapping caches
+		return nil, nil, err
+	}
+
+	rows := []pipelineRow{noneRow}
+	for l := levels - 1; l >= 1; l-- { // coarsest (base) first, like scanning up the ratios
+		v, err := rd.Retrieve(l)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := pipelineRow{
+			label:      fmt.Sprintf("%dx", 1<<l),
+			io:         v.Timings.IOSeconds,
+			decompress: v.Timings.DecompressSeconds,
+			restore:    v.Timings.RestoreSeconds,
+			bytes:      v.Timings.IOBytes,
+		}
+		if detect != nil {
+			sec, err := detect(v)
+			if err != nil {
+				return nil, nil, err
+			}
+			row.analysis = sec
+		}
+		rows = append(rows, row)
+	}
+
+	// Fig. 9b/10b/11b: restore *full accuracy* from base + all deltas,
+	// one configuration per base decimation ratio.
+	restoreRows := []pipelineRow{{
+		label: "None",
+		io:    noneRow.io,
+		bytes: noneRow.bytes,
+	}}
+	for ratio := 2; ratio <= maxRatio; ratio *= 2 {
+		cio := newIO()
+		if _, err := core.Write(cio, ds, core.Options{Levels: levelsForRatio(ratio), RelTolerance: relTol}); err != nil {
+			return nil, nil, err
+		}
+		crd, err := core.OpenReader(cio, ds.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := crd.Retrieve(0); err != nil { // prime caches
+			return nil, nil, err
+		}
+		v, err := crd.Retrieve(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		restoreRows = append(restoreRows, pipelineRow{
+			label:      fmt.Sprintf("%dx", ratio),
+			io:         v.Timings.IOSeconds,
+			decompress: v.Timings.DecompressSeconds,
+			restore:    v.Timings.RestoreSeconds,
+			bytes:      v.Timings.IOBytes,
+		})
+	}
+	return rows, restoreRows, nil
+}
+
+// blobDetectPhase builds the detect callback for XGC1: rasterize + detect,
+// returning real compute seconds.
+func blobDetectPhase(w, h int) func(v *core.View) (float64, error) {
+	return func(v *core.View) (float64, error) {
+		t0 := time.Now()
+		ras, err := analysis.Rasterize(v.Mesh, v.Data, w, h)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := analysis.DetectBlobs(ras.ToGray(), ras.W, ras.H, analysis.Config1); err != nil {
+			return 0, err
+		}
+		return time.Since(t0).Seconds(), nil
+	}
+}
+
+func (r *Runner) printPipeline(title string, rows []pipelineRow, withAnalysis bool) error {
+	fmt.Fprintf(r.Out, "\n%s\n", title)
+	tw := r.table()
+	if withAnalysis {
+		fmt.Fprintln(tw, "decimation\tI/O(ms)\tdecompress(ms)\trestore(ms)\tblob detect(ms)\ttotal(ms)\tbytes read")
+	} else {
+		fmt.Fprintln(tw, "decimation\tI/O(ms)\tdecompress(ms)\trestore(ms)\ttotal(ms)\tbytes read")
+	}
+	for _, row := range rows {
+		if withAnalysis {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n", row.label,
+				ms(row.io), ms(row.decompress), ms(row.restore), ms(row.analysis),
+				ms(row.total()), fmtBytes(row.bytes))
+		} else {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", row.label,
+				ms(row.io), ms(row.decompress), ms(row.restore),
+				ms(row.total()), fmtBytes(row.bytes))
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig9 reproduces the XGC1 end-to-end analytics measurements: (a) the
+// analysis pipeline (I/O, decompression, restoration, blob detection) per
+// decimation ratio, and (b) the time to restore full accuracy from the base
+// dataset plus deltas, versus reading the raw full-accuracy data.
+func (r *Runner) Fig9() error {
+	r.header("Figure 9: XGC1 progressive data exploration")
+	ds := r.xgc1Large().Dataset
+	fmt.Fprintf(r.Out, "workload: XGC1 dpot, %d vertices (%s raw), 2-tier tmpfs+Lustre model\n",
+		len(ds.Data), fmtBytes(int64(8*len(ds.Data))))
+	maxRatio := 32
+	rasterSize := 256
+	if r.Scale == ScaleQuick {
+		maxRatio = 8
+		rasterSize = 96
+	}
+	rows, restoreRows, err := runPipeline(ds, maxRatio, 1e-4, blobDetectPhase(rasterSize, rasterSize))
+	if err != nil {
+		return err
+	}
+	if err := r.printPipeline("(a) end-to-end analysis time per decimation ratio", rows, true); err != nil {
+		return err
+	}
+	if err := r.printPipeline("(b) restoring full accuracy from base + deltas", restoreRows, false); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.Out, "\nShape check: I/O dominates the pipeline; analyzing at reduced accuracy")
+	fmt.Fprintln(r.Out, "is up to an order of magnitude faster than the None baseline; restoring")
+	fmt.Fprintln(r.Out, "full accuracy via Canopus beats reading raw full-accuracy data.")
+	return nil
+}
+
+// Fig10 is the GenASiS analogue of Fig. 9 (no blob-detection phase).
+func (r *Runner) Fig10() error {
+	r.header("Figure 10: GenASiS progressive retrieval")
+	ds := r.genasis()
+	fmt.Fprintf(r.Out, "workload: GenASiS normVec magnitude, %d vertices (%s raw)\n",
+		len(ds.Data), fmtBytes(int64(8*len(ds.Data))))
+	maxRatio := 32
+	if r.Scale == ScaleQuick {
+		maxRatio = 8
+	}
+	rows, restoreRows, err := runPipeline(ds, maxRatio, 1e-4, nil)
+	if err != nil {
+		return err
+	}
+	if err := r.printPipeline("(a) retrieval time per decimation ratio", rows, false); err != nil {
+		return err
+	}
+	return r.printPipeline("(b) restoring full accuracy from base + deltas", restoreRows, false)
+}
+
+// Fig11 is the CFD analogue; the paper sweeps only up to 8x on the small
+// jet mesh.
+func (r *Runner) Fig11() error {
+	r.header("Figure 11: CFD progressive retrieval")
+	ds := r.cfd()
+	fmt.Fprintf(r.Out, "workload: CFD pressure, %d vertices (%s raw)\n",
+		len(ds.Data), fmtBytes(int64(8*len(ds.Data))))
+	maxRatio := 8
+	if r.Scale == ScaleQuick {
+		maxRatio = 4
+	}
+	rows, restoreRows, err := runPipeline(ds, maxRatio, 1e-4, nil)
+	if err != nil {
+		return err
+	}
+	if err := r.printPipeline("(a) retrieval time per decimation ratio", rows, false); err != nil {
+		return err
+	}
+	return r.printPipeline("(b) restoring full accuracy from base + deltas", restoreRows, false)
+}

@@ -1,0 +1,275 @@
+package bp
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func buildContainer(t *testing.T) ([]byte, []float64) {
+	t.Helper()
+	w := NewWriter()
+	w.SetAttr("app", "xgc1")
+	w.SetAttr("levels", "3")
+	floats := []float64{1.5, -2.25, math.Pi, 0, math.MaxFloat64}
+	if err := w.PutFloats("dpot", 0, floats, map[string]string{"codec": "zfp"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutBytes("mesh", 0, []byte{9, 8, 7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutBytes("dpot", 1, []byte{1, 2, 3, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return w.Bytes(), floats
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	data, floats := buildContainer(t)
+	r, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Attr("app"); !ok || v != "xgc1" {
+		t.Fatalf("Attr(app) = %q, %v", v, ok)
+	}
+	if _, ok := r.Attr("missing"); ok {
+		t.Fatal("missing attribute reported present")
+	}
+	if got := len(r.Vars()); got != 3 {
+		t.Fatalf("Vars len = %d, want 3", got)
+	}
+
+	v, ok := r.Inq("dpot", 0)
+	if !ok {
+		t.Fatal("Inq(dpot,0) not found")
+	}
+	if v.Type != TypeFloat64 || v.Count != int64(len(floats)) {
+		t.Fatalf("VarInfo = %+v", v)
+	}
+	if v.Attrs["codec"] != "zfp" {
+		t.Fatalf("var attrs = %v", v.Attrs)
+	}
+	got, err := r.ReadFloats(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range floats {
+		if math.Float64bits(got[i]) != math.Float64bits(floats[i]) {
+			t.Fatalf("float %d = %v, want %v", i, got[i], floats[i])
+		}
+	}
+
+	b, ok := r.Inq("dpot", 1)
+	if !ok {
+		t.Fatal("Inq(dpot,1) not found")
+	}
+	raw, err := r.ReadBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, []byte{1, 2, 3, 4}) {
+		t.Fatalf("bytes = %v", raw)
+	}
+}
+
+func TestInqMissing(t *testing.T) {
+	data, _ := buildContainer(t)
+	r, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Inq("dpot", 7); ok {
+		t.Fatal("Inq found nonexistent level")
+	}
+	if _, ok := r.Inq("nope", 0); ok {
+		t.Fatal("Inq found nonexistent variable")
+	}
+}
+
+func TestDuplicateVariableRejected(t *testing.T) {
+	w := NewWriter()
+	if err := w.PutBytes("v", 0, []byte{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutBytes("v", 0, []byte{2}, nil); err == nil {
+		t.Fatal("duplicate (name, level) accepted")
+	}
+	// Same name at another level is fine.
+	if err := w.PutBytes("v", 1, []byte{2}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyNameRejected(t *testing.T) {
+	w := NewWriter()
+	if err := w.PutBytes("", 0, []byte{1}, nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestEmptyContainer(t *testing.T) {
+	w := NewWriter()
+	r, err := OpenBytes(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Vars()) != 0 {
+		t.Fatal("empty container has vars")
+	}
+}
+
+func TestReadFloatsTypeMismatch(t *testing.T) {
+	data, _ := buildContainer(t)
+	r, _ := OpenBytes(data)
+	v, _ := r.Inq("mesh", 0)
+	if _, err := r.ReadFloats(v); err == nil {
+		t.Fatal("ReadFloats accepted byte variable")
+	}
+}
+
+func TestOpenCorrupt(t *testing.T) {
+	data, _ := buildContainer(t)
+	cases := map[string][]byte{
+		"empty":        nil,
+		"tiny":         data[:8],
+		"bad magic":    append([]byte{0, 0, 0, 0}, data[4:]...),
+		"trunc footer": data[:len(data)-5],
+	}
+	for name, d := range cases {
+		if _, err := OpenBytes(d); err == nil {
+			t.Errorf("%s: Open accepted corrupt container", name)
+		}
+	}
+	// Corrupt index offset in the footer.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-20] ^= 0xFF
+	if _, err := OpenBytes(bad); err == nil {
+		t.Error("Open accepted corrupt index offset")
+	}
+	// Bad version.
+	bad2 := append([]byte(nil), data...)
+	bad2[4] = 0xFE
+	if _, err := OpenBytes(bad2); err == nil {
+		t.Error("Open accepted bad version")
+	}
+}
+
+func TestAttrsIsolatedFromCaller(t *testing.T) {
+	w := NewWriter()
+	attrs := map[string]string{"k": "v"}
+	if err := w.PutBytes("v", 0, []byte{1}, attrs); err != nil {
+		t.Fatal(err)
+	}
+	attrs["k"] = "mutated"
+	r, err := OpenBytes(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := r.Inq("v", 0)
+	if v.Attrs["k"] != "v" {
+		t.Fatalf("attr leaked mutation: %v", v.Attrs)
+	}
+}
+
+func TestSelectiveReadFromFile(t *testing.T) {
+	// The ADIOS property: opening reads only footer+index, then a
+	// selective read fetches one variable's extent from a file on disk.
+	data, floats := buildContainer(t)
+	path := filepath.Join(t.TempDir(), "test.bp")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, _ := f.Stat()
+	r, err := Open(f, st.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := r.Inq("dpot", 0)
+	if !ok {
+		t.Fatal("Inq failed")
+	}
+	got, err := r.ReadFloats(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(floats) || got[2] != floats[2] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestQuickFloatRoundTrip: arbitrary float payloads survive the container.
+func TestQuickFloatRoundTrip(t *testing.T) {
+	f := func(vals []float64, level int8) bool {
+		w := NewWriter()
+		if err := w.PutFloats("x", int(level), vals, nil); err != nil {
+			return false
+		}
+		r, err := OpenBytes(w.Bytes())
+		if err != nil {
+			return false
+		}
+		v, ok := r.Inq("x", int(level))
+		if !ok {
+			return false
+		}
+		got, err := r.ReadFloats(v)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarOffsetsDisjoint(t *testing.T) {
+	// Payload extents must not overlap and must cover the payload region
+	// exactly in write order.
+	w := NewWriter()
+	w.PutBytes("a", 0, make([]byte, 100), nil)
+	w.PutBytes("b", 0, make([]byte, 50), nil)
+	w.PutFloats("c", 0, make([]float64, 7), nil)
+	r, err := OpenBytes(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := r.Vars()
+	expectOff := int64(6)
+	for _, v := range vars {
+		if v.Offset != expectOff {
+			t.Fatalf("%s offset %d, want %d", v.Name, v.Offset, expectOff)
+		}
+		expectOff += v.Size
+	}
+}
+
+func BenchmarkOpenLargeIndex(b *testing.B) {
+	w := NewWriter()
+	payload := make([]byte, 64)
+	for i := 0; i < 500; i++ {
+		w.PutBytes("var"+string(rune('a'+i%26)), i, payload, map[string]string{"k": "v"})
+	}
+	data := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenBytes(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package bp
+
+import "testing"
+
+// FuzzOpen hardens the container parser: whatever bytes a storage tier
+// hands back, Open must reject cleanly rather than panic or over-allocate.
+func FuzzOpen(f *testing.F) {
+	w := NewWriter()
+	w.SetAttr("k", "v")
+	_ = w.PutFloats("x", 0, []float64{1, 2, 3}, map[string]string{"a": "b"})
+	_ = w.PutBytes("y", 1, []byte{9, 9}, nil)
+	good := w.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)-1])
+	f.Add(good[:6])
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := OpenBytes(data)
+		if err != nil {
+			return
+		}
+		// A parsed container must serve every indexed variable without
+		// panicking.
+		for _, v := range r.Vars() {
+			if v.Size > int64(len(data)) {
+				t.Fatalf("variable %s claims %d bytes in a %d-byte container", v.Name, v.Size, len(data))
+			}
+			if _, err := r.ReadBytes(v); err != nil {
+				t.Fatalf("indexed variable %s unreadable: %v", v.Name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package compress
+
+import "errors"
+
+// bitWriter packs bits LSB-first into a byte slice. The zfp-like codec's
+// embedded bit-plane coder emits streams of single bits and short bit
+// groups; packing them densely is where most of its compression ratio over
+// raw storage comes from.
+type bitWriter struct {
+	buf  []byte
+	cur  uint64 // pending bits, low nbits valid
+	nbit uint
+}
+
+func (w *bitWriter) writeBit(b uint64) {
+	w.cur |= (b & 1) << w.nbit
+	w.nbit++
+	if w.nbit == 64 {
+		w.flushWord()
+	}
+}
+
+// writeBits emits the low n bits of v, LSB first. n must be <= 64.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	free := 64 - w.nbit
+	if n < free {
+		w.cur |= v << w.nbit
+		w.nbit += n
+		return
+	}
+	w.cur |= v << w.nbit
+	w.flushWord()
+	if n > free {
+		w.cur = v >> free
+		w.nbit = n - free
+	}
+}
+
+func (w *bitWriter) flushWord() {
+	for i := 0; i < 8; i++ {
+		w.buf = append(w.buf, byte(w.cur>>(8*i)))
+	}
+	w.cur = 0
+	w.nbit = 0
+}
+
+// bytes finalizes the stream, padding the last partial byte with zeros.
+func (w *bitWriter) bytes() []byte {
+	for w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur >>= 8
+		if w.nbit >= 8 {
+			w.nbit -= 8
+		} else {
+			w.nbit = 0
+		}
+	}
+	return w.buf
+}
+
+var errBitUnderflow = errors.New("compress: bit stream underflow")
+
+// bitReader mirrors bitWriter.
+type bitReader struct {
+	buf []byte
+	pos int // next byte
+	cur uint64
+	n   uint // valid bits in cur
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+func (r *bitReader) fill() {
+	for r.n <= 56 && r.pos < len(r.buf) {
+		r.cur |= uint64(r.buf[r.pos]) << r.n
+		r.pos++
+		r.n += 8
+	}
+}
+
+func (r *bitReader) readBit() (uint64, error) {
+	if r.n == 0 {
+		r.fill()
+		if r.n == 0 {
+			return 0, errBitUnderflow
+		}
+	}
+	b := r.cur & 1
+	r.cur >>= 1
+	r.n--
+	return b, nil
+}
+
+// readBits reads n (<= 64) bits, LSB first.
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	var v uint64
+	var got uint
+	for got < n {
+		if r.n == 0 {
+			r.fill()
+			if r.n == 0 {
+				return 0, errBitUnderflow
+			}
+		}
+		take := n - got
+		if take > r.n {
+			take = r.n
+		}
+		chunk := r.cur
+		if take < 64 {
+			chunk &= (1 << take) - 1
+		}
+		v |= chunk << got
+		r.cur >>= take
+		r.n -= take
+		got += take
+	}
+	return v, nil
+}

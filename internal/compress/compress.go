@@ -1,0 +1,124 @@
+// Package compress provides the floating-point compressors Canopus applies
+// to refactored data products (§III-C3 of the paper).
+//
+// Canopus integrated ZFP and planned SZ and FPC; this package implements
+// from-scratch Go codecs with the same algorithmic skeletons:
+//
+//   - zfp:   fixed-accuracy transform coder — block floating point over
+//     4-sample blocks, an orthogonal decorrelating transform, negabinary
+//     mapping, and embedded bit-plane coding with significance run-length
+//     coding. Honors an absolute error bound on every sample.
+//   - sz:    error-bounded predictive coder — linear/quadratic curve-fit
+//     prediction with linear-scaling quantization and an entropy-coded
+//     (flate) code stream.
+//   - fpc:   lossless FCM/DFCM XOR predictor with leading-zero-byte codes.
+//   - flate: lossless DEFLATE over the raw IEEE-754 bytes (the general
+//     purpose baseline the paper compares against implicitly).
+//   - raw:   identity codec, for accounting baselines.
+//
+// All codecs serialize to self-describing byte slices: Decode never needs
+// out-of-band parameters.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec compresses and decompresses []float64 payloads.
+type Codec interface {
+	// Name is the registry key, e.g. "zfp".
+	Name() string
+	// Encode compresses vals into a self-describing byte stream.
+	Encode(vals []float64) ([]byte, error)
+	// Decode reverses Encode.
+	Decode(data []byte) ([]float64, error)
+	// Lossless reports whether Decode(Encode(x)) == x bit-for-bit.
+	Lossless() bool
+	// ErrorBound returns the maximum absolute per-sample error a lossy
+	// codec may introduce (0 for lossless codecs).
+	ErrorBound() float64
+}
+
+// ErrNonFinite is returned when a lossy codec receives NaN or ±Inf, which
+// have no meaningful error-bounded representation.
+var ErrNonFinite = errors.New("compress: input contains non-finite values")
+
+// checkFinite returns ErrNonFinite if any value is NaN or infinite.
+func checkFinite(vals []float64) error {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return ErrNonFinite
+		}
+	}
+	return nil
+}
+
+// New returns a codec by name. Lossy codecs take tol as their absolute error
+// bound; lossless codecs ignore it. Supported names: "zfp", "sz", "fpc",
+// "flate", "raw".
+func New(name string, tol float64) (Codec, error) {
+	switch name {
+	case "zfp":
+		return NewZFP(tol)
+	case "sz":
+		return NewSZ(tol)
+	case "fpc":
+		return NewFPC(16), nil
+	case "flate":
+		return NewFlate(), nil
+	case "raw":
+		return Raw{}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+}
+
+// Names lists the registered codec names.
+func Names() []string { return []string{"zfp", "sz", "fpc", "flate", "raw"} }
+
+// floatsToBytes serializes vals as little-endian IEEE-754 doubles.
+func floatsToBytes(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// bytesToFloats reverses floatsToBytes.
+func bytesToFloats(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("compress: byte length %d not a multiple of 8", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// Raw is the identity codec: the encoded form is the raw little-endian
+// bytes. It is the honest "no compression" baseline for size accounting.
+type Raw struct{}
+
+// Name implements Codec.
+func (Raw) Name() string { return "raw" }
+
+// Lossless implements Codec.
+func (Raw) Lossless() bool { return true }
+
+// ErrorBound implements Codec.
+func (Raw) ErrorBound() float64 { return 0 }
+
+// Encode implements Codec.
+func (Raw) Encode(vals []float64) ([]byte, error) {
+	return floatsToBytes(vals), nil
+}
+
+// Decode implements Codec.
+func (Raw) Decode(data []byte) ([]float64, error) {
+	return bytesToFloats(data)
+}

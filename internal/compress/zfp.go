@@ -1,0 +1,305 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ZFP is a fixed-accuracy transform coder for float64 streams, modeled on
+// the ZFP compressor the paper integrates (Lindstrom, TVCG 2014):
+//
+//  1. the stream is split into blocks of 4 samples;
+//  2. each block is converted to block floating point — a shared exponent e
+//     and 52-bit fixed-point integers;
+//  3. an orthogonal 4-point Hadamard transform (sequency-ordered)
+//     decorrelates the block, concentrating energy in low coefficients for
+//     smooth data;
+//  4. coefficients map to negabinary so magnitude shrinks monotonically with
+//     bit position regardless of sign;
+//  5. bit planes are coded most-significant first with a significance-prefix
+//     run-length scheme, truncated at the plane where the accumulated error
+//     stays within the caller's absolute tolerance.
+//
+// Differences from the C library are documented in DESIGN.md: the
+// decorrelating transform is the orthogonal Hadamard rather than ZFP's
+// non-orthogonal lift (same role, simpler exact error analysis), and blocks
+// are 1D because Canopus linearizes unstructured-mesh payloads.
+//
+// Smoothness wins: a block whose 4 samples are close together has tiny AC
+// coefficients, so almost all bits concentrate in the DC coefficient and the
+// plane coder stops early. That is exactly the property Canopus exploits —
+// deltas are smoother than the levels themselves, so they compress better
+// (Fig. 5).
+type ZFP struct {
+	tol float64
+}
+
+// NewZFP returns a ZFP-like codec with absolute error bound tol. tol must be
+// non-negative; tol = 0 keeps all bit planes (near-lossless: error bounded
+// by fixed-point quantization, ~2^-50 of each block's magnitude).
+func NewZFP(tol float64) (*ZFP, error) {
+	if math.IsNaN(tol) || math.IsInf(tol, 0) || tol < 0 {
+		return nil, fmt.Errorf("compress: invalid zfp tolerance %g", tol)
+	}
+	return &ZFP{tol: tol}, nil
+}
+
+// Name implements Codec.
+func (z *ZFP) Name() string { return "zfp" }
+
+// Lossless implements Codec.
+func (z *ZFP) Lossless() bool { return false }
+
+// ErrorBound implements Codec.
+func (z *ZFP) ErrorBound() float64 { return z.tol }
+
+const (
+	zfpMagic = 0x31465a43 // "CZF1"
+	// zfpQ is the fixed-point precision: samples scale to integers of
+	// magnitude <= 2^zfpQ before the transform.
+	zfpQ = 52
+	// negabinary mapping constant (…10101010 pattern).
+	nbMask = 0xaaaaaaaaaaaaaaaa
+)
+
+func toNegabinary(x int64) uint64   { return (uint64(x) + nbMask) ^ nbMask }
+func fromNegabinary(u uint64) int64 { return int64((u ^ nbMask) - nbMask) }
+
+// minPlaneFor returns the lowest bit plane kept for a block with shared
+// exponent e under absolute tolerance tol. Planes below it are truncated.
+func minPlaneFor(tol float64, e int) int {
+	if tol == 0 {
+		return 0
+	}
+	// Coefficient truncation at plane p injects < 2^p per coefficient in
+	// fixed-point units, which the inverse orthogonal transform maps to
+	// at most 2^p per sample, i.e. 2^p * 2^(e-zfpQ) in value units.
+	// Choose p so that is <= tol/4, leaving budget for quantization and
+	// float-conversion rounding.
+	p := math.Ilogb(tol) + zfpQ - e - 2
+	if p < 0 {
+		p = 0
+	}
+	if p > 63 {
+		p = 64 // everything truncated
+	}
+	return p
+}
+
+// Encode implements Codec.
+func (z *ZFP) Encode(vals []float64) ([]byte, error) {
+	if err := checkFinite(vals); err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 0, 16)
+	hdr = binary.LittleEndian.AppendUint32(hdr, zfpMagic)
+	hdr = binary.AppendUvarint(hdr, uint64(len(vals)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(z.tol))
+
+	w := &bitWriter{buf: hdr}
+	var block [4]float64
+	for i := 0; i < len(vals); i += 4 {
+		k := copy(block[:], vals[i:])
+		// Pad short tail blocks by replicating the last sample, which
+		// keeps the padded block smooth.
+		for j := k; j < 4; j++ {
+			block[j] = block[k-1]
+		}
+		encodeZFPBlock(w, block, z.tol)
+	}
+	return w.bytes(), nil
+}
+
+func encodeZFPBlock(w *bitWriter, f [4]float64, tol float64) {
+	amax := math.Max(math.Max(math.Abs(f[0]), math.Abs(f[1])), math.Max(math.Abs(f[2]), math.Abs(f[3])))
+	if amax == 0 {
+		w.writeBit(0) // zero block
+		return
+	}
+	// Shared exponent: amax < 2^e.
+	_, e := math.Frexp(amax) // amax = frac * 2^e, frac in [0.5, 1)
+	scale := math.Ldexp(1, zfpQ-e)
+	var q [4]int64
+	for i, v := range f {
+		q[i] = int64(math.RoundToEven(v * scale))
+	}
+	// Sequency-ordered 4-point Hadamard.
+	c := [4]int64{
+		q[0] + q[1] + q[2] + q[3],
+		q[0] + q[1] - q[2] - q[3],
+		q[0] - q[1] - q[2] + q[3],
+		q[0] - q[1] + q[2] - q[3],
+	}
+	var u [4]uint64
+	maxPlane := -1
+	for i, ci := range c {
+		u[i] = toNegabinary(ci)
+		if u[i] != 0 {
+			if p := 63 - bits.LeadingZeros64(u[i]); p > maxPlane {
+				maxPlane = p
+			}
+		}
+	}
+	minPlane := minPlaneFor(tol, e)
+	if maxPlane < minPlane {
+		// All coefficient content is below the tolerance cutoff:
+		// representable as a zero block within the error bound.
+		w.writeBit(0)
+		return
+	}
+	w.writeBit(1)
+	w.writeBits(uint64(e+2048), 12)
+	w.writeBits(uint64(maxPlane), 6)
+	n := uint(0) // significance prefix, grows monotonically across planes
+	for p := maxPlane; p >= minPlane; p-- {
+		var x uint64
+		for i := 0; i < 4; i++ {
+			x |= ((u[i] >> uint(p)) & 1) << uint(i)
+		}
+		encodePlane(w, x, &n)
+	}
+}
+
+// encodePlane emits one 4-bit plane x using the significance-prefix scheme:
+// the first *n coefficients (already significant in an earlier plane) emit
+// raw bits; the rest are run-length coded — a group-test bit says whether
+// any 1 remains, then zero bits are emitted until the terminating 1, which
+// extends the significance prefix.
+func encodePlane(w *bitWriter, x uint64, n *uint) {
+	w.writeBits(x, *n)
+	x >>= *n
+	for *n < 4 {
+		if x == 0 {
+			w.writeBit(0)
+			return
+		}
+		w.writeBit(1)
+		for {
+			b := x & 1
+			x >>= 1
+			*n++
+			w.writeBit(b)
+			if b == 1 {
+				break
+			}
+		}
+	}
+}
+
+func decodePlane(r *bitReader, n *uint) (uint64, error) {
+	x, err := r.readBits(*n)
+	if err != nil {
+		return 0, err
+	}
+	for *n < 4 {
+		g, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if g == 0 {
+			break
+		}
+		for {
+			b, err := r.readBit()
+			if err != nil {
+				return 0, err
+			}
+			if b == 1 {
+				x |= 1 << *n
+				*n++
+				break
+			}
+			*n++
+		}
+	}
+	return x, nil
+}
+
+// Decode implements Codec.
+func (z *ZFP) Decode(data []byte) ([]float64, error) {
+	if len(data) < 4 || binary.LittleEndian.Uint32(data) != zfpMagic {
+		return nil, errors.New("compress: bad zfp magic")
+	}
+	off := 4
+	count, nn := binary.Uvarint(data[off:])
+	if nn <= 0 {
+		return nil, errors.New("compress: truncated zfp header")
+	}
+	off += nn
+	if len(data)-off < 8 {
+		return nil, errors.New("compress: truncated zfp header")
+	}
+	tol := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	off += 8
+	if count > uint64(len(data))*64 {
+		return nil, fmt.Errorf("compress: implausible zfp count %d", count)
+	}
+	out := make([]float64, 0, count)
+	r := newBitReader(data[off:])
+	for uint64(len(out)) < count {
+		blk, err := decodeZFPBlock(r, tol)
+		if err != nil {
+			return nil, err
+		}
+		k := int(count) - len(out)
+		if k > 4 {
+			k = 4
+		}
+		out = append(out, blk[:k]...)
+	}
+	return out, nil
+}
+
+func decodeZFPBlock(r *bitReader, tol float64) ([4]float64, error) {
+	var f [4]float64
+	nz, err := r.readBit()
+	if err != nil {
+		return f, err
+	}
+	if nz == 0 {
+		return f, nil
+	}
+	eRaw, err := r.readBits(12)
+	if err != nil {
+		return f, err
+	}
+	e := int(eRaw) - 2048
+	mpRaw, err := r.readBits(6)
+	if err != nil {
+		return f, err
+	}
+	maxPlane := int(mpRaw)
+	minPlane := minPlaneFor(tol, e)
+	var u [4]uint64
+	n := uint(0)
+	for p := maxPlane; p >= minPlane; p-- {
+		x, err := decodePlane(r, &n)
+		if err != nil {
+			return f, err
+		}
+		for i := 0; i < 4; i++ {
+			u[i] |= ((x >> uint(i)) & 1) << uint(p)
+		}
+	}
+	c := [4]int64{
+		fromNegabinary(u[0]),
+		fromNegabinary(u[1]),
+		fromNegabinary(u[2]),
+		fromNegabinary(u[3]),
+	}
+	// Inverse Hadamard (the matrix is symmetric and H*H = 4I).
+	q := [4]int64{
+		c[0] + c[1] + c[2] + c[3],
+		c[0] + c[1] - c[2] - c[3],
+		c[0] - c[1] - c[2] + c[3],
+		c[0] - c[1] + c[2] - c[3],
+	}
+	inv := math.Ldexp(1, e-zfpQ) / 4
+	for i := range f {
+		f[i] = float64(q[i]) * inv
+	}
+	return f, nil
+}

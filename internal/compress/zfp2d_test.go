@@ -1,0 +1,239 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smoothGrid(nx, ny int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	kx, ky := 1+rng.Float64()*6, 1+rng.Float64()*6
+	out := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x := float64(i) / float64(nx)
+			y := float64(j) / float64(ny)
+			out[j*nx+i] = math.Sin(kx*2*math.Pi*x)*math.Cos(ky*2*math.Pi*y) + 0.3*x
+		}
+	}
+	return out
+}
+
+func TestZFP2DErrorBound(t *testing.T) {
+	for _, tol := range []float64{1e-2, 1e-4, 1e-8} {
+		z, err := NewZFP2D(tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dims := range [][2]int{{16, 16}, {17, 13}, {4, 4}, {1, 1}, {5, 1}, {1, 7}, {64, 48}} {
+			nx, ny := dims[0], dims[1]
+			in := smoothGrid(nx, ny, int64(nx*100+ny))
+			enc, err := z.Encode(in, nx, ny)
+			if err != nil {
+				t.Fatalf("%dx%d: %v", nx, ny, err)
+			}
+			got, gx, gy, err := z.Decode(enc)
+			if err != nil {
+				t.Fatalf("%dx%d: %v", nx, ny, err)
+			}
+			if gx != nx || gy != ny {
+				t.Fatalf("dims %dx%d, want %dx%d", gx, gy, nx, ny)
+			}
+			for i := range in {
+				if e := math.Abs(got[i] - in[i]); e > tol {
+					t.Fatalf("%dx%d tol=%g: error %g at %d", nx, ny, tol, e, i)
+				}
+			}
+		}
+	}
+}
+
+func TestZFP2DZeroGrid(t *testing.T) {
+	z, _ := NewZFP2D(1e-6)
+	in := make([]float64, 8*8)
+	enc, err := z.Encode(in, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero blocks cost one bit each; the stream must be tiny.
+	if len(enc) > 40 {
+		t.Fatalf("zero grid encoded to %d bytes", len(enc))
+	}
+	got, _, _, err := z.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("zero grid decoded nonzero at %d", i)
+		}
+	}
+}
+
+func TestZFP2DRejectsBadInput(t *testing.T) {
+	z, _ := NewZFP2D(1e-6)
+	if _, err := z.Encode(make([]float64, 5), 2, 2); err == nil {
+		t.Error("accepted mismatched dims")
+	}
+	if _, err := z.Encode([]float64{math.NaN()}, 1, 1); err == nil {
+		t.Error("accepted NaN")
+	}
+	if _, err := NewZFP2D(-1); err == nil {
+		t.Error("accepted negative tolerance")
+	}
+	if _, _, _, err := z.Decode(nil); err == nil {
+		t.Error("decoded nil")
+	}
+	if _, _, _, err := z.Decode([]byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("decoded junk")
+	}
+	enc, _ := z.Encode(smoothGrid(8, 8, 1), 8, 8)
+	if _, _, _, err := z.Decode(enc[:len(enc)-3]); err == nil {
+		t.Error("decoded truncated stream")
+	}
+}
+
+func TestZFP2DBeats1DOnGrids(t *testing.T) {
+	// The reason 2D blocks exist: correlation along both axes. On the
+	// same grid, at the same tolerance, 2D must encode smaller than the
+	// linearized 1D codec.
+	const nx, ny = 128, 128
+	in := smoothGrid(nx, ny, 7)
+	tol := 1e-6
+	z2, _ := NewZFP2D(tol)
+	z1, _ := NewZFP(tol)
+	enc2, err := z2.Encode(in, nx, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1, err := z1.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc2) >= len(enc1) {
+		t.Fatalf("2D %d bytes >= 1D %d bytes on a smooth grid", len(enc2), len(enc1))
+	}
+}
+
+func TestZFP2DCompressionImprovesWithTolerance(t *testing.T) {
+	in := smoothGrid(64, 64, 9)
+	prev := 1 << 30
+	for _, tol := range []float64{1e-12, 1e-8, 1e-4, 1e-2} {
+		z, err := NewZFP2D(tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := z.Encode(in, 64, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) > prev {
+			t.Fatalf("tol %g encoded %d > tighter %d", tol, len(enc), prev)
+		}
+		prev = len(enc)
+	}
+}
+
+func TestZFP2DNearLosslessAtZero(t *testing.T) {
+	z, err := NewZFP2D(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := smoothGrid(20, 20, 11)
+	enc, err := z.Encode(in, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := z.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var amax float64
+	for _, v := range in {
+		amax = math.Max(amax, math.Abs(v))
+	}
+	for i := range in {
+		if math.Abs(got[i]-in[i]) > amax*math.Ldexp(1, -47) {
+			t.Fatalf("zero-tolerance error too large at %d", i)
+		}
+	}
+}
+
+func TestHadamard4RoundTrip(t *testing.T) {
+	f := func(a, b, c, d int32) bool {
+		v := []int64{int64(a), int64(b), int64(c), int64(d)}
+		orig := append([]int64(nil), v...)
+		hadamard4(v)
+		invHadamard4(v)
+		for i := range v {
+			if v[i] != 4*orig[i] { // H*H = 4I
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigzag16IsPermutation(t *testing.T) {
+	seen := [16]bool{}
+	for _, v := range zigzag16 {
+		if v < 0 || v > 15 || seen[v] {
+			t.Fatalf("zigzag16 not a permutation: %v", zigzag16)
+		}
+		seen[v] = true
+	}
+}
+
+// TestQuickZFP2DBound is the property test for the 2D error bound.
+func TestQuickZFP2DBound(t *testing.T) {
+	f := func(seed int64, tolExp uint8, dimSel uint8) bool {
+		tol := math.Ldexp(1, -int(tolExp%28)-1)
+		dims := [][2]int{{8, 8}, {13, 9}, {4, 20}, {31, 2}}[int(dimSel)%4]
+		nx, ny := dims[0], dims[1]
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]float64, nx*ny)
+		scale := math.Ldexp(1, rng.Intn(30)-15)
+		for i := range in {
+			in[i] = rng.NormFloat64() * scale
+		}
+		z, err := NewZFP2D(tol)
+		if err != nil {
+			return false
+		}
+		enc, err := z.Encode(in, nx, ny)
+		if err != nil {
+			return false
+		}
+		got, gx, gy, err := z.Decode(enc)
+		if err != nil || gx != nx || gy != ny {
+			return false
+		}
+		for i := range in {
+			if math.Abs(got[i]-in[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkZFP2DEncode(b *testing.B) {
+	in := smoothGrid(256, 256, 21)
+	z, _ := NewZFP2D(1e-6)
+	b.SetBytes(int64(8 * len(in)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := z.Encode(in, 256, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/mesh"
+)
+
+// Spatial chunking of delta payloads.
+//
+// §III-E of the paper points out that a cheap low-accuracy pass can "guide
+// subsequent, higher fidelity data explorations, and facilitate focused
+// data retrieval, e.g., reading smaller subsets of high accuracy data". To
+// make that subset read cheap at the storage level, Canopus can split each
+// delta into spatial tiles: a fine vertex belongs to the tile containing
+// its position, and each tile becomes its own selectively-readable BP
+// variable. Regional retrieval then fetches only the tiles that intersect
+// the region of interest (see region.go).
+
+// tileBox is the tiling frame: the fine mesh's bounding box at write time,
+// recorded in container metadata so readers assign vertices to the same
+// tiles the writer did.
+type tileBox struct {
+	minX, minY, w, h float64
+	n                int // tiles per axis
+}
+
+func newTileBox(m *mesh.Mesh, n int) tileBox {
+	minX, minY, maxX, maxY := m.Bounds()
+	w, h := maxX-minX, maxY-minY
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	return tileBox{minX: minX, minY: minY, w: w, h: h, n: n}
+}
+
+// tileOf returns the tile index of a point.
+func (tb tileBox) tileOf(x, y float64) int {
+	tx := int(float64(tb.n) * (x - tb.minX) / tb.w)
+	ty := int(float64(tb.n) * (y - tb.minY) / tb.h)
+	if tx < 0 {
+		tx = 0
+	}
+	if tx >= tb.n {
+		tx = tb.n - 1
+	}
+	if ty < 0 {
+		ty = 0
+	}
+	if ty >= tb.n {
+		ty = tb.n - 1
+	}
+	return ty*tb.n + tx
+}
+
+// encode serializes the tiling frame for container metadata.
+func (tb tileBox) encode() string {
+	return fmt.Sprintf("%s,%s,%s,%s,%d",
+		strconv.FormatFloat(tb.minX, 'g', -1, 64),
+		strconv.FormatFloat(tb.minY, 'g', -1, 64),
+		strconv.FormatFloat(tb.w, 'g', -1, 64),
+		strconv.FormatFloat(tb.h, 'g', -1, 64),
+		tb.n)
+}
+
+func parseTileBox(s string) (tileBox, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 5 {
+		return tileBox{}, fmt.Errorf("canopus: malformed tile frame %q", s)
+	}
+	var tb tileBox
+	var err error
+	if tb.minX, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return tileBox{}, fmt.Errorf("canopus: malformed tile frame %q", s)
+	}
+	if tb.minY, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return tileBox{}, fmt.Errorf("canopus: malformed tile frame %q", s)
+	}
+	if tb.w, err = strconv.ParseFloat(parts[2], 64); err != nil {
+		return tileBox{}, fmt.Errorf("canopus: malformed tile frame %q", s)
+	}
+	if tb.h, err = strconv.ParseFloat(parts[3], 64); err != nil {
+		return tileBox{}, fmt.Errorf("canopus: malformed tile frame %q", s)
+	}
+	if tb.n, err = strconv.Atoi(parts[4]); err != nil || tb.n < 1 {
+		return tileBox{}, fmt.Errorf("canopus: malformed tile frame %q", s)
+	}
+	return tb, nil
+}
+
+// partitionVerts groups vertex ids by tile. Ids within a tile stay in
+// ascending order. Empty tiles yield nil slices.
+func partitionVerts(m *mesh.Mesh, tb tileBox) [][]int32 {
+	tiles := make([][]int32, tb.n*tb.n)
+	for vi, v := range m.Verts {
+		t := tb.tileOf(v.X, v.Y)
+		tiles[t] = append(tiles[t], int32(vi))
+	}
+	return tiles
+}
+
+// Chunk payload layout: the covered vertex ids as run-length coded ranges
+// (mesh numbering is spatially coherent, so tiles decompose into few runs),
+// followed by the codec-compressed values in id order.
+//
+//	uvarint nRuns
+//	nRuns x (varint startDelta, uvarint runLength)
+//	uvarint encLen
+//	enc bytes
+
+// idRuns compresses a sorted id list into (start, length) runs.
+func idRuns(ids []int32) [][2]int64 {
+	var runs [][2]int64
+	for i := 0; i < len(ids); {
+		start := int64(ids[i])
+		n := int64(1)
+		for i+int(n) < len(ids) && int64(ids[i+int(n)]) == start+n {
+			n++
+		}
+		runs = append(runs, [2]int64{start, n})
+		i += int(n)
+	}
+	return runs
+}
+
+func encodeChunkPayload(ids []int32, enc []byte) []byte {
+	runs := idRuns(ids)
+	out := make([]byte, 0, len(runs)*4+len(enc)+16)
+	out = binary.AppendUvarint(out, uint64(len(runs)))
+	prev := int64(0)
+	for _, r := range runs {
+		out = binary.AppendVarint(out, r[0]-prev)
+		out = binary.AppendUvarint(out, uint64(r[1]))
+		prev = r[0]
+	}
+	out = binary.AppendUvarint(out, uint64(len(enc)))
+	return append(out, enc...)
+}
+
+var errChunkTrunc = errors.New("canopus: truncated delta chunk")
+
+func decodeChunkPayload(data []byte) (ids []int32, enc []byte, err error) {
+	nRuns, off := binary.Uvarint(data)
+	if off <= 0 {
+		return nil, nil, errChunkTrunc
+	}
+	if nRuns > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("canopus: implausible chunk run count %d", nRuns)
+	}
+	prev := int64(0)
+	// Cap the total decoded ids against what the value payload could
+	// plausibly cover; otherwise a corrupt run list is a memory DoS.
+	maxIDs := uint64(len(data))*8 + 64
+	var total uint64
+	for i := uint64(0); i < nRuns; i++ {
+		d, n := binary.Varint(data[off:])
+		if n <= 0 {
+			return nil, nil, errChunkTrunc
+		}
+		off += n
+		start := prev + d
+		length, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, nil, errChunkTrunc
+		}
+		off += n
+		total += length
+		if start < 0 || total > maxIDs {
+			return nil, nil, fmt.Errorf("canopus: invalid chunk run (%d, %d)", start, length)
+		}
+		for j := int64(0); j < int64(length); j++ {
+			ids = append(ids, int32(start+j))
+		}
+		prev = start
+	}
+	encLen, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, nil, errChunkTrunc
+	}
+	off += n
+	if uint64(len(data)-off) < encLen {
+		return nil, nil, errChunkTrunc
+	}
+	return ids, data[off : off+int(encLen)], nil
+}
+
+func chunkVarName(ci int) string { return fmt.Sprintf("delta.c%d", ci) }

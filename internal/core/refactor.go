@@ -1,0 +1,315 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/adios"
+	"repro/internal/bp"
+	"repro/internal/compress"
+	"repro/internal/decimate"
+	"repro/internal/delta"
+	"repro/internal/mesh"
+	"repro/internal/storage"
+)
+
+// PhaseTimings breaks the write (or read) path into the phases the paper's
+// evaluation reports (Fig. 6b, Fig. 9–11). Compute phases are measured in
+// real wall time on the host; I/O phases are simulated by the storage cost
+// model, so experiment output is machine-independent on the I/O side.
+type PhaseTimings struct {
+	// DecimateSeconds covers mesh decimation (write path).
+	DecimateSeconds float64
+	// DeltaSeconds covers delta calculation (write path).
+	DeltaSeconds float64
+	// CompressSeconds covers floating-point compression (write path).
+	CompressSeconds float64
+	// DecompressSeconds covers decompression (read path).
+	DecompressSeconds float64
+	// RestoreSeconds covers Algorithm 3 restoration (read path).
+	RestoreSeconds float64
+	// IOSeconds is simulated storage time; IOBytes the bytes moved.
+	IOSeconds float64
+	IOBytes   int64
+}
+
+// Add accumulates another timing set.
+func (t *PhaseTimings) Add(o PhaseTimings) {
+	t.DecimateSeconds += o.DecimateSeconds
+	t.DeltaSeconds += o.DeltaSeconds
+	t.CompressSeconds += o.CompressSeconds
+	t.DecompressSeconds += o.DecompressSeconds
+	t.RestoreSeconds += o.RestoreSeconds
+	t.IOSeconds += o.IOSeconds
+	t.IOBytes += o.IOBytes
+}
+
+// TotalSeconds sums every phase.
+func (t PhaseTimings) TotalSeconds() float64 {
+	return t.DecimateSeconds + t.DeltaSeconds + t.CompressSeconds +
+		t.DecompressSeconds + t.RestoreSeconds + t.IOSeconds
+}
+
+// WriteReport summarizes one refactor-and-store pass.
+type WriteReport struct {
+	Name   string
+	Mode   Mode
+	Levels int
+	Codec  string
+	// Tolerance is the absolute codec error bound used.
+	Tolerance float64
+	Timings   PhaseTimings
+	// Placements records where each product landed, base first.
+	Placements []storage.Placement
+	// LevelBytes is the stored container size per level product (index
+	// l matches accuracy level l; the base is index Levels-1).
+	LevelBytes []int64
+	// PayloadBytes is the compressed data/delta payload per level,
+	// excluding mesh geometry and mapping metadata — the quantity the
+	// paper's Fig. 5 compares between Canopus and direct compression.
+	PayloadBytes []int64
+	// VertexCounts per level, finest first.
+	VertexCounts []int
+	// RawBytes is the uncompressed input data size.
+	RawBytes int64
+}
+
+// StoredBytes sums all stored product sizes.
+func (r *WriteReport) StoredBytes() int64 {
+	var s int64
+	for _, b := range r.LevelBytes {
+		s += b
+	}
+	return s
+}
+
+// level is one rung of the refactoring cascade built in memory before
+// placement.
+type level struct {
+	mesh    *mesh.Mesh
+	data    []float64 // L^l, only kept transiently
+	deltaTo []float64 // delta^(l-(l+1)); nil for the base level
+	mapping delta.Mapping
+}
+
+// Write refactors ds per opts and stores the products through io. It is the
+// write half of the Canopus workflow (Fig. 1, left of the pyramid).
+func Write(aio *adios.IO, ds *Dataset, opts Options) (*WriteReport, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	est, err := delta.EstimatorByName(opts.Estimator)
+	if err != nil {
+		return nil, err
+	}
+	codec, tol, err := opts.codecFor(ds.Data)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &WriteReport{
+		Name:      ds.Name,
+		Mode:      opts.Mode,
+		Levels:    opts.Levels,
+		Codec:     codec.Name(),
+		Tolerance: tol,
+		RawBytes:  ds.RawBytes(),
+	}
+
+	// Phase 1: decimation cascade (Algorithm 1 per level).
+	levels := make([]*level, opts.Levels)
+	levels[0] = &level{mesh: ds.Mesh, data: ds.Data}
+	t0 := time.Now()
+	for l := 0; l < opts.Levels-1; l++ {
+		cur := levels[l]
+		target := decimate.TargetForRatio(cur.mesh.NumVerts(), opts.RatioPerLevel)
+		res, err := decimate.Decimate(cur.mesh, cur.data, target, decimate.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("canopus: decimate level %d: %w", l, err)
+		}
+		levels[l+1] = &level{mesh: res.Coarse, data: res.Data}
+	}
+	rep.Timings.DecimateSeconds = time.Since(t0).Seconds()
+	for _, lv := range levels {
+		rep.VertexCounts = append(rep.VertexCounts, lv.mesh.NumVerts())
+	}
+
+	// Phase 2: delta calculation (Algorithm 2), delta mode only.
+	if opts.Mode == ModeDelta {
+		t0 = time.Now()
+		for l := 0; l < opts.Levels-1; l++ {
+			fine, coarse := levels[l], levels[l+1]
+			mp, err := delta.Build(fine.mesh, coarse.mesh)
+			if err != nil {
+				return nil, fmt.Errorf("canopus: mapping level %d: %w", l, err)
+			}
+			d, err := delta.Compute(fine.mesh, fine.data, coarse.mesh, coarse.data, mp, est)
+			if err != nil {
+				return nil, fmt.Errorf("canopus: delta level %d: %w", l, err)
+			}
+			fine.mapping = mp
+			fine.deltaTo = d
+		}
+		rep.Timings.DeltaSeconds = time.Since(t0).Seconds()
+	}
+
+	// Phase 3: compression and container assembly.
+	containers := make([]*bp.Writer, opts.Levels)
+	rep.PayloadBytes = make([]int64, opts.Levels)
+	t0 = time.Now()
+	for l, lv := range levels {
+		w := bp.NewWriter()
+		meshBytes, err := deflateBytes(mesh.Encode(lv.mesh))
+		if err != nil {
+			return nil, err
+		}
+		if err := w.PutBytes("mesh", l, meshBytes, nil); err != nil {
+			return nil, err
+		}
+		isBase := l == opts.Levels-1
+		switch {
+		case opts.Mode == ModeDirect, isBase:
+			enc, err := codec.Encode(lv.data)
+			if err != nil {
+				return nil, fmt.Errorf("canopus: compress level %d: %w", l, err)
+			}
+			if err := w.PutBytes("data", l, enc, map[string]string{"codec": codec.Name()}); err != nil {
+				return nil, err
+			}
+			rep.PayloadBytes[l] = int64(len(enc))
+		default:
+			// Deltas are stored as spatial tiles, each its own
+			// selectively-readable variable, so regional retrieval
+			// can fetch only the tiles a zoomed-in analysis needs.
+			tb := newTileBox(lv.mesh, opts.Chunks)
+			w.SetAttr("tile-frame", tb.encode())
+			for ci, ids := range partitionVerts(lv.mesh, tb) {
+				if len(ids) == 0 {
+					continue
+				}
+				sub := make([]float64, len(ids))
+				for j, id := range ids {
+					sub[j] = lv.deltaTo[id]
+				}
+				enc, err := codec.Encode(sub)
+				if err != nil {
+					return nil, fmt.Errorf("canopus: compress delta %d chunk %d: %w", l, ci, err)
+				}
+				payload := encodeChunkPayload(ids, enc)
+				if err := w.PutBytes(chunkVarName(ci), l, payload, map[string]string{"codec": codec.Name()}); err != nil {
+					return nil, err
+				}
+				rep.PayloadBytes[l] += int64(len(payload))
+			}
+			mpBytes, err := deflateBytes(lv.mapping.Encode())
+			if err != nil {
+				return nil, err
+			}
+			if err := w.PutBytes("mapping", l, mpBytes, nil); err != nil {
+				return nil, err
+			}
+		}
+		containers[l] = w
+	}
+	rep.Timings.CompressSeconds = time.Since(t0).Seconds()
+
+	// Phase 4: placement — base to the fastest tier first, then finer
+	// deltas toward slower tiers (§III-D).
+	numTiers := aio.H.NumTiers()
+	for l := opts.Levels - 1; l >= 0; l-- {
+		pref := tierFor(l, opts.Levels, numTiers)
+		p, err := aio.WriteContainer(levelKey(ds.Name, l), containers[l], pref)
+		if err != nil {
+			return nil, fmt.Errorf("canopus: store level %d: %w", l, err)
+		}
+		rep.Placements = append(rep.Placements, p)
+		rep.Timings.IOSeconds += p.Cost.Seconds
+		rep.Timings.IOBytes += p.Cost.Bytes
+	}
+	// LevelBytes indexed by level.
+	rep.LevelBytes = make([]int64, opts.Levels)
+	for i, p := range rep.Placements {
+		rep.LevelBytes[opts.Levels-1-i] = p.Cost.Bytes
+	}
+
+	// Global metadata container on the fastest tier.
+	metaW := bp.NewWriter()
+	metaW.SetAttr("name", ds.Name)
+	metaW.SetAttr("mode", opts.Mode.String())
+	metaW.SetAttr("levels", strconv.Itoa(opts.Levels))
+	metaW.SetAttr("codec", codec.Name())
+	metaW.SetAttr("tolerance", strconv.FormatFloat(tol, 'g', -1, 64))
+	metaW.SetAttr("estimator", est.Name())
+	metaW.SetAttr("raw-bytes", strconv.FormatInt(rep.RawBytes, 10))
+	for l, n := range rep.VertexCounts {
+		metaW.SetAttr(fmt.Sprintf("verts-L%d", l), strconv.Itoa(n))
+	}
+	mp, err := aio.WriteContainer(metaKey(ds.Name), metaW, 0)
+	if err != nil {
+		return nil, fmt.Errorf("canopus: store metadata: %w", err)
+	}
+	rep.Timings.IOSeconds += mp.Cost.Seconds
+	rep.Timings.IOBytes += mp.Cost.Bytes
+	return rep, nil
+}
+
+// deflateBytes losslessly compresses opaque bytes (mesh encodings).
+func deflateBytes(raw []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteRaw stores ds unrefactored and uncompressed on the slowest tier —
+// the "None" baseline in Fig. 9–11: full-accuracy analysis with no Canopus.
+func WriteRaw(aio *adios.IO, ds *Dataset) (*WriteReport, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	w := bp.NewWriter()
+	w.SetAttr("name", ds.Name)
+	w.SetAttr("mode", "raw")
+	if err := w.PutBytes("mesh", 0, mesh.Encode(ds.Mesh), nil); err != nil {
+		return nil, err
+	}
+	enc, err := compress.Raw{}.Encode(ds.Data)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.PutBytes("data", 0, enc, map[string]string{"codec": "raw"}); err != nil {
+		return nil, err
+	}
+	p, err := aio.WriteContainer(rawKey(ds.Name), w, aio.H.NumTiers()-1)
+	if err != nil {
+		return nil, err
+	}
+	return &WriteReport{
+		Name:       ds.Name,
+		Levels:     1,
+		Codec:      "raw",
+		RawBytes:   ds.RawBytes(),
+		LevelBytes: []int64{p.Cost.Bytes},
+		Placements: []storage.Placement{p},
+		Timings: PhaseTimings{
+			IOSeconds: p.Cost.Seconds,
+			IOBytes:   p.Cost.Bytes,
+		},
+		VertexCounts: []int{ds.Mesh.NumVerts()},
+	}, nil
+}

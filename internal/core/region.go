@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adios"
+	"repro/internal/delta"
+	"repro/internal/mesh"
+)
+
+// RegionView is a partially restored level: only the vertices inside the
+// requested region (plus the coarse support they were restored from) carry
+// valid data. It is the result of the paper's "focused data retrieval"
+// workflow (§III-E): scan cheaply at low accuracy, then fetch a subset of
+// the high-accuracy data for the interesting area.
+type RegionView struct {
+	// Level is the restored accuracy level.
+	Level int
+	// Mesh is the full G^Level geometry (geometry is metadata and is
+	// cached by the reader; only delta payloads are fetched regionally).
+	Mesh *mesh.Mesh
+	// Data holds restored values; only indices with Have[i] == true are
+	// meaningful.
+	Data []float64
+	Have []bool
+	// Timings accumulates the retrieval costs.
+	Timings PhaseTimings
+}
+
+// CountHave reports how many vertices carry valid data.
+func (v *RegionView) CountHave() int {
+	n := 0
+	for _, ok := range v.Have {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// RetrieveRegion restores the axis-aligned region [minX,maxX]×[minY,maxY]
+// of level targetLevel, fetching only the delta tiles the region needs.
+//
+// The restoration dependency chain runs coarse-to-fine: a fine vertex needs
+// the three corner values of its coarse triangle, so the needed vertex set
+// is propagated up to the base (which is read in full — it is small and
+// lives on the fast tier), then values are restored back down, level by
+// level, touching only needed vertices. Restored values are bit-identical
+// to what a full Retrieve produces for the same vertices.
+//
+// Regional retrieval requires delta-mode products (written with
+// Options.Chunks > 1 to benefit; Chunks == 1 still works but reads the
+// whole delta).
+func (r *Reader) RetrieveRegion(targetLevel int, minX, minY, maxX, maxY float64) (*RegionView, error) {
+	if targetLevel < 0 || targetLevel >= r.levels {
+		return nil, fmt.Errorf("canopus: level %d out of range [0,%d)", targetLevel, r.levels)
+	}
+	if minX > maxX || minY > maxY {
+		return nil, fmt.Errorf("canopus: empty region [%g,%g]x[%g,%g]", minX, maxX, minY, maxY)
+	}
+	if r.mode != ModeDelta {
+		return nil, fmt.Errorf("canopus: regional retrieval requires delta mode, have %s", r.mode)
+	}
+
+	out := &RegionView{Level: targetLevel}
+
+	// Open every container from the target level up to the base, load
+	// meshes and mappings (cached across calls), and accumulate their
+	// (first-time) I/O cost.
+	base := r.levels - 1
+	handles := make([]*handleInfo, base+1)
+	for l := targetLevel; l <= base; l++ {
+		h, err := r.aio.Open(levelKey(r.name, l), 1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := r.readMesh(h, l)
+		if err != nil {
+			return nil, err
+		}
+		info := &handleInfo{h: h, mesh: m}
+		if l < base {
+			if info.mapping, err = r.readMapping(h, l); err != nil {
+				return nil, err
+			}
+		}
+		handles[l] = info
+	}
+
+	// Propagate the needed vertex set from the target region up to the
+	// base: needed corners at level l+1 are the triangle corners the
+	// mapping assigns to needed vertices at level l.
+	needed := make([][]bool, base+1)
+	needed[targetLevel] = make([]bool, handles[targetLevel].mesh.NumVerts())
+	for vi, v := range handles[targetLevel].mesh.Verts {
+		if v.X >= minX && v.X <= maxX && v.Y >= minY && v.Y <= maxY {
+			needed[targetLevel][vi] = true
+		}
+	}
+	for l := targetLevel; l < base; l++ {
+		fine := handles[l]
+		coarseMesh := handles[l+1].mesh
+		needed[l+1] = make([]bool, coarseMesh.NumVerts())
+		for vi, want := range needed[l] {
+			if !want {
+				continue
+			}
+			t := coarseMesh.Tris[fine.mapping[vi]]
+			needed[l+1][t[0]] = true
+			needed[l+1][t[1]] = true
+			needed[l+1][t[2]] = true
+		}
+	}
+
+	// Base: read in full (small, fast tier).
+	hBase := handles[base].h
+	encBase, err := hBase.ReadBytes("data", base)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	baseData, err := r.codec.Decode(encBase)
+	out.Timings.DecompressSeconds += time.Since(t0).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("canopus: decompress base: %w", err)
+	}
+	if len(baseData) != handles[base].mesh.NumVerts() {
+		return nil, fmt.Errorf("canopus: base data %d values for %d vertices", len(baseData), handles[base].mesh.NumVerts())
+	}
+
+	// Restore coarse-to-fine, needed vertices only, fetching only the
+	// delta tiles that hold them.
+	data := baseData
+	for l := base - 1; l >= targetLevel; l-- {
+		fine := handles[l]
+		tb, err := r.tileFrame(fine.h)
+		if err != nil {
+			return nil, err
+		}
+		chunkSet := map[int]bool{}
+		for vi, want := range needed[l] {
+			if want {
+				v := fine.mesh.Verts[vi]
+				chunkSet[tb.tileOf(v.X, v.Y)] = true
+			}
+		}
+		chunks := make([]int, 0, len(chunkSet))
+		for ci := 0; ci < tb.n*tb.n; ci++ {
+			if chunkSet[ci] {
+				chunks = append(chunks, ci)
+			}
+		}
+		deltas := make([]float64, fine.mesh.NumVerts())
+		haveDelta := make([]bool, fine.mesh.NumVerts())
+		if err := r.readDeltaChunks(fine.h, l, chunks, deltas, haveDelta, &out.Timings.DecompressSeconds); err != nil {
+			return nil, err
+		}
+
+		t0 = time.Now()
+		fineData := make([]float64, fine.mesh.NumVerts())
+		coarseMesh := handles[l+1].mesh
+		for vi, want := range needed[l] {
+			if !want {
+				continue
+			}
+			if !haveDelta[vi] {
+				return nil, fmt.Errorf("canopus: level %d vertex %d missing from fetched chunks", l, vi)
+			}
+			fineData[vi] = deltas[vi] + delta.EstimateVertex(
+				fine.mesh, coarseMesh, data, fine.mapping, r.estimator, int32(vi))
+		}
+		out.Timings.RestoreSeconds += time.Since(t0).Seconds()
+		data = fineData
+	}
+
+	// Accumulate I/O from every handle touched.
+	for l := targetLevel; l <= base; l++ {
+		c := handles[l].h.Cost()
+		out.Timings.IOSeconds += c.Seconds
+		out.Timings.IOBytes += c.Bytes
+	}
+	out.Mesh = handles[targetLevel].mesh
+	out.Data = data
+	if targetLevel == base {
+		// The base is fully restored by construction.
+		out.Have = make([]bool, len(data))
+		for i := range out.Have {
+			out.Have[i] = true
+		}
+	} else {
+		out.Have = needed[targetLevel]
+	}
+	return out, nil
+}
+
+type handleInfo struct {
+	h       *adios.Handle
+	mesh    *mesh.Mesh
+	mapping delta.Mapping
+}

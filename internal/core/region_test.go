@@ -1,0 +1,432 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mesh"
+)
+
+func TestTileBoxAssignsAllTiles(t *testing.T) {
+	m := mesh.Rect(16, 16, 1, 1)
+	tb := newTileBox(m, 4)
+	tiles := partitionVerts(m, tb)
+	if len(tiles) != 16 {
+		t.Fatalf("tiles = %d, want 16", len(tiles))
+	}
+	total := 0
+	for _, ids := range tiles {
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				t.Fatal("tile ids not ascending")
+			}
+		}
+		total += len(ids)
+	}
+	if total != m.NumVerts() {
+		t.Fatalf("partition covers %d of %d vertices", total, m.NumVerts())
+	}
+}
+
+func TestTileBoxBoundaryClamping(t *testing.T) {
+	m := mesh.Rect(4, 4, 1, 1)
+	tb := newTileBox(m, 3)
+	// Corners and out-of-range points must clamp into valid tiles.
+	for _, p := range [][2]float64{{0, 0}, {1, 1}, {-5, -5}, {7, 7}} {
+		ti := tb.tileOf(p[0], p[1])
+		if ti < 0 || ti >= 9 {
+			t.Fatalf("tileOf(%v) = %d out of range", p, ti)
+		}
+	}
+}
+
+func TestTileBoxEncodeParseRoundTrip(t *testing.T) {
+	m := mesh.Annulus(4, 16, 0.5, 1.0)
+	tb := newTileBox(m, 7)
+	got, err := parseTileBox(tb.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tb {
+		t.Fatalf("round trip %+v != %+v", got, tb)
+	}
+	for _, bad := range []string{"", "1,2,3", "a,b,c,d,e", "1,2,3,4,0", "1,2,3,4,x"} {
+		if _, err := parseTileBox(bad); err == nil {
+			t.Errorf("parseTileBox(%q) accepted", bad)
+		}
+	}
+}
+
+func TestChunkPayloadRoundTrip(t *testing.T) {
+	cases := [][]int32{
+		{0, 1, 2, 3},
+		{5},
+		{0, 2, 4, 6},
+		{10, 11, 12, 50, 51, 99},
+	}
+	for _, ids := range cases {
+		enc := []byte{9, 8, 7, 6}
+		payload := encodeChunkPayload(ids, enc)
+		gotIDs, gotEnc, err := decodeChunkPayload(payload)
+		if err != nil {
+			t.Fatalf("%v: %v", ids, err)
+		}
+		if len(gotIDs) != len(ids) {
+			t.Fatalf("%v: got %v", ids, gotIDs)
+		}
+		for i := range ids {
+			if gotIDs[i] != ids[i] {
+				t.Fatalf("%v: got %v", ids, gotIDs)
+			}
+		}
+		if string(gotEnc) != string(enc) {
+			t.Fatalf("%v: enc mismatch", ids)
+		}
+	}
+}
+
+func TestChunkPayloadRunEfficiency(t *testing.T) {
+	// A contiguous range must encode as a single tiny run header.
+	ids := make([]int32, 1000)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	payload := encodeChunkPayload(ids, nil)
+	if len(payload) > 8 {
+		t.Fatalf("contiguous ids encoded to %d bytes, want a single run", len(payload))
+	}
+}
+
+func TestDecodeChunkPayloadErrors(t *testing.T) {
+	for _, bad := range [][]byte{nil, {1}, {1, 2}, {255, 255, 255, 255, 255, 255, 255, 255, 255, 255}} {
+		if _, _, err := decodeChunkPayload(bad); err == nil {
+			t.Errorf("decodeChunkPayload(%v) accepted", bad)
+		}
+	}
+	// Truncated enc section.
+	payload := encodeChunkPayload([]int32{1, 2}, []byte{1, 2, 3, 4})
+	if _, _, err := decodeChunkPayload(payload[:len(payload)-2]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestChunkedWriteStillFullyRetrievable(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 24)
+	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 4, RelTolerance: 1e-8}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Retrieve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := r.Tolerance() * 6
+	for i := range ds.Data {
+		if math.Abs(v.Data[i]-ds.Data[i]) > bound {
+			t.Fatalf("chunked full retrieve error at %d: %g", i, math.Abs(v.Data[i]-ds.Data[i]))
+		}
+	}
+}
+
+func TestChunkedMatchesUnchunked(t *testing.T) {
+	// Chunking changes how values group into codec blocks, so restored
+	// values need not be bit-identical across layouts — but both layouts
+	// honor the same error bound, so they must agree to within the
+	// accumulated tolerance. With a lossless codec they are bit-equal.
+	dsA := testDataset("x", 20)
+	dsB := testDataset("x", 20)
+	ioA, ioB := newIO(), newIO()
+	if _, err := Write(ioA, dsA, Options{Levels: 3, Chunks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(ioB, dsB, Options{Levels: 3, Chunks: 5}); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := OpenReader(ioA, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := OpenReader(ioB, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := ra.Retrieve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := rb.Retrieve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 2 * ra.Tolerance() * float64(ra.Levels())
+	for i := range va.Data {
+		if math.Abs(va.Data[i]-vb.Data[i]) > bound {
+			t.Fatalf("chunked and unchunked restores diverge at %d beyond tolerance", i)
+		}
+	}
+
+	// Lossless codec: layouts must agree exactly.
+	ioC, ioD := newIO(), newIO()
+	if _, err := Write(ioC, testDataset("y", 16), Options{Levels: 3, Chunks: 1, Codec: "fpc"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(ioD, testDataset("y", 16), Options{Levels: 3, Chunks: 4, Codec: "fpc"}); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := OpenReader(ioC, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(ioD, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := rc.Retrieve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, err := rd.Retrieve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vc.Data {
+		if vc.Data[i] != vd.Data[i] {
+			t.Fatalf("lossless chunked layout diverges at %d", i)
+		}
+	}
+}
+
+func TestRetrieveRegionMatchesFull(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 28)
+	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 4}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Retrieve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh reader: the regional path must work cold.
+	r2, err := OpenReader(aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := r2.RetrieveRegion(0, 0.2, 0.2, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.CountHave() == 0 {
+		t.Fatal("region restored no vertices")
+	}
+	found := 0
+	for vi, ok := range rv.Have {
+		if !ok {
+			continue
+		}
+		found++
+		if rv.Data[vi] != full.Data[vi] {
+			t.Fatalf("region vertex %d = %g, full = %g", vi, rv.Data[vi], full.Data[vi])
+		}
+	}
+	// All vertices inside the bbox must be covered.
+	for vi, v := range ds.Mesh.Verts {
+		if v.X >= 0.2 && v.X <= 0.5 && v.Y >= 0.2 && v.Y <= 0.5 && !rv.Have[vi] {
+			t.Fatalf("in-region vertex %d not restored", vi)
+		}
+	}
+	if found >= len(rv.Have) {
+		t.Fatal("region restore covered everything; not a subset")
+	}
+}
+
+func TestRetrieveRegionReadsFewerBytes(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 40)
+	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 8}); err != nil {
+		t.Fatal(err)
+	}
+	rFull, err := OpenReader(aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := rFull.Retrieve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRegion, err := OpenReader(aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := rRegion.RetrieveRegion(0, 0.0, 0.0, 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Timings.IOBytes >= full.Timings.IOBytes {
+		t.Fatalf("region read %d bytes, full read %d; focused retrieval saved nothing",
+			rv.Timings.IOBytes, full.Timings.IOBytes)
+	}
+}
+
+func TestRetrieveRegionWholeDomainEqualsFull(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 20)
+	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 3}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := r.RetrieveRegion(0, -1, -1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.CountHave() != ds.Mesh.NumVerts() {
+		t.Fatalf("whole-domain region restored %d of %d vertices", rv.CountHave(), ds.Mesh.NumVerts())
+	}
+	full, err := r.Retrieve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Data {
+		if rv.Data[i] != full.Data[i] {
+			t.Fatalf("whole-domain region diverges at %d", i)
+		}
+	}
+}
+
+func TestRetrieveRegionBaseLevel(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 16)
+	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := r.RetrieveRegion(2, 0, 0, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base is always fully restored.
+	if rv.CountHave() != rv.Mesh.NumVerts() {
+		t.Fatal("base region view not fully populated")
+	}
+}
+
+func TestRetrieveRegionErrors(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 12)
+	if _, err := Write(aio, ds, Options{Levels: 2, Chunks: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RetrieveRegion(5, 0, 0, 1, 1); err == nil {
+		t.Error("accepted out-of-range level")
+	}
+	if _, err := r.RetrieveRegion(0, 1, 1, 0, 0); err == nil {
+		t.Error("accepted inverted region")
+	}
+	// Direct mode rejects regional retrieval.
+	io2 := newIO()
+	if _, err := Write(io2, testDataset("y", 12), Options{Levels: 2, Mode: ModeDirect}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(io2, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.RetrieveRegion(0, 0, 0, 1, 1); err == nil {
+		t.Error("direct mode accepted regional retrieval")
+	}
+}
+
+func TestRetrieveRegionEmptyIntersection(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 12)
+	if _, err := Write(aio, ds, Options{Levels: 2, Chunks: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := r.RetrieveRegion(0, 5, 5, 6, 6) // far outside the unit square
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.CountHave() != 0 {
+		t.Fatalf("disjoint region restored %d vertices", rv.CountHave())
+	}
+}
+
+func TestChunksValidation(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 10)
+	if _, err := Write(aio, ds, Options{Chunks: -1}); err == nil {
+		t.Error("accepted negative chunks")
+	}
+	if _, err := Write(aio, ds, Options{Chunks: 100}); err == nil {
+		t.Error("accepted chunks > 64")
+	}
+}
+
+// TestQuickRegionAlwaysMatchesFull is the regional-retrieval property test:
+// any rectangle restores exactly the vertices a full retrieval would give.
+func TestQuickRegionAlwaysMatchesFull(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 24)
+	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 5}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Retrieve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ax, ay, bx, by float64) bool {
+		x0, x1 := math.Mod(math.Abs(ax), 1), math.Mod(math.Abs(bx), 1)
+		y0, y1 := math.Mod(math.Abs(ay), 1), math.Mod(math.Abs(by), 1)
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		rv, err := r.RetrieveRegion(0, x0, y0, x1, y1)
+		if err != nil {
+			return false
+		}
+		for vi, ok := range rv.Have {
+			if ok && rv.Data[vi] != full.Data[vi] {
+				return false
+			}
+		}
+		// Coverage: everything inside the rect is restored.
+		for vi, v := range ds.Mesh.Verts {
+			if v.X >= x0 && v.X <= x1 && v.Y >= y0 && v.Y <= y1 && !rv.Have[vi] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

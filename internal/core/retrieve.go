@@ -1,0 +1,457 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/adios"
+	"repro/internal/compress"
+	"repro/internal/delta"
+	"repro/internal/mesh"
+	"repro/internal/storage"
+)
+
+// Reader retrieves refactored variables progressively (§III-E, Fig. 1 right
+// of the pyramid). Opening a reader touches only the small metadata
+// container on the fastest tier.
+//
+// The reader caches decoded mesh geometry and vertex→triangle mappings per
+// level: in the paper's workloads the mesh hierarchy is static while the
+// field evolves over many timesteps and many analysis passes, so a session
+// pays mesh I/O once and subsequent retrievals charge only the data/delta
+// payloads. Retrieval timings on a warm reader therefore reflect the
+// steady-state analysis cost the paper measures.
+type Reader struct {
+	aio       *adios.IO
+	name      string
+	mode      Mode
+	levels    int
+	codec     compress.Codec
+	estimator delta.Estimator
+	tolerance float64
+	rawBytes  int64
+
+	meshCache    map[int]*mesh.Mesh
+	mappingCache map[int]delta.Mapping
+}
+
+// OpenReader loads the metadata for a refactored variable.
+func OpenReader(aio *adios.IO, name string) (*Reader, error) {
+	h, err := aio.Open(metaKey(name), 1)
+	if err != nil {
+		return nil, fmt.Errorf("canopus: open metadata for %q: %w", name, err)
+	}
+	attr := func(key string) (string, error) {
+		v, ok := h.BP.Attr(key)
+		if !ok {
+			return "", fmt.Errorf("canopus: metadata for %q missing %s", name, key)
+		}
+		return v, nil
+	}
+	modeStr, err := attr("mode")
+	if err != nil {
+		return nil, err
+	}
+	mode, err := ModeByName(modeStr)
+	if err != nil {
+		return nil, err
+	}
+	levelsStr, err := attr("levels")
+	if err != nil {
+		return nil, err
+	}
+	levels, err := strconv.Atoi(levelsStr)
+	if err != nil || levels < 1 {
+		return nil, fmt.Errorf("canopus: bad levels attribute %q", levelsStr)
+	}
+	codecName, err := attr("codec")
+	if err != nil {
+		return nil, err
+	}
+	tolStr, err := attr("tolerance")
+	if err != nil {
+		return nil, err
+	}
+	tol, err := strconv.ParseFloat(tolStr, 64)
+	if err != nil {
+		return nil, fmt.Errorf("canopus: bad tolerance attribute %q", tolStr)
+	}
+	codec, err := compress.New(codecName, tol)
+	if err != nil {
+		return nil, err
+	}
+	estName, err := attr("estimator")
+	if err != nil {
+		return nil, err
+	}
+	est, err := delta.EstimatorByName(estName)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{
+		aio:          aio,
+		name:         name,
+		mode:         mode,
+		levels:       levels,
+		codec:        codec,
+		estimator:    est,
+		tolerance:    tol,
+		meshCache:    make(map[int]*mesh.Mesh),
+		mappingCache: make(map[int]delta.Mapping),
+	}
+	if raw, ok := h.BP.Attr("raw-bytes"); ok {
+		r.rawBytes, _ = strconv.ParseInt(raw, 10, 64)
+	}
+	return r, nil
+}
+
+// Levels reports the total number of stored accuracy levels N.
+func (r *Reader) Levels() int { return r.levels }
+
+// Mode reports the stored refactoring mode.
+func (r *Reader) Mode() Mode { return r.mode }
+
+// Tolerance reports the absolute codec error bound used at write time.
+func (r *Reader) Tolerance() float64 { return r.tolerance }
+
+// View is data restored to some accuracy level, plus the accumulated cost
+// of producing it. Augment refines it in place, one level at a time.
+type View struct {
+	// Level is the current accuracy level (N-1 = base, 0 = full).
+	Level int
+	// Mesh is G^Level; Data is L^Level.
+	Mesh *mesh.Mesh
+	Data []float64
+	// Timings accumulates I/O (simulated), decompression and
+	// restoration costs across the retrievals that built this view.
+	Timings PhaseTimings
+}
+
+// DecimationRatio reports |V^0| / |V^Level| relative to the full mesh, when
+// known (0 when the reader lacks the full vertex count).
+func (v *View) DecimationRatio(fullVerts int) float64 {
+	if v.Mesh.NumVerts() == 0 {
+		return 0
+	}
+	return float64(fullVerts) / float64(v.Mesh.NumVerts())
+}
+
+// Base retrieves the lowest-accuracy view: read L^(N-1) from the fast tier
+// and decompress — option (1) in §III-B's walkthrough.
+func (r *Reader) Base() (*View, error) {
+	l := r.levels - 1
+	if r.mode == ModeDirect {
+		return r.retrieveDirect(l)
+	}
+	h, err := r.aio.Open(levelKey(r.name, l), 1)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := h.ReadBytes("data", l)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.readMesh(h, l)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Level: l, Mesh: m}
+	v.Timings.IOSeconds = h.Cost().Seconds
+	v.Timings.IOBytes = h.Cost().Bytes
+
+	t0 := time.Now()
+	v.Data, err = r.codec.Decode(enc)
+	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("canopus: decompress base: %w", err)
+	}
+	if len(v.Data) != m.NumVerts() {
+		return nil, fmt.Errorf("canopus: base data %d values for %d vertices", len(v.Data), m.NumVerts())
+	}
+	return v, nil
+}
+
+// Augment refines v by one level (toward full accuracy): it retrieves
+// delta^((Level-1)-(Level)) and the finer mesh from storage, then applies
+// Algorithm 3. The paper's progressive exploration loop is Base() followed
+// by Augment() until the accuracy satisfies the analysis.
+func (r *Reader) Augment(v *View) error {
+	if v.Level == 0 {
+		return fmt.Errorf("canopus: %q already at full accuracy", r.name)
+	}
+	fineLevel := v.Level - 1
+	if r.mode == ModeDirect {
+		nv, err := r.retrieveDirect(fineLevel)
+		if err != nil {
+			return err
+		}
+		nv.Timings.Add(v.Timings)
+		*v = *nv
+		return nil
+	}
+	h, err := r.aio.Open(levelKey(r.name, fineLevel), 1)
+	if err != nil {
+		return err
+	}
+	mp, err := r.readMapping(h, fineLevel)
+	if err != nil {
+		return err
+	}
+	fineMesh, err := r.readMesh(h, fineLevel)
+	if err != nil {
+		return err
+	}
+	d := make([]float64, fineMesh.NumVerts())
+	var decompressSec float64
+	if err := r.readDeltaChunks(h, fineLevel, nil, d, nil, &decompressSec); err != nil {
+		return err
+	}
+	v.Timings.IOSeconds += h.Cost().Seconds
+	v.Timings.IOBytes += h.Cost().Bytes
+	v.Timings.DecompressSeconds += decompressSec
+
+	t0 := time.Now()
+	fineData, err := delta.Restore(fineMesh, v.Mesh, v.Data, mp, d, r.estimator)
+	v.Timings.RestoreSeconds += time.Since(t0).Seconds()
+	if err != nil {
+		return fmt.Errorf("canopus: restore level %d: %w", fineLevel, err)
+	}
+
+	v.Level = fineLevel
+	v.Mesh = fineMesh
+	v.Data = fineData
+	return nil
+}
+
+// Retrieve restores the variable to the requested accuracy level,
+// progressing from the base through the required deltas (or reading one
+// product in direct mode).
+func (r *Reader) Retrieve(targetLevel int) (*View, error) {
+	if targetLevel < 0 || targetLevel >= r.levels {
+		return nil, fmt.Errorf("canopus: level %d out of range [0,%d)", targetLevel, r.levels)
+	}
+	if r.mode == ModeDirect {
+		return r.retrieveDirect(targetLevel)
+	}
+	v, err := r.Base()
+	if err != nil {
+		return nil, err
+	}
+	for v.Level > targetLevel {
+		if err := r.Augment(v); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// retrieveDirect reads level l compressed directly (the §II-B baseline).
+func (r *Reader) retrieveDirect(l int) (*View, error) {
+	h, err := r.aio.Open(levelKey(r.name, l), 1)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := h.ReadBytes("data", l)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.readMesh(h, l)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Level: l, Mesh: m}
+	v.Timings.IOSeconds = h.Cost().Seconds
+	v.Timings.IOBytes = h.Cost().Bytes
+	t0 := time.Now()
+	v.Data, err = r.codec.Decode(enc)
+	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("canopus: decompress level %d: %w", l, err)
+	}
+	return v, nil
+}
+
+// readDeflated reads a flate-compressed variable from an open container.
+func readDeflated(h *adios.Handle, name string, l int) ([]byte, error) {
+	enc, err := h.ReadBytes(name, l)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(enc)))
+	if err != nil {
+		return nil, fmt.Errorf("canopus: inflate %s %d: %w", name, l, err)
+	}
+	return raw, nil
+}
+
+// readDeflatedMesh reads and decodes a level's mesh geometry.
+func readDeflatedMesh(h *adios.Handle, l int) (*mesh.Mesh, error) {
+	raw, err := readDeflated(h, "mesh", l)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := mesh.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("canopus: decode mesh %d: %w", l, err)
+	}
+	return m, nil
+}
+
+func (r *Reader) readMesh(h *adios.Handle, l int) (*mesh.Mesh, error) {
+	if m, ok := r.meshCache[l]; ok {
+		return m, nil
+	}
+	m, err := readDeflatedMesh(h, l)
+	if err != nil {
+		return nil, err
+	}
+	r.meshCache[l] = m
+	return m, nil
+}
+
+// readDeltaChunks reads delta tiles from an open level container and
+// scatters the decoded values into out (sized to the fine vertex count).
+// When wantChunks is nil every stored tile is read (full augmentation);
+// otherwise only the listed tile indices are fetched — the focused-read
+// path. have, when non-nil, is marked true for each vertex whose delta was
+// loaded. Decompression time accumulates into decompressSec.
+func (r *Reader) readDeltaChunks(h *adios.Handle, level int, wantChunks []int, out []float64, have []bool, decompressSec *float64) error {
+	tb, err := r.tileFrame(h)
+	if err != nil {
+		return err
+	}
+	return readDeltaChunksFrom(h, r.codec, tb, level, wantChunks, out, have, decompressSec)
+}
+
+// readDeltaChunksFrom is the container-agnostic tile reader shared by the
+// single-variable Reader and the SeriesReader.
+func readDeltaChunksFrom(h *adios.Handle, codec compress.Codec, tb tileBox, level int, wantChunks []int, out []float64, have []bool, decompressSec *float64) error {
+	chunks := wantChunks
+	if chunks == nil {
+		chunks = make([]int, tb.n*tb.n)
+		for i := range chunks {
+			chunks[i] = i
+		}
+	}
+	for _, ci := range chunks {
+		if _, ok := h.InqVar(chunkVarName(ci), level); !ok {
+			if wantChunks != nil {
+				return fmt.Errorf("canopus: level %d missing delta chunk %d", level, ci)
+			}
+			continue // empty tile
+		}
+		payload, err := h.ReadBytes(chunkVarName(ci), level)
+		if err != nil {
+			return err
+		}
+		ids, enc, err := decodeChunkPayload(payload)
+		if err != nil {
+			return fmt.Errorf("canopus: level %d chunk %d: %w", level, ci, err)
+		}
+		t0 := time.Now()
+		vals, err := codec.Decode(enc)
+		*decompressSec += time.Since(t0).Seconds()
+		if err != nil {
+			return fmt.Errorf("canopus: decompress delta %d chunk %d: %w", level, ci, err)
+		}
+		if len(vals) != len(ids) {
+			return fmt.Errorf("canopus: level %d chunk %d: %d values for %d ids", level, ci, len(vals), len(ids))
+		}
+		for j, id := range ids {
+			if int(id) >= len(out) {
+				return fmt.Errorf("canopus: level %d chunk %d: vertex id %d out of range", level, ci, id)
+			}
+			out[id] = vals[j]
+			if have != nil {
+				have[id] = true
+			}
+		}
+	}
+	return nil
+}
+
+// tileFrame parses the tiling frame recorded in a level container.
+func (r *Reader) tileFrame(h *adios.Handle) (tileBox, error) {
+	s, ok := h.BP.Attr("tile-frame")
+	if !ok {
+		return tileBox{}, fmt.Errorf("canopus: container missing tile-frame attribute")
+	}
+	return parseTileBox(s)
+}
+
+func (r *Reader) readMapping(h *adios.Handle, l int) (delta.Mapping, error) {
+	if mp, ok := r.mappingCache[l]; ok {
+		return mp, nil
+	}
+	raw, err := readDeflated(h, "mapping", l)
+	if err != nil {
+		return nil, err
+	}
+	mp, _, err := delta.DecodeMapping(raw)
+	if err != nil {
+		return nil, fmt.Errorf("canopus: mapping %d: %w", l, err)
+	}
+	r.mappingCache[l] = mp
+	return mp, nil
+}
+
+// RawReader retrieves the WriteRaw baseline product. Like Reader, it caches
+// the static mesh after the first retrieval, so warm retrievals measure
+// data I/O only — the same steady-state convention.
+type RawReader struct {
+	aio  *adios.IO
+	name string
+	mesh *mesh.Mesh
+}
+
+// OpenRawReader prepares retrieval of a WriteRaw product.
+func OpenRawReader(aio *adios.IO, name string) (*RawReader, error) {
+	if aio.H.Where(rawKey(name)) < 0 {
+		return nil, fmt.Errorf("canopus: open raw %q: %w", name, storage.ErrNotFound)
+	}
+	return &RawReader{aio: aio, name: name}, nil
+}
+
+// Retrieve reads the full-accuracy baseline.
+func (r *RawReader) Retrieve() (*View, error) {
+	h, err := r.aio.Open(rawKey(r.name), 1)
+	if err != nil {
+		return nil, err
+	}
+	if r.mesh == nil {
+		encMesh, err := h.ReadBytes("mesh", 0)
+		if err != nil {
+			return nil, err
+		}
+		m, _, err := mesh.Decode(encMesh)
+		if err != nil {
+			return nil, err
+		}
+		r.mesh = m
+	}
+	raw, err := h.ReadBytes("data", 0)
+	if err != nil {
+		return nil, err
+	}
+	data, err := compress.Raw{}.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Level: 0, Mesh: r.mesh, Data: data}
+	v.Timings.IOSeconds = h.Cost().Seconds
+	v.Timings.IOBytes = h.Cost().Bytes
+	return v, nil
+}
+
+// ReadRaw retrieves the WriteRaw baseline product in one (cold) shot.
+func ReadRaw(aio *adios.IO, name string) (*View, error) {
+	r, err := OpenRawReader(aio, name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Retrieve()
+}

@@ -1,0 +1,576 @@
+// Package decimate implements Algorithm 1 of the Canopus paper: mesh
+// decimation by iterative edge collapsing, driven by a priority queue of
+// edge lengths. Collapsing the shortest edge first removes detail where the
+// mesh is densest, producing a coarse level G^(l+1) whose vertex count is
+// |V^l| / ratio.
+//
+// Each collapse removes edge (V_i, V_j), replaces both endpoints with a new
+// vertex V_k = (V_i + V_j)/2, sets the new data value to the mean
+// (NewData in the paper), reconnects the neighbors of V_i and V_j to V_k,
+// and refreshes the priorities of the affected edges. The operation is
+// purely local — no communication in a distributed setting — which is the
+// paper's scalability argument (§II-C).
+package decimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mesh"
+	"repro/internal/pq"
+)
+
+// Priority computes the queue priority of an edge; smaller collapses first.
+type Priority func(m *mesh.Mesh, a, b int32, data []float64) float64
+
+// EdgeLength is the paper's default priority: Euclidean edge length.
+func EdgeLength(m *mesh.Mesh, a, b int32, _ []float64) float64 {
+	va, vb := m.Verts[a], m.Verts[b]
+	return math.Hypot(va.X-vb.X, va.Y-vb.Y)
+}
+
+// DataWeighted scales edge length by the data jump across the edge, so
+// edges crossing flat regions collapse first and edges inside features
+// (blob flanks, shock fronts) survive longest. The paper notes "choosing
+// the priority of an edge is application dependent and is left for future
+// study" (§III-C1) and cites Kress et al. [13] for features being erased by
+// naive reduction; this priority is the obvious feature-preserving
+// candidate, quantified by the ablation bench.
+func DataWeighted(m *mesh.Mesh, a, b int32, data []float64) float64 {
+	l := EdgeLength(m, a, b, data)
+	// The tiny geometric term breaks ties deterministically in constant
+	// regions, where the data term vanishes.
+	return l*math.Abs(data[a]-data[b]) + 1e-9*l
+}
+
+// HashOrder is an ablation priority that collapses edges in a pseudo-random
+// but deterministic order, ignoring geometry. It exists to quantify how much
+// the shortest-edge heuristic matters (DESIGN.md §4).
+func HashOrder(_ *mesh.Mesh, a, b int32, _ []float64) float64 {
+	h := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 27
+	return float64(h%(1<<52)) / (1 << 52)
+}
+
+// Options configures a decimation pass.
+type Options struct {
+	// Priority orders collapses; nil means EdgeLength.
+	Priority Priority
+	// MinAreaFrac rejects collapses that would create a triangle whose
+	// area falls below this fraction of the mean input triangle area.
+	// Guards the point-location and estimation steps downstream against
+	// degenerate geometry. Zero means the default (1e-6); negative
+	// disables the guard.
+	MinAreaFrac float64
+	// TrackRestriction records, for every coarse vertex, its value as a
+	// weighted sum of *input* vertex values (Result.Restriction). With a
+	// geometry-only priority the collapse sequence depends only on the
+	// mesh, so the restriction lets a time-series writer re-derive the
+	// coarse field of later timesteps without re-running decimation —
+	// the static-mesh / evolving-field workflow of the paper's
+	// applications.
+	TrackRestriction bool
+}
+
+// Weight is one term of a restriction row: coarse value += W * fine[Vertex].
+type Weight struct {
+	Vertex int32
+	W      float64
+}
+
+// Restriction maps a fine data array to the coarse one: row j lists the
+// weighted input vertices that produce coarse value j.
+type Restriction [][]Weight
+
+// Apply computes the coarse data for a new field on the same input mesh.
+func (r Restriction) Apply(fine []float64) []float64 {
+	out := make([]float64, len(r))
+	for j, row := range r {
+		var s float64
+		for _, w := range row {
+			s += w.W * fine[w.Vertex]
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// Result is the output of one decimation pass: level l+1 derived from
+// level l.
+type Result struct {
+	// Coarse is G^(l+1).
+	Coarse *mesh.Mesh
+	// Data is L^(l+1), one value per coarse vertex.
+	Data []float64
+	// Restriction maps input data to coarse data; nil unless
+	// Options.TrackRestriction was set. Restriction.Apply on the input
+	// field reproduces Data up to floating-point association order.
+	Restriction Restriction
+	// Collapses is the number of edge collapses performed.
+	Collapses int
+	// Rejected counts collapses skipped by the link-condition or
+	// triangle-quality guards.
+	Rejected int
+	// AchievedRatio is |V^l| / |V^(l+1)|.
+	AchievedRatio float64
+}
+
+// Decimate reduces m to at most targetVerts vertices. data holds one value
+// per vertex of m. It returns the coarse mesh, the decimated data, and
+// collapse statistics. Decimation is deterministic for identical inputs.
+//
+// The pass is best-effort: if every remaining edge fails the topological or
+// quality guards before the target is reached, it returns what it achieved
+// (check Result.AchievedRatio). It returns an error only for invalid
+// arguments.
+func Decimate(m *mesh.Mesh, data []float64, targetVerts int, opts Options) (*Result, error) {
+	if len(data) != len(m.Verts) {
+		return nil, fmt.Errorf("decimate: data length %d != vertex count %d", len(data), len(m.Verts))
+	}
+	if targetVerts < 3 {
+		return nil, fmt.Errorf("decimate: target %d vertices too small (need >= 3)", targetVerts)
+	}
+	if targetVerts >= len(m.Verts) {
+		// Nothing to do; return a copy at ratio 1.
+		res := &Result{
+			Coarse:        m.Clone(),
+			Data:          append([]float64(nil), data...),
+			AchievedRatio: 1,
+		}
+		if opts.TrackRestriction {
+			res.Restriction = make(Restriction, len(m.Verts))
+			for i := range res.Restriction {
+				res.Restriction[i] = []Weight{{Vertex: int32(i), W: 1}}
+			}
+		}
+		return res, nil
+	}
+	prio := opts.Priority
+	if prio == nil {
+		prio = EdgeLength
+	}
+
+	w := newWork(m, data, opts.TrackRestriction)
+	minArea := opts.minArea(m)
+
+	// Seed the queue with every edge of the input mesh.
+	queue := pq.New(len(m.Tris) * 3 / 2)
+	ids := newEdgeIDs()
+	for _, e := range m.Edges() {
+		queue.Push(ids.id(e), prio(w.asMesh(), e.A, e.B, w.data))
+	}
+
+	res := &Result{}
+	alive := len(m.Verts)
+	for alive > targetVerts {
+		id, _, ok := queue.Pop()
+		if !ok {
+			break
+		}
+		e := ids.edge(id)
+		ids.release(e)
+		if !w.vertAlive[e.A] || !w.vertAlive[e.B] {
+			continue // endpoint died in an earlier collapse
+		}
+		if !w.collapse(e, minArea, queue, ids, prio) {
+			res.Rejected++
+			continue
+		}
+		res.Collapses++
+		alive--
+	}
+
+	res.Coarse, res.Data, res.Restriction = w.compact()
+	res.AchievedRatio = float64(len(m.Verts)) / float64(len(res.Coarse.Verts))
+	return res, nil
+}
+
+// TargetForRatio converts a decimation ratio d into a vertex-count target
+// for a mesh with n vertices, matching the paper's d^l = |V^0| / |V^l|.
+func TargetForRatio(n int, ratio float64) int {
+	if ratio <= 1 {
+		return n
+	}
+	t := int(math.Ceil(float64(n) / ratio))
+	if t < 3 {
+		t = 3
+	}
+	return t
+}
+
+func (o Options) minArea(m *mesh.Mesh) float64 {
+	frac := o.MinAreaFrac
+	if frac < 0 {
+		return 0
+	}
+	if frac == 0 {
+		frac = 1e-6
+	}
+	if len(m.Tris) == 0 {
+		return 0
+	}
+	return frac * m.TotalArea() / float64(len(m.Tris))
+}
+
+// edgeIDs maps edges to stable integer handles for the priority queue.
+type edgeIDs struct {
+	byEdge map[mesh.Edge]int
+	byID   map[int]mesh.Edge
+	next   int
+}
+
+func newEdgeIDs() *edgeIDs {
+	return &edgeIDs{byEdge: make(map[mesh.Edge]int), byID: make(map[int]mesh.Edge)}
+}
+
+func (e *edgeIDs) id(ed mesh.Edge) int {
+	if id, ok := e.byEdge[ed]; ok {
+		return id
+	}
+	id := e.next
+	e.next++
+	e.byEdge[ed] = id
+	e.byID[id] = ed
+	return id
+}
+
+func (e *edgeIDs) lookup(ed mesh.Edge) (int, bool) {
+	id, ok := e.byEdge[ed]
+	return id, ok
+}
+
+func (e *edgeIDs) edge(id int) mesh.Edge { return e.byID[id] }
+
+func (e *edgeIDs) release(ed mesh.Edge) {
+	if id, ok := e.byEdge[ed]; ok {
+		delete(e.byEdge, ed)
+		delete(e.byID, id)
+	}
+}
+
+// work is the mutable decimation state. Vertices and triangles are never
+// physically deleted during the pass — alive flags mark removals, and
+// compact() squeezes the survivors into a fresh mesh at the end.
+type work struct {
+	verts     []mesh.Vertex
+	data      []float64
+	vertAlive []bool
+	boundary  []bool // true for vertices on (or descended from) the input boundary
+	tris      []mesh.Triangle
+	triAlive  []bool
+	vertTris  [][]int32          // incidence; may contain dead ids, filtered on read
+	triSet    map[[3]int32]int32 // canonical key -> alive tri id
+	mview     mesh.Mesh          // window over verts for geometry helpers
+	// weights[v], when restriction tracking is on, expresses v's data
+	// value as a weighted sum over input vertices.
+	weights []map[int32]float64
+}
+
+func newWork(m *mesh.Mesh, data []float64, track bool) *work {
+	w := &work{
+		verts:     append([]mesh.Vertex(nil), m.Verts...),
+		data:      append([]float64(nil), data...),
+		vertAlive: make([]bool, len(m.Verts)),
+		boundary:  make([]bool, len(m.Verts)),
+		tris:      append([]mesh.Triangle(nil), m.Tris...),
+		triAlive:  make([]bool, len(m.Tris)),
+		vertTris:  make([][]int32, len(m.Verts)),
+		triSet:    make(map[[3]int32]int32, len(m.Tris)),
+	}
+	for i := range w.vertAlive {
+		w.vertAlive[i] = true
+	}
+	for v := range m.BoundaryVertices() {
+		w.boundary[v] = true
+	}
+	if track {
+		w.weights = make([]map[int32]float64, len(m.Verts))
+		for i := range w.weights {
+			w.weights[i] = map[int32]float64{int32(i): 1}
+		}
+	}
+	for ti, t := range w.tris {
+		w.triAlive[ti] = true
+		w.triSet[canonical(t)] = int32(ti)
+		for _, v := range t {
+			w.vertTris[v] = append(w.vertTris[v], int32(ti))
+		}
+	}
+	return w
+}
+
+func canonical(t mesh.Triangle) [3]int32 {
+	a, b, c := t[0], t[1], t[2]
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return [3]int32{a, b, c}
+}
+
+// asMesh returns a mesh view over the current vertex array (triangles are
+// not needed by the priority functions).
+func (w *work) asMesh() *mesh.Mesh {
+	w.mview.Verts = w.verts
+	return &w.mview
+}
+
+// liveTris returns the alive triangle ids incident to v.
+func (w *work) liveTris(v int32) []int32 {
+	out := w.vertTris[v][:0]
+	for _, ti := range w.vertTris[v] {
+		if w.triAlive[ti] && triHas(w.tris[ti], v) {
+			out = append(out, ti)
+		}
+	}
+	w.vertTris[v] = out
+	return out
+}
+
+func triHas(t mesh.Triangle, v int32) bool {
+	return t[0] == v || t[1] == v || t[2] == v
+}
+
+// neighbors returns the alive vertices adjacent to v.
+func (w *work) neighbors(v int32) []int32 {
+	seen := map[int32]struct{}{}
+	var out []int32
+	for _, ti := range w.liveTris(v) {
+		for _, u := range w.tris[ti] {
+			if u == v {
+				continue
+			}
+			if _, ok := seen[u]; !ok {
+				seen[u] = struct{}{}
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+func (w *work) area(t mesh.Triangle) float64 {
+	a, b, c := w.verts[t[0]], w.verts[t[1]], w.verts[t[2]]
+	return math.Abs(0.5 * ((b.X-a.X)*(c.Y-a.Y) - (c.X-a.X)*(b.Y-a.Y)))
+}
+
+// collapse merges edge e into a new midpoint vertex. It returns false (and
+// changes nothing) if the collapse fails the link condition or the
+// minimum-area guard.
+func (w *work) collapse(e mesh.Edge, minArea float64, queue *pq.Queue, ids *edgeIDs, prio Priority) bool {
+	i, j := e.A, e.B
+	nbrI := w.neighbors(i)
+	nbrJ := w.neighbors(j)
+
+	// Link condition: the common neighbors of i and j must be exactly
+	// the apex vertices of the triangles sharing edge (i,j); otherwise
+	// the collapse would pinch the surface (create a non-manifold fold).
+	inI := make(map[int32]bool, len(nbrI))
+	for _, v := range nbrI {
+		inI[v] = true
+	}
+	var common int
+	for _, v := range nbrJ {
+		if inI[v] {
+			common++
+		}
+	}
+	var edgeTris []int32
+	for _, ti := range w.liveTris(i) {
+		if triHas(w.tris[ti], j) {
+			edgeTris = append(edgeTris, ti)
+		}
+	}
+	if len(edgeTris) == 0 || common != len(edgeTris) {
+		return false
+	}
+
+	// Boundary handling (a robustness refinement over the paper's plain
+	// midpoint rule): collapsing a chord between two boundary vertices
+	// would cut across the domain, and moving a boundary vertex to an
+	// interior midpoint shrinks the hull, pushing fine vertices outside
+	// the coarse mesh. So chords are rejected, and a boundary+interior
+	// collapse snaps the new vertex onto the boundary endpoint.
+	bI, bJ := w.boundary[i], w.boundary[j]
+	if bI && bJ && len(edgeTris) != 1 {
+		return false // interior chord between two boundary vertices
+	}
+
+	k := int32(len(w.verts))
+	var kv mesh.Vertex
+	var kd float64
+	switch {
+	case bI && !bJ:
+		kv, kd = w.verts[i], w.data[i]
+	case bJ && !bI:
+		kv, kd = w.verts[j], w.data[j]
+	default:
+		// Paper's rule: midpoint position, mean data.
+		kv = mesh.Vertex{
+			X: (w.verts[i].X + w.verts[j].X) / 2,
+			Y: (w.verts[i].Y + w.verts[j].Y) / 2,
+		}
+		kd = (w.data[i] + w.data[j]) / 2
+	}
+
+	// Quality guard: every surviving triangle that gets re-pointed at k
+	// must keep a usable area.
+	if minArea > 0 {
+		for _, ti := range append(append([]int32(nil), w.liveTris(i)...), w.liveTris(j)...) {
+			t := w.tris[ti]
+			if triHas(t, i) && triHas(t, j) {
+				continue // dies with the collapse
+			}
+			nt := t
+			for c := 0; c < 3; c++ {
+				if nt[c] == i || nt[c] == j {
+					nt[c] = k
+				}
+			}
+			a, b, cc := vertexOrNew(w, nt[0], k, kv), vertexOrNew(w, nt[1], k, kv), vertexOrNew(w, nt[2], k, kv)
+			area := math.Abs(0.5 * ((b.X-a.X)*(cc.Y-a.Y) - (cc.X-a.X)*(b.Y-a.Y)))
+			if area < minArea {
+				return false
+			}
+		}
+	}
+
+	// Commit. Drop queued edges incident to the dying endpoints.
+	for _, v := range nbrI {
+		w.dropEdge(mesh.MakeEdge(i, v), queue, ids)
+	}
+	for _, v := range nbrJ {
+		w.dropEdge(mesh.MakeEdge(j, v), queue, ids)
+	}
+
+	w.verts = append(w.verts, kv)
+	w.data = append(w.data, kd)
+	w.vertAlive = append(w.vertAlive, true)
+	w.boundary = append(w.boundary, bI || bJ)
+	w.vertTris = append(w.vertTris, nil)
+	if w.weights != nil {
+		var kw map[int32]float64
+		switch {
+		case bI && !bJ:
+			kw = w.weights[i] // value snapped to endpoint i
+		case bJ && !bI:
+			kw = w.weights[j]
+		default:
+			kw = make(map[int32]float64, len(w.weights[i])+len(w.weights[j]))
+			for v, wt := range w.weights[i] {
+				kw[v] += wt / 2
+			}
+			for v, wt := range w.weights[j] {
+				kw[v] += wt / 2
+			}
+		}
+		w.weights = append(w.weights, kw)
+	}
+	w.vertAlive[i] = false
+	w.vertAlive[j] = false
+
+	// Retire triangles on the collapsed edge; re-point the rest.
+	for _, ti := range edgeTris {
+		w.killTri(ti)
+	}
+	for _, ti := range append(append([]int32(nil), w.liveTris(i)...), w.liveTris(j)...) {
+		t := w.tris[ti]
+		delete(w.triSet, canonical(t))
+		for c := 0; c < 3; c++ {
+			if t[c] == i || t[c] == j {
+				t[c] = k
+			}
+		}
+		if dup, ok := w.triSet[canonical(t)]; ok && dup != ti {
+			// Two triangles merged into one; keep a single copy.
+			w.triAlive[ti] = false
+			continue
+		}
+		w.tris[ti] = t
+		w.triSet[canonical(t)] = ti
+		w.vertTris[k] = append(w.vertTris[k], ti)
+	}
+
+	// Queue the edges of the new vertex.
+	for _, v := range w.neighbors(k) {
+		ne := mesh.MakeEdge(k, v)
+		if _, queued := ids.lookup(ne); queued {
+			continue
+		}
+		queue.Push(ids.id(ne), prio(w.asMesh(), ne.A, ne.B, w.data))
+	}
+	return true
+}
+
+func vertexOrNew(w *work, v, k int32, kv mesh.Vertex) mesh.Vertex {
+	if v == k {
+		return kv
+	}
+	return w.verts[v]
+}
+
+func (w *work) dropEdge(e mesh.Edge, queue *pq.Queue, ids *edgeIDs) {
+	if id, ok := ids.lookup(e); ok {
+		queue.Remove(id)
+		ids.release(e)
+	}
+}
+
+func (w *work) killTri(ti int32) {
+	if w.triAlive[ti] {
+		w.triAlive[ti] = false
+		delete(w.triSet, canonical(w.tris[ti]))
+	}
+}
+
+// compact squeezes alive vertices and triangles into a fresh mesh, remapping
+// indices. Vertices keep their relative order, so output is deterministic.
+// Vertices orphaned by duplicate-triangle merges (alive but referenced by no
+// surviving triangle) are dropped: they carry no interpolatable geometry.
+func (w *work) compact() (*mesh.Mesh, []float64, Restriction) {
+	referenced := make([]bool, len(w.verts))
+	for ti, t := range w.tris {
+		if !w.triAlive[ti] {
+			continue
+		}
+		referenced[t[0]] = true
+		referenced[t[1]] = true
+		referenced[t[2]] = true
+	}
+	remap := make([]int32, len(w.verts))
+	out := &mesh.Mesh{}
+	var data []float64
+	var restriction Restriction
+	for v := range w.verts {
+		if !w.vertAlive[v] || !referenced[v] {
+			remap[v] = -1
+			continue
+		}
+		remap[v] = int32(len(out.Verts))
+		out.Verts = append(out.Verts, w.verts[v])
+		data = append(data, w.data[v])
+		if w.weights != nil {
+			row := make([]Weight, 0, len(w.weights[v]))
+			for fv, wt := range w.weights[v] {
+				row = append(row, Weight{Vertex: fv, W: wt})
+			}
+			sort.Slice(row, func(i, j int) bool { return row[i].Vertex < row[j].Vertex })
+			restriction = append(restriction, row)
+		}
+	}
+	for ti, t := range w.tris {
+		if !w.triAlive[ti] {
+			continue
+		}
+		out.Tris = append(out.Tris, mesh.Triangle{remap[t[0]], remap[t[1]], remap[t[2]]})
+	}
+	return out, data, restriction
+}

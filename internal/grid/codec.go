@@ -1,0 +1,146 @@
+package grid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/compress"
+)
+
+// Compressed pyramid serialization: the structured-grid counterpart of the
+// mesh pipeline's compressed level products. The base grid and every delta
+// plane are coded with the 2D ZFP-like codec, which exploits correlation
+// along both axes; since deltas vanish at retained nodes and stay tiny
+// elsewhere for smooth fields, they compress dramatically better than the
+// levels themselves — the paper's Fig. 5 observation transplanted to
+// structured data.
+//
+// Layout:
+//
+//	magic "CGP1" | uvarint levels | per level (uvarint nx, ny)
+//	float64 W | float64 H | float64 tol
+//	uvarint len + zfp2d(base)
+//	per finer level, coarse to fine: uvarint len + zfp2d(delta plane)
+
+const pyramidMagic = 0x31504743 // "CGP1"
+
+// EncodePyramid serializes p with absolute error bound tol on every stored
+// plane. Restoring level l from the decoded pyramid deviates from the
+// original by at most (levels-l) * tol.
+func EncodePyramid(p *Pyramid, tol float64) ([]byte, error) {
+	z, err := compress.NewZFP2D(tol)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 1024)
+	out = binary.LittleEndian.AppendUint32(out, pyramidMagic)
+	out = binary.AppendUvarint(out, uint64(p.Levels()))
+	for _, d := range p.Dims {
+		out = binary.AppendUvarint(out, uint64(d[0]))
+		out = binary.AppendUvarint(out, uint64(d[1]))
+	}
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Base.W))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Base.H))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(tol))
+
+	enc, err := z.Encode(p.Base.Data, p.Base.NX, p.Base.NY)
+	if err != nil {
+		return nil, fmt.Errorf("grid: encode base: %w", err)
+	}
+	out = binary.AppendUvarint(out, uint64(len(enc)))
+	out = append(out, enc...)
+
+	for l := p.Levels() - 2; l >= 0; l-- {
+		nx, ny := p.Dims[l][0], p.Dims[l][1]
+		enc, err := z.Encode(p.Deltas[l], nx, ny)
+		if err != nil {
+			return nil, fmt.Errorf("grid: encode delta %d: %w", l, err)
+		}
+		out = binary.AppendUvarint(out, uint64(len(enc)))
+		out = append(out, enc...)
+	}
+	return out, nil
+}
+
+// DecodePyramid parses an EncodePyramid stream. The returned pyramid's
+// planes carry the codec's bounded error.
+func DecodePyramid(data []byte) (*Pyramid, error) {
+	if len(data) < 4 || binary.LittleEndian.Uint32(data) != pyramidMagic {
+		return nil, errors.New("grid: bad pyramid magic")
+	}
+	off := 4
+	levelsU, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, errors.New("grid: truncated pyramid header")
+	}
+	off += n
+	if levelsU == 0 || levelsU > 32 {
+		return nil, fmt.Errorf("grid: implausible level count %d", levelsU)
+	}
+	levels := int(levelsU)
+	dims := make([][2]int, levels)
+	for i := range dims {
+		for k := 0; k < 2; k++ {
+			v, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return nil, errors.New("grid: truncated pyramid dims")
+			}
+			off += n
+			if v < 1 || v > 1<<24 {
+				return nil, fmt.Errorf("grid: implausible dimension %d", v)
+			}
+			dims[i][k] = int(v)
+		}
+	}
+	if len(data)-off < 24 {
+		return nil, errors.New("grid: truncated pyramid header")
+	}
+	w := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	h := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+	off += 24 // W, H, tol (tolerance travels inside each zfp2d stream too)
+
+	z, err := compress.NewZFP2D(0) // tolerance is read from each stream
+	if err != nil {
+		return nil, err
+	}
+	readPlane := func(wantNX, wantNY int) ([]float64, error) {
+		ln, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, errors.New("grid: truncated plane length")
+		}
+		off += n
+		if uint64(len(data)-off) < ln {
+			return nil, errors.New("grid: truncated plane payload")
+		}
+		vals, nx, ny, err := z.Decode(data[off : off+int(ln)])
+		if err != nil {
+			return nil, err
+		}
+		off += int(ln)
+		if nx != wantNX || ny != wantNY {
+			return nil, fmt.Errorf("grid: plane dims %dx%d, want %dx%d", nx, ny, wantNX, wantNY)
+		}
+		return vals, nil
+	}
+
+	baseDims := dims[levels-1]
+	baseData, err := readPlane(baseDims[0], baseDims[1])
+	if err != nil {
+		return nil, fmt.Errorf("grid: decode base: %w", err)
+	}
+	p := &Pyramid{
+		Base: &Grid{NX: baseDims[0], NY: baseDims[1], W: w, H: h, Data: baseData},
+		Dims: dims,
+	}
+	p.Deltas = make([][]float64, levels-1)
+	for l := levels - 2; l >= 0; l-- {
+		d, err := readPlane(dims[l][0], dims[l][1])
+		if err != nil {
+			return nil, fmt.Errorf("grid: decode delta %d: %w", l, err)
+		}
+		p.Deltas[l] = d
+	}
+	return p, nil
+}

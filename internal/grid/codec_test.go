@@ -1,0 +1,158 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+func TestPyramidEncodeDecodeWithinBound(t *testing.T) {
+	g := mustGrid(t, 65, 33)
+	p, err := BuildPyramid(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-5
+	enc, err := EncodePyramid(p, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePyramid(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Levels() != 4 || got.Base.NX != p.Base.NX || got.Base.W != g.W {
+		t.Fatalf("decoded shape: levels=%d base=%dx%d", got.Levels(), got.Base.NX, got.Base.NY)
+	}
+	// Restoring each level accumulates at most (levels-l)*tol error.
+	for l := 0; l < 4; l++ {
+		want, err := p.Restore(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Restore(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := tol*float64(4-l) + 1e-12
+		for i := range want.Data {
+			if e := math.Abs(have.Data[i] - want.Data[i]); e > bound {
+				t.Fatalf("level %d sample %d error %g exceeds %g", l, i, e, bound)
+			}
+		}
+	}
+}
+
+func TestPyramidCompressionBeatsRaw(t *testing.T) {
+	g := mustGrid(t, 129, 129)
+	p, err := BuildPyramid(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodePyramid(p, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 8 * len(g.Data) // the full-resolution plane alone
+	if len(enc) >= raw {
+		t.Fatalf("compressed pyramid %d bytes >= raw plane %d", len(enc), raw)
+	}
+}
+
+func TestPyramidDeltasCompressBetterThanLevels(t *testing.T) {
+	// Fig. 5's observation on structured data: coding base+deltas beats
+	// coding each level directly at the same tolerance.
+	g := mustGrid(t, 129, 129)
+	p, err := BuildPyramid(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-6
+	enc, err := EncodePyramid(p, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := compress.NewZFP2D(tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct int
+	cur := g
+	for l := 0; ; l++ {
+		e, err := z.Encode(cur.Data, cur.NX, cur.NY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct += len(e)
+		if l == 2 {
+			break
+		}
+		cur, err = cur.Coarsen()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(enc) >= direct {
+		t.Fatalf("pyramid %d bytes >= direct multi-level %d bytes", len(enc), direct)
+	}
+}
+
+func TestDecodePyramidErrors(t *testing.T) {
+	g := mustGrid(t, 17, 17)
+	p, err := BuildPyramid(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodePyramid(p, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"nil":       nil,
+		"bad magic": {9, 9, 9, 9, 1},
+		"truncated": enc[:len(enc)/2],
+		"short hdr": enc[:6],
+	}
+	for name, d := range cases {
+		if _, err := DecodePyramid(d); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestEncodePyramidBadTolerance(t *testing.T) {
+	g := mustGrid(t, 9, 9)
+	p, err := BuildPyramid(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodePyramid(p, -1); err == nil {
+		t.Error("accepted negative tolerance")
+	}
+}
+
+func TestPyramidSingleLevelCodec(t *testing.T) {
+	g := mustGrid(t, 10, 6)
+	p, err := BuildPyramid(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodePyramid(p, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePyramid(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := got.Restore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if math.Abs(r.Data[i]-g.Data[i]) > 1e-8 {
+			t.Fatalf("single-level codec error at %d", i)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package grid implements progressive resolution levels for *structured*
+// data — the "block splitting [8]" refactoring the paper lists next to mesh
+// decimation (§III-C), modeled after the dyadic resolution pyramids of
+// JPEG 2000 / hierarchical Z-order layouts. Canopus claims a data model
+// covering "structured and unstructured (e.g., triangular) meshes"; the
+// mesh/decimate/delta packages serve the unstructured half, and this
+// package serves the structured half.
+//
+// A Grid holds node-centered values on a uniform lattice. Coarsening keeps
+// every second node (dyadic subsampling), prediction upsamples bilinearly,
+// and deltas store the prediction residual — zero by construction at the
+// retained nodes, tiny elsewhere for smooth fields, which is what makes the
+// pyramid compress well. A Pyramid bundles the base grid with the delta
+// stack and restores any level on demand, mirroring the mesh pipeline's
+// base+delta design. ToMesh bridges a grid into the triangular-mesh
+// pipeline when tiered placement or blob analytics are wanted.
+package grid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+)
+
+// Grid is a uniform lattice of NX x NY nodes spanning [0,W] x [0,H], with
+// one float64 per node in row-major order.
+type Grid struct {
+	NX, NY int
+	W, H   float64
+	Data   []float64
+}
+
+// New allocates a zero grid.
+func New(nx, ny int, w, h float64) (*Grid, error) {
+	if nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("grid: %dx%d too small (need >= 2x2 nodes)", nx, ny)
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("grid: extent %gx%g must be positive", w, h)
+	}
+	return &Grid{NX: nx, NY: ny, W: w, H: h, Data: make([]float64, nx*ny)}, nil
+}
+
+// FromFunc fills a new grid by sampling f at every node.
+func FromFunc(nx, ny int, w, h float64, f func(x, y float64) float64) (*Grid, error) {
+	g, err := New(nx, ny, w, h)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < ny; j++ {
+		y := h * float64(j) / float64(ny-1)
+		for i := 0; i < nx; i++ {
+			x := w * float64(i) / float64(nx-1)
+			g.Data[j*nx+i] = f(x, y)
+		}
+	}
+	return g, nil
+}
+
+// At returns the value at node (i, j).
+func (g *Grid) At(i, j int) float64 { return g.Data[j*g.NX+i] }
+
+// Set stores a value at node (i, j).
+func (g *Grid) Set(i, j int, v float64) { g.Data[j*g.NX+i] = v }
+
+// Validate checks internal consistency.
+func (g *Grid) Validate() error {
+	if g.NX < 2 || g.NY < 2 {
+		return fmt.Errorf("grid: %dx%d too small", g.NX, g.NY)
+	}
+	if len(g.Data) != g.NX*g.NY {
+		return fmt.Errorf("grid: %d values for %dx%d nodes", len(g.Data), g.NX, g.NY)
+	}
+	return nil
+}
+
+// CanCoarsen reports whether both node counts support dyadic subsampling
+// (count of the form 2k+1, so every second node survives).
+func (g *Grid) CanCoarsen() bool {
+	return (g.NX-1)%2 == 0 && (g.NY-1)%2 == 0 && g.NX >= 3 && g.NY >= 3
+}
+
+// Coarsen keeps every second node in each direction: coarse node (i, j)
+// equals fine node (2i, 2j). The extent is unchanged.
+func (g *Grid) Coarsen() (*Grid, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.CanCoarsen() {
+		return nil, fmt.Errorf("grid: %dx%d cannot coarsen dyadically (need 2k+1 nodes per axis, >= 3)", g.NX, g.NY)
+	}
+	cnx := (g.NX-1)/2 + 1
+	cny := (g.NY-1)/2 + 1
+	c := &Grid{NX: cnx, NY: cny, W: g.W, H: g.H, Data: make([]float64, cnx*cny)}
+	for j := 0; j < cny; j++ {
+		for i := 0; i < cnx; i++ {
+			c.Data[j*cnx+i] = g.At(2*i, 2*j)
+		}
+	}
+	return c, nil
+}
+
+// Predict bilinearly upsamples c to an nx x ny fine lattice. At nodes the
+// coarse grid retains, the prediction reproduces the coarse value exactly,
+// so deltas vanish there.
+func Predict(c *Grid, nx, ny int) (*Grid, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if nx != 2*(c.NX-1)+1 || ny != 2*(c.NY-1)+1 {
+		return nil, fmt.Errorf("grid: predict target %dx%d does not refine %dx%d dyadically", nx, ny, c.NX, c.NY)
+	}
+	f := &Grid{NX: nx, NY: ny, W: c.W, H: c.H, Data: make([]float64, nx*ny)}
+	for j := 0; j < ny; j++ {
+		cj, rj := j/2, j%2
+		for i := 0; i < nx; i++ {
+			ci, ri := i/2, i%2
+			switch {
+			case ri == 0 && rj == 0:
+				f.Data[j*nx+i] = c.At(ci, cj)
+			case ri == 1 && rj == 0:
+				f.Data[j*nx+i] = (c.At(ci, cj) + c.At(ci+1, cj)) / 2
+			case ri == 0 && rj == 1:
+				f.Data[j*nx+i] = (c.At(ci, cj) + c.At(ci, cj+1)) / 2
+			default:
+				f.Data[j*nx+i] = (c.At(ci, cj) + c.At(ci+1, cj) +
+					c.At(ci, cj+1) + c.At(ci+1, cj+1)) / 4
+			}
+		}
+	}
+	return f, nil
+}
+
+// Delta computes fine − Predict(coarse): the residual stored per level.
+func Delta(fine, coarse *Grid) ([]float64, error) {
+	pred, err := Predict(coarse, fine.NX, fine.NY)
+	if err != nil {
+		return nil, err
+	}
+	if err := fine.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(fine.Data))
+	for i := range out {
+		out[i] = fine.Data[i] - pred.Data[i]
+	}
+	return out, nil
+}
+
+// Restore rebuilds the fine grid from the coarse grid and a stored delta.
+func Restore(coarse *Grid, deltas []float64, nx, ny int) (*Grid, error) {
+	pred, err := Predict(coarse, nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	if len(deltas) != nx*ny {
+		return nil, fmt.Errorf("grid: %d deltas for %dx%d nodes", len(deltas), nx, ny)
+	}
+	for i := range pred.Data {
+		pred.Data[i] += deltas[i]
+	}
+	return pred, nil
+}
+
+// Pyramid is the structured-grid analogue of the Canopus level stack: a
+// base grid plus one delta per finer level.
+type Pyramid struct {
+	// Base is the coarsest level (level Levels-1).
+	Base *Grid
+	// Deltas[l] restores level l from level l+1 (l = 0 is finest).
+	Deltas [][]float64
+	// Dims[l] is the (NX, NY) of level l.
+	Dims [][2]int
+}
+
+// Levels reports the total number of levels.
+func (p *Pyramid) Levels() int { return len(p.Dims) }
+
+// BuildPyramid refactors g into `levels` resolution levels. The grid must
+// support levels-1 dyadic coarsenings (node counts of the form
+// m*2^(levels-1)+1).
+func BuildPyramid(g *Grid, levels int) (*Pyramid, error) {
+	if levels < 1 {
+		return nil, errors.New("grid: pyramid needs >= 1 level")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pyramid{Dims: [][2]int{{g.NX, g.NY}}}
+	cur := g
+	for l := 0; l < levels-1; l++ {
+		coarse, err := cur.Coarsen()
+		if err != nil {
+			return nil, fmt.Errorf("grid: level %d: %w", l+1, err)
+		}
+		d, err := Delta(cur, coarse)
+		if err != nil {
+			return nil, err
+		}
+		p.Deltas = append(p.Deltas, d)
+		p.Dims = append(p.Dims, [2]int{coarse.NX, coarse.NY})
+		cur = coarse
+	}
+	p.Base = cur
+	return p, nil
+}
+
+// Restore rebuilds level `level` (0 = finest) from the base and deltas.
+func (p *Pyramid) Restore(level int) (*Grid, error) {
+	if level < 0 || level >= p.Levels() {
+		return nil, fmt.Errorf("grid: level %d out of range [0,%d)", level, p.Levels())
+	}
+	cur := &Grid{NX: p.Base.NX, NY: p.Base.NY, W: p.Base.W, H: p.Base.H,
+		Data: append([]float64(nil), p.Base.Data...)}
+	for l := p.Levels() - 2; l >= level; l-- {
+		next, err := Restore(cur, p.Deltas[l], p.Dims[l][0], p.Dims[l][1])
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ToMesh converts the grid into a triangular-mesh dataset so structured
+// data can flow through the full Canopus pipeline (tiered placement, blob
+// analytics). Each lattice cell becomes two triangles; values carry over
+// per node.
+func (g *Grid) ToMesh(name string) (*core.Dataset, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := mesh.Rect(g.NX-1, g.NY-1, g.W, g.H)
+	return &core.Dataset{
+		Name: name,
+		Mesh: m,
+		Data: append([]float64(nil), g.Data...),
+	}, nil
+}

@@ -1,0 +1,328 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func wavy(x, y float64) float64 { return math.Sin(3*x)*math.Cos(2*y) + x }
+
+func mustGrid(t *testing.T, nx, ny int) *Grid {
+	t.Helper()
+	g, err := FromFunc(nx, ny, 2, 1, wavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 5, 1, 1); err == nil {
+		t.Error("accepted nx=1")
+	}
+	if _, err := New(5, 5, 0, 1); err == nil {
+		t.Error("accepted zero width")
+	}
+	g, err := New(4, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Data) != 12 {
+		t.Fatalf("data len %d", len(g.Data))
+	}
+}
+
+func TestAtSet(t *testing.T) {
+	g, _ := New(4, 3, 1, 1)
+	g.Set(2, 1, 7.5)
+	if g.At(2, 1) != 7.5 {
+		t.Fatal("At/Set mismatch")
+	}
+	if g.Data[1*4+2] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestCoarsenDims(t *testing.T) {
+	g := mustGrid(t, 9, 5)
+	c, err := g.Coarsen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NX != 5 || c.NY != 3 {
+		t.Fatalf("coarse dims %dx%d, want 5x3", c.NX, c.NY)
+	}
+	if c.W != g.W || c.H != g.H {
+		t.Fatal("extent changed")
+	}
+	// Coarse nodes are exact samples of fine even nodes.
+	for j := 0; j < c.NY; j++ {
+		for i := 0; i < c.NX; i++ {
+			if c.At(i, j) != g.At(2*i, 2*j) {
+				t.Fatalf("coarse (%d,%d) not a subsample", i, j)
+			}
+		}
+	}
+}
+
+func TestCoarsenRejectsBadDims(t *testing.T) {
+	g := mustGrid(t, 8, 5) // 8 nodes: (8-1)%2 != 0
+	if _, err := g.Coarsen(); err == nil {
+		t.Fatal("coarsened non-dyadic grid")
+	}
+	g2, _ := New(2, 3, 1, 1)
+	if _, err := g2.Coarsen(); err == nil {
+		t.Fatal("coarsened 2-node axis")
+	}
+}
+
+func TestPredictReproducesRetainedNodes(t *testing.T) {
+	g := mustGrid(t, 9, 9)
+	c, err := g.Coarsen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Predict(c, 9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 9; j += 2 {
+		for i := 0; i < 9; i += 2 {
+			if p.At(i, j) != g.At(i, j) {
+				t.Fatalf("prediction at retained node (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestPredictExactOnBilinearField(t *testing.T) {
+	// A field linear in x and y is reproduced exactly by bilinear
+	// prediction, so all deltas vanish.
+	g, err := FromFunc(17, 17, 1, 1, func(x, y float64) float64 { return 3*x - 2*y + 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.Coarsen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Delta(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("delta[%d] = %g for a bilinear field", i, v)
+		}
+	}
+}
+
+func TestPredictRejectsWrongTarget(t *testing.T) {
+	g := mustGrid(t, 5, 5)
+	if _, err := Predict(g, 10, 9); err == nil {
+		t.Fatal("accepted non-dyadic target")
+	}
+}
+
+func TestDeltaRestoreRoundTrip(t *testing.T) {
+	g := mustGrid(t, 17, 9)
+	c, err := g.Coarsen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Delta(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(c, d, 17, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if math.Abs(got.Data[i]-g.Data[i]) > 1e-14 {
+			t.Fatalf("restore diverges at %d: %g vs %g", i, got.Data[i], g.Data[i])
+		}
+	}
+}
+
+func TestDeltasZeroAtRetainedNodes(t *testing.T) {
+	g := mustGrid(t, 17, 17)
+	c, _ := g.Coarsen()
+	d, err := Delta(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 17; j += 2 {
+		for i := 0; i < 17; i += 2 {
+			if d[j*17+i] != 0 {
+				t.Fatalf("delta nonzero at retained node (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPyramidRestoreAllLevels(t *testing.T) {
+	g := mustGrid(t, 33, 17)
+	p, err := BuildPyramid(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Levels() != 4 {
+		t.Fatalf("levels %d", p.Levels())
+	}
+	if p.Base.NX != 5 || p.Base.NY != 3 {
+		t.Fatalf("base dims %dx%d", p.Base.NX, p.Base.NY)
+	}
+	got, err := p.Restore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if math.Abs(got.Data[i]-g.Data[i]) > 1e-13 {
+			t.Fatalf("pyramid restore diverges at %d", i)
+		}
+	}
+	// Intermediate level matches a direct coarsening chain.
+	l1, err := p.Restore(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := g.Coarsen()
+	for i := range c1.Data {
+		if math.Abs(l1.Data[i]-c1.Data[i]) > 1e-13 {
+			t.Fatalf("level-1 restore diverges at %d", i)
+		}
+	}
+}
+
+func TestPyramidErrors(t *testing.T) {
+	g := mustGrid(t, 9, 9)
+	if _, err := BuildPyramid(g, 0); err == nil {
+		t.Error("accepted 0 levels")
+	}
+	if _, err := BuildPyramid(g, 5); err == nil {
+		t.Error("accepted more levels than the grid can refine")
+	}
+	p, err := BuildPyramid(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Restore(-1); err == nil {
+		t.Error("accepted level -1")
+	}
+	if _, err := p.Restore(2); err == nil {
+		t.Error("accepted level == Levels")
+	}
+}
+
+func TestPyramidSingleLevel(t *testing.T) {
+	g := mustGrid(t, 6, 4) // not dyadic, but 1 level needs no coarsening
+	p, err := BuildPyramid(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Restore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if got.Data[i] != g.Data[i] {
+			t.Fatal("single-level restore differs")
+		}
+	}
+}
+
+func TestDeltasSmallForSmoothFields(t *testing.T) {
+	// The compression rationale: residuals are O(h^2) for smooth fields,
+	// far smaller than the field itself.
+	g := mustGrid(t, 65, 65)
+	c, _ := g.Coarsen()
+	d, err := Delta(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxD, maxG float64
+	for i := range d {
+		maxD = math.Max(maxD, math.Abs(d[i]))
+		maxG = math.Max(maxG, math.Abs(g.Data[i]))
+	}
+	if maxD > maxG/50 {
+		t.Fatalf("max delta %g not small next to field max %g", maxD, maxG)
+	}
+}
+
+func TestToMesh(t *testing.T) {
+	g := mustGrid(t, 9, 5)
+	ds, err := g.ToMesh("press")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Mesh.NumVerts() != 45 {
+		t.Fatalf("mesh vertices %d, want 45", ds.Mesh.NumVerts())
+	}
+	if ds.Mesh.NumTris() != 2*8*4 {
+		t.Fatalf("mesh triangles %d", ds.Mesh.NumTris())
+	}
+	// Node values carry over in lattice order.
+	for i := range g.Data {
+		if ds.Data[i] != g.Data[i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+	// Mutating the dataset must not touch the grid.
+	ds.Data[0] = 1e9
+	if g.Data[0] == 1e9 {
+		t.Fatal("ToMesh aliases grid data")
+	}
+}
+
+// TestQuickPyramidRoundTrip: random dyadic grids restore bit-close at the
+// finest level for any level count the dims support.
+func TestQuickPyramidRoundTrip(t *testing.T) {
+	f := func(seed int64, levelSel uint8) bool {
+		nx, ny := 33, 33
+		g, err := FromFunc(nx, ny, 1, 1, func(x, y float64) float64 {
+			s := math.Sin(float64(seed%97)*x) + math.Cos(float64(seed%53)*y)
+			return s
+		})
+		if err != nil {
+			return false
+		}
+		levels := 2 + int(levelSel)%3 // 2..4
+		p, err := BuildPyramid(g, levels)
+		if err != nil {
+			return false
+		}
+		got, err := p.Restore(0)
+		if err != nil {
+			return false
+		}
+		for i := range g.Data {
+			if math.Abs(got.Data[i]-g.Data[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildPyramid(b *testing.B) {
+	g, err := FromFunc(257, 257, 1, 1, wavy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildPyramid(g, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

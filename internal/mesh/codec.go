@@ -1,0 +1,122 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary layout (little-endian):
+//
+//	magic   uint32  "CMSH" (0x48534d43)
+//	version uint16
+//	nVerts  uvarint
+//	nTris   uvarint
+//	coords  nVerts * 2 * float64 (raw IEEE-754 bits)
+//	conn    nTris * 3 * uvarint of zig-zag deltas against the previous index
+//
+// Connectivity is delta-encoded because generator and decimation output both
+// reference nearby vertex ids in consecutive triangles, which keeps most
+// varints to 1–2 bytes. Geometry is stored raw: it is usually compressed a
+// second time by the canopus pipeline's codec, so pre-quantizing here would
+// double-lossy the coordinates.
+
+const (
+	meshMagic   = 0x48534d43 // "CMSH"
+	meshVersion = 1
+)
+
+// AppendEncode appends the binary encoding of m to dst and returns the
+// extended slice.
+func AppendEncode(dst []byte, m *Mesh) []byte {
+	var hdr [6]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], meshMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], meshVersion)
+	dst = append(dst, hdr[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Verts)))
+	dst = binary.AppendUvarint(dst, uint64(len(m.Tris)))
+	var buf [8]byte
+	for _, v := range m.Verts {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.X))
+		dst = append(dst, buf[:]...)
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Y))
+		dst = append(dst, buf[:]...)
+	}
+	prev := int64(0)
+	for _, t := range m.Tris {
+		for k := 0; k < 3; k++ {
+			d := int64(t[k]) - prev
+			dst = binary.AppendVarint(dst, d)
+			prev = int64(t[k])
+		}
+	}
+	return dst
+}
+
+// Encode returns the binary encoding of m.
+func Encode(m *Mesh) []byte {
+	// Rough size hint: header + 16B/vertex + ~4B/index.
+	return AppendEncode(make([]byte, 0, 8+16*len(m.Verts)+12*len(m.Tris)), m)
+}
+
+var errTruncated = errors.New("mesh: truncated encoding")
+
+// Decode parses a mesh from data produced by Encode. It returns the mesh and
+// the number of bytes consumed.
+func Decode(data []byte) (*Mesh, int, error) {
+	if len(data) < 6 {
+		return nil, 0, errTruncated
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != meshMagic {
+		return nil, 0, errors.New("mesh: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != meshVersion {
+		return nil, 0, fmt.Errorf("mesh: unsupported version %d", v)
+	}
+	off := 6
+	nVerts, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, 0, errTruncated
+	}
+	off += n
+	nTris, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, 0, errTruncated
+	}
+	off += n
+	if nVerts > uint64(len(data)) || nTris > uint64(len(data)) {
+		return nil, 0, fmt.Errorf("mesh: implausible sizes nVerts=%d nTris=%d for %d bytes", nVerts, nTris, len(data))
+	}
+	m := &Mesh{
+		Verts: make([]Vertex, nVerts),
+		Tris:  make([]Triangle, nTris),
+	}
+	need := int(nVerts) * 16
+	if len(data)-off < need {
+		return nil, 0, errTruncated
+	}
+	for i := range m.Verts {
+		m.Verts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		m.Verts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+	}
+	prev := int64(0)
+	for i := range m.Tris {
+		for k := 0; k < 3; k++ {
+			d, n := binary.Varint(data[off:])
+			if n <= 0 {
+				return nil, 0, errTruncated
+			}
+			off += n
+			idx := prev + d
+			if idx < 0 || idx >= int64(nVerts) {
+				return nil, 0, fmt.Errorf("mesh: triangle %d index %d out of range", i, idx)
+			}
+			m.Tris[i][k] = int32(idx)
+			prev = idx
+		}
+	}
+	return m, off, nil
+}

@@ -1,0 +1,31 @@
+package mesh
+
+import "testing"
+
+// FuzzDecode hardens the mesh decoder against corrupt tier contents.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(Rect(3, 3, 1, 1)))
+	f.Add(Encode(&Mesh{}))
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x4d, 0x53, 0x48, 1, 0}) // magic + version, no body
+	f.Add(make([]byte, 128))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// A successfully decoded mesh must be structurally indexable:
+		// every triangle references valid vertices (Validate may still
+		// reject duplicates, which is fine).
+		for _, tr := range m.Tris {
+			for _, v := range tr {
+				if v < 0 || int(v) >= len(m.Verts) {
+					t.Fatalf("decoded triangle references vertex %d of %d", v, len(m.Verts))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect triangulates the axis-aligned rectangle [0,w]×[0,h] with an
+// (nx+1)×(ny+1) vertex lattice, splitting each cell into two CCW triangles
+// with alternating diagonals so the triangulation is not axis-biased. It
+// yields 2*nx*ny triangles.
+func Rect(nx, ny int, w, h float64) *Mesh {
+	if nx < 1 || ny < 1 {
+		panic(fmt.Sprintf("mesh.Rect: grid %dx%d must be at least 1x1", nx, ny))
+	}
+	m := &Mesh{
+		Verts: make([]Vertex, 0, (nx+1)*(ny+1)),
+		Tris:  make([]Triangle, 0, 2*nx*ny),
+	}
+	for j := 0; j <= ny; j++ {
+		for i := 0; i <= nx; i++ {
+			m.Verts = append(m.Verts, Vertex{
+				X: w * float64(i) / float64(nx),
+				Y: h * float64(j) / float64(ny),
+			})
+		}
+	}
+	id := func(i, j int) int32 { return int32(j*(nx+1) + i) }
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			v00, v10 := id(i, j), id(i+1, j)
+			v01, v11 := id(i, j+1), id(i+1, j+1)
+			if (i+j)%2 == 0 {
+				m.Tris = append(m.Tris,
+					Triangle{v00, v10, v11},
+					Triangle{v00, v11, v01})
+			} else {
+				m.Tris = append(m.Tris,
+					Triangle{v00, v10, v01},
+					Triangle{v10, v11, v01})
+			}
+		}
+	}
+	return m
+}
+
+// Disk triangulates a disk of the given radius centred at the origin with
+// `rings` concentric rings and `segs` angular segments (a central fan plus
+// ring strips). It matches the layout of the GenASiS evaluation mesh in the
+// paper: quasi-uniform triangles over a circular domain.
+func Disk(rings, segs int, radius float64) *Mesh {
+	if rings < 1 || segs < 3 {
+		panic(fmt.Sprintf("mesh.Disk: rings=%d segs=%d must be >=1 and >=3", rings, segs))
+	}
+	m := &Mesh{}
+	// Center vertex then ring vertices, inner to outer.
+	m.Verts = append(m.Verts, Vertex{0, 0})
+	for r := 1; r <= rings; r++ {
+		rr := radius * float64(r) / float64(rings)
+		for s := 0; s < segs; s++ {
+			th := 2 * math.Pi * float64(s) / float64(segs)
+			m.Verts = append(m.Verts, Vertex{rr * math.Cos(th), rr * math.Sin(th)})
+		}
+	}
+	ringStart := func(r int) int32 { return int32(1 + (r-1)*segs) }
+	// Central fan.
+	for s := 0; s < segs; s++ {
+		a := ringStart(1) + int32(s)
+		b := ringStart(1) + int32((s+1)%segs)
+		m.Tris = append(m.Tris, Triangle{0, a, b})
+	}
+	// Ring strips.
+	for r := 1; r < rings; r++ {
+		in, out := ringStart(r), ringStart(r+1)
+		for s := 0; s < segs; s++ {
+			s1 := int32(s)
+			s2 := int32((s + 1) % segs)
+			m.Tris = append(m.Tris,
+				Triangle{in + s1, out + s1, out + s2},
+				Triangle{in + s1, out + s2, in + s2})
+		}
+	}
+	return m
+}
+
+// Annulus triangulates the ring r0 <= r <= r1 centred at the origin, the
+// shape of one poloidal cross-section of a tokamak edge region (the XGC1
+// blob-transport domain in the paper). rings counts radial intervals.
+func Annulus(rings, segs int, r0, r1 float64) *Mesh {
+	if rings < 1 || segs < 3 {
+		panic(fmt.Sprintf("mesh.Annulus: rings=%d segs=%d must be >=1 and >=3", rings, segs))
+	}
+	if r0 <= 0 || r1 <= r0 {
+		panic(fmt.Sprintf("mesh.Annulus: radii 0 < r0 < r1 required, got r0=%g r1=%g", r0, r1))
+	}
+	m := &Mesh{}
+	for r := 0; r <= rings; r++ {
+		rr := r0 + (r1-r0)*float64(r)/float64(rings)
+		for s := 0; s < segs; s++ {
+			th := 2 * math.Pi * float64(s) / float64(segs)
+			m.Verts = append(m.Verts, Vertex{rr * math.Cos(th), rr * math.Sin(th)})
+		}
+	}
+	ringStart := func(r int) int32 { return int32(r * segs) }
+	for r := 0; r < rings; r++ {
+		in, out := ringStart(r), ringStart(r+1)
+		for s := 0; s < segs; s++ {
+			s1 := int32(s)
+			s2 := int32((s + 1) % segs)
+			m.Tris = append(m.Tris,
+				Triangle{in + s1, out + s1, out + s2},
+				Triangle{in + s1, out + s2, in + s2})
+		}
+	}
+	return m
+}

@@ -1,0 +1,83 @@
+package mesh
+
+import "math"
+
+// Barycentric computes the barycentric coordinates (u, v, w) of point p with
+// respect to triangle t, such that p = u*A + v*B + w*C and u+v+w = 1.
+// For a degenerate (zero-area) triangle it returns ok=false.
+func (m *Mesh) Barycentric(t Triangle, px, py float64) (u, v, w float64, ok bool) {
+	a, b, c := m.Verts[t[0]], m.Verts[t[1]], m.Verts[t[2]]
+	d := (b.Y-c.Y)*(a.X-c.X) + (c.X-b.X)*(a.Y-c.Y)
+	if d == 0 {
+		return 0, 0, 0, false
+	}
+	u = ((b.Y-c.Y)*(px-c.X) + (c.X-b.X)*(py-c.Y)) / d
+	v = ((c.Y-a.Y)*(px-c.X) + (a.X-c.X)*(py-c.Y)) / d
+	w = 1 - u - v
+	return u, v, w, true
+}
+
+// baryEps is the tolerance used when testing whether a point lies inside a
+// triangle. Decimation places fine vertices exactly on coarse edges and
+// vertices, so strict positivity would misclassify points that sit on a
+// shared boundary between two triangles.
+const baryEps = 1e-9
+
+// TriangleContains reports whether (px, py) lies inside or on triangle t,
+// within a small tolerance.
+func (m *Mesh) TriangleContains(t Triangle, px, py float64) bool {
+	u, v, w, ok := m.Barycentric(t, px, py)
+	if !ok {
+		return false
+	}
+	return u >= -baryEps && v >= -baryEps && w >= -baryEps
+}
+
+// ClampBarycentric clips barycentric coordinates into the valid simplex and
+// renormalizes. It is used when a fine vertex falls slightly outside its
+// nearest coarse triangle (a boundary vertex after collapses shrank the
+// hull): the estimate then uses the closest point inside the triangle.
+func ClampBarycentric(u, v, w float64) (float64, float64, float64) {
+	u = math.Max(u, 0)
+	v = math.Max(v, 0)
+	w = math.Max(w, 0)
+	s := u + v + w
+	if s == 0 {
+		return 1.0 / 3, 1.0 / 3, 1.0 / 3
+	}
+	return u / s, v / s, w / s
+}
+
+// distSq returns the squared distance between two points.
+func distSq(ax, ay, bx, by float64) float64 {
+	dx, dy := ax-bx, ay-by
+	return dx*dx + dy*dy
+}
+
+// pointTriangleDistSq returns the squared distance from p to triangle t
+// (zero if p is inside).
+func (m *Mesh) pointTriangleDistSq(t Triangle, px, py float64) float64 {
+	if m.TriangleContains(t, px, py) {
+		return 0
+	}
+	d := math.Inf(1)
+	for k := 0; k < 3; k++ {
+		a := m.Verts[t[k]]
+		b := m.Verts[t[(k+1)%3]]
+		d = math.Min(d, pointSegmentDistSq(px, py, a.X, a.Y, b.X, b.Y))
+	}
+	return d
+}
+
+// pointSegmentDistSq returns the squared distance from point p to segment ab.
+func pointSegmentDistSq(px, py, ax, ay, bx, by float64) float64 {
+	abx, aby := bx-ax, by-ay
+	apx, apy := px-ax, py-ay
+	ab2 := abx*abx + aby*aby
+	if ab2 == 0 {
+		return distSq(px, py, ax, ay)
+	}
+	t := (apx*abx + apy*aby) / ab2
+	t = math.Max(0, math.Min(1, t))
+	return distSq(px, py, ax+t*abx, ay+t*aby)
+}

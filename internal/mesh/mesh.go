@@ -1,0 +1,229 @@
+// Package mesh implements the unstructured triangular mesh data model that
+// Canopus refactors: 2D vertices, triangles over them, and scalar fields
+// (one float64 per vertex). It provides adjacency queries, topology
+// validation, geometric predicates, point location with a uniform-grid
+// spatial index, synthetic mesh generators, and a compact binary encoding.
+//
+// Terminology follows the Canopus paper (§III-B): a mesh at level l is
+// G^l(V^l, E^l); the field over it is L^l. This package represents a single
+// level; the decimate and delta packages build the level hierarchy.
+package mesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vertex is a 2D point. Canopus evaluates on planar slices of simulation
+// domains (e.g. one poloidal plane of the XGC1 torus), so 2D is the native
+// data model for every experiment in the paper.
+type Vertex struct {
+	X, Y float64
+}
+
+// Triangle holds three vertex indices. Orientation is counter-clockwise for
+// all generator-produced meshes; Validate checks consistency.
+type Triangle [3]int32
+
+// Mesh is an unstructured triangular mesh. The zero value is an empty mesh.
+//
+// Mesh itself stores only geometry and connectivity; derived adjacency is
+// built on demand by Adjacency and cached by the caller, because decimation
+// mutates its own working copy of the structures.
+type Mesh struct {
+	Verts []Vertex
+	Tris  []Triangle
+}
+
+// Clone returns a deep copy of m.
+func (m *Mesh) Clone() *Mesh {
+	c := &Mesh{
+		Verts: make([]Vertex, len(m.Verts)),
+		Tris:  make([]Triangle, len(m.Tris)),
+	}
+	copy(c.Verts, m.Verts)
+	copy(c.Tris, m.Tris)
+	return c
+}
+
+// NumVerts reports |V|.
+func (m *Mesh) NumVerts() int { return len(m.Verts) }
+
+// NumTris reports the number of triangles.
+func (m *Mesh) NumTris() int { return len(m.Tris) }
+
+// Edge is an undirected vertex pair with A < B.
+type Edge struct {
+	A, B int32
+}
+
+// MakeEdge normalizes (a,b) into canonical order.
+func MakeEdge(a, b int32) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{a, b}
+}
+
+// Edges returns the unique undirected edges of the mesh, in deterministic
+// (sorted by the first triangle that introduces them) order.
+func (m *Mesh) Edges() []Edge {
+	seen := make(map[Edge]struct{}, len(m.Tris)*3/2)
+	edges := make([]Edge, 0, len(m.Tris)*3/2)
+	for _, t := range m.Tris {
+		for k := 0; k < 3; k++ {
+			e := MakeEdge(t[k], t[(k+1)%3])
+			if _, ok := seen[e]; !ok {
+				seen[e] = struct{}{}
+				edges = append(edges, e)
+			}
+		}
+	}
+	return edges
+}
+
+// Adjacency holds derived connectivity for a mesh: which triangles touch
+// each vertex and how many triangles share each edge.
+type Adjacency struct {
+	// VertTris[v] lists the indices of triangles incident to vertex v.
+	VertTris [][]int32
+	// EdgeTris maps each edge to the triangles containing it (1 for
+	// boundary edges, 2 for interior edges in a manifold mesh).
+	EdgeTris map[Edge][]int32
+}
+
+// BuildAdjacency computes vertex-triangle and edge-triangle incidence.
+func (m *Mesh) BuildAdjacency() *Adjacency {
+	a := &Adjacency{
+		VertTris: make([][]int32, len(m.Verts)),
+		EdgeTris: make(map[Edge][]int32, len(m.Tris)*3/2),
+	}
+	for ti, t := range m.Tris {
+		for k := 0; k < 3; k++ {
+			v := t[k]
+			a.VertTris[v] = append(a.VertTris[v], int32(ti))
+			e := MakeEdge(t[k], t[(k+1)%3])
+			a.EdgeTris[e] = append(a.EdgeTris[e], int32(ti))
+		}
+	}
+	return a
+}
+
+// Neighbors returns the vertex ids adjacent to v (connected by an edge), in
+// ascending order-of-first-appearance across v's incident triangles.
+func (a *Adjacency) Neighbors(m *Mesh, v int32) []int32 {
+	seen := map[int32]struct{}{}
+	var out []int32
+	for _, ti := range a.VertTris[v] {
+		for _, w := range m.Tris[ti] {
+			if w == v {
+				continue
+			}
+			if _, ok := seen[w]; !ok {
+				seen[w] = struct{}{}
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// BoundaryVertices returns a set of vertex ids that lie on the mesh boundary
+// (incident to an edge shared by exactly one triangle).
+func (m *Mesh) BoundaryVertices() map[int32]bool {
+	adj := m.BuildAdjacency()
+	b := make(map[int32]bool)
+	for e, tris := range adj.EdgeTris {
+		if len(tris) == 1 {
+			b[e.A] = true
+			b[e.B] = true
+		}
+	}
+	return b
+}
+
+// Validate checks structural invariants: vertex indices in range, no
+// repeated vertex within a triangle, no exact-duplicate triangles, and no
+// isolated vertices (every vertex referenced by at least one triangle).
+// It returns the first violation found.
+func (m *Mesh) Validate() error {
+	n := int32(len(m.Verts))
+	used := make([]bool, n)
+	seen := make(map[[3]int32]struct{}, len(m.Tris))
+	for ti, t := range m.Tris {
+		for k := 0; k < 3; k++ {
+			if t[k] < 0 || t[k] >= n {
+				return fmt.Errorf("mesh: triangle %d vertex %d index %d out of range [0,%d)", ti, k, t[k], n)
+			}
+			used[t[k]] = true
+		}
+		if t[0] == t[1] || t[1] == t[2] || t[0] == t[2] {
+			return fmt.Errorf("mesh: triangle %d has repeated vertex: %v", ti, t)
+		}
+		key := canonicalTri(t)
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("mesh: duplicate triangle %v", t)
+		}
+		seen[key] = struct{}{}
+	}
+	for v, ok := range used {
+		if !ok {
+			return fmt.Errorf("mesh: isolated vertex %d", v)
+		}
+	}
+	return nil
+}
+
+// canonicalTri sorts a triangle's indices so duplicates are detected
+// regardless of rotation or winding.
+func canonicalTri(t Triangle) [3]int32 {
+	a, b, c := t[0], t[1], t[2]
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return [3]int32{a, b, c}
+}
+
+// Bounds returns the axis-aligned bounding box of the vertices. For an empty
+// mesh it returns zeros.
+func (m *Mesh) Bounds() (minX, minY, maxX, maxY float64) {
+	if len(m.Verts) == 0 {
+		return 0, 0, 0, 0
+	}
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, v := range m.Verts {
+		minX = math.Min(minX, v.X)
+		minY = math.Min(minY, v.Y)
+		maxX = math.Max(maxX, v.X)
+		maxY = math.Max(maxY, v.Y)
+	}
+	return minX, minY, maxX, maxY
+}
+
+// EdgeLength returns the Euclidean length of edge e.
+func (m *Mesh) EdgeLength(e Edge) float64 {
+	a, b := m.Verts[e.A], m.Verts[e.B]
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// TotalArea sums the unsigned areas of all triangles.
+func (m *Mesh) TotalArea() float64 {
+	var sum float64
+	for _, t := range m.Tris {
+		sum += math.Abs(m.SignedArea(t))
+	}
+	return sum
+}
+
+// SignedArea returns the signed area of triangle t (positive for CCW).
+func (m *Mesh) SignedArea(t Triangle) float64 {
+	a, b, c := m.Verts[t[0]], m.Verts[t[1]], m.Verts[t[2]]
+	return 0.5 * ((b.X-a.X)*(c.Y-a.Y) - (c.X-a.X)*(b.Y-a.Y))
+}

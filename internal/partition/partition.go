@@ -1,0 +1,189 @@
+// Package partition implements the domain decomposition behind the paper's
+// scalability argument (§III-C1): "the decimation is done locally without
+// requiring communication with other processors, and therefore is
+// embarrassingly parallel". A dataset is split into spatially contiguous
+// partitions — one per simulated rank — and each partition runs the full
+// Canopus refactoring pipeline independently and concurrently, exactly how
+// the paper's XGC1 runs wrote per-core partitions in parallel (§III-D).
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/adios"
+	"repro/internal/core"
+	"repro/internal/mesh"
+)
+
+// Part is one rank's share of a dataset: a self-contained submesh with its
+// vertex values, plus the mapping back to global vertex ids. Boundary
+// vertices shared by adjacent parts appear in each (halo duplication), so
+// every part can refactor without communication.
+type Part struct {
+	Dataset *core.Dataset
+	// GlobalVerts[i] is the global vertex id of local vertex i.
+	GlobalVerts []int32
+}
+
+// Split divides ds into `parts` contiguous partitions by sorting triangles
+// along the domain's longer axis and cutting into equal-count groups.
+func Split(ds *core.Dataset, parts int) ([]*Part, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if parts < 1 {
+		return nil, fmt.Errorf("partition: parts %d < 1", parts)
+	}
+	if parts > ds.Mesh.NumTris() {
+		return nil, fmt.Errorf("partition: %d parts for %d triangles", parts, ds.Mesh.NumTris())
+	}
+	m := ds.Mesh
+	minX, minY, maxX, maxY := m.Bounds()
+	useX := maxX-minX >= maxY-minY
+
+	order := make([]int32, m.NumTris())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	centroid := func(ti int32) float64 {
+		t := m.Tris[ti]
+		a, b, c := m.Verts[t[0]], m.Verts[t[1]], m.Verts[t[2]]
+		if useX {
+			return (a.X + b.X + c.X) / 3
+		}
+		return (a.Y + b.Y + c.Y) / 3
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		ci, cj := centroid(order[i]), centroid(order[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return order[i] < order[j] // deterministic tie-break
+	})
+
+	out := make([]*Part, parts)
+	per := (len(order) + parts - 1) / parts
+	for p := 0; p < parts; p++ {
+		lo := p * per
+		hi := lo + per
+		if hi > len(order) {
+			hi = len(order)
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("partition: part %d empty (%d triangles into %d parts)", p, len(order), parts)
+		}
+		out[p] = buildPart(ds, order[lo:hi], p)
+	}
+	return out, nil
+}
+
+func buildPart(ds *core.Dataset, tris []int32, idx int) *Part {
+	m := ds.Mesh
+	localID := make(map[int32]int32)
+	part := &Part{
+		Dataset: &core.Dataset{
+			Name: fmt.Sprintf("%s.p%d", ds.Name, idx),
+			Mesh: &mesh.Mesh{},
+		},
+	}
+	for _, ti := range tris {
+		var lt mesh.Triangle
+		for k, gv := range m.Tris[ti] {
+			lv, ok := localID[gv]
+			if !ok {
+				lv = int32(len(part.Dataset.Mesh.Verts))
+				localID[gv] = lv
+				part.Dataset.Mesh.Verts = append(part.Dataset.Mesh.Verts, m.Verts[gv])
+				part.Dataset.Data = append(part.Dataset.Data, ds.Data[gv])
+				part.GlobalVerts = append(part.GlobalVerts, gv)
+			}
+			lt[k] = lv
+		}
+		part.Dataset.Mesh.Tris = append(part.Dataset.Mesh.Tris, lt)
+	}
+	return part
+}
+
+// Report summarizes a parallel refactoring pass.
+type Report struct {
+	Parts int
+	// PerPart holds each rank's write report, in part order.
+	PerPart []*core.WriteReport
+	// WallSeconds is the real elapsed time with all ranks concurrent;
+	// SerialSeconds sums the ranks' individual compute times, so
+	// SerialSeconds / WallSeconds approximates the parallel speedup.
+	WallSeconds   float64
+	SerialSeconds float64
+	// IOSeconds is the total simulated I/O across ranks.
+	IOSeconds float64
+}
+
+// WriteParallel splits ds into `parts` ranks and refactors every rank
+// concurrently through aio. Products land under "<name>.p<i>" keys.
+func WriteParallel(aio *adios.IO, ds *core.Dataset, parts int, opts core.Options) (*Report, error) {
+	split, err := Split(ds, parts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Parts: parts, PerPart: make([]*core.WriteReport, parts)}
+	errs := make([]error, parts)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for p, part := range split {
+		wg.Add(1)
+		go func(p int, part *Part) {
+			defer wg.Done()
+			rep.PerPart[p], errs[p] = core.Write(aio, part.Dataset, opts)
+		}(p, part)
+	}
+	wg.Wait()
+	rep.WallSeconds = time.Since(t0).Seconds()
+	for p, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("partition: rank %d: %w", p, err)
+		}
+	}
+	for _, r := range rep.PerPart {
+		rep.SerialSeconds += r.Timings.DecimateSeconds + r.Timings.DeltaSeconds + r.Timings.CompressSeconds
+		rep.IOSeconds += r.Timings.IOSeconds
+	}
+	return rep, nil
+}
+
+// ReadFull reassembles the full-accuracy global dataset from per-partition
+// products written by WriteParallel. Halo vertices appear in multiple
+// parts; any copy is valid (they differ by at most the codec bound), and
+// the lowest part index wins for determinism.
+func ReadFull(aio *adios.IO, ds *core.Dataset, parts []*Part) ([]float64, error) {
+	out := make([]float64, ds.Mesh.NumVerts())
+	have := make([]bool, len(out))
+	for _, part := range parts {
+		rd, err := core.OpenReader(aio, part.Dataset.Name)
+		if err != nil {
+			return nil, err
+		}
+		v, err := rd.Retrieve(0)
+		if err != nil {
+			return nil, err
+		}
+		if len(v.Data) != len(part.GlobalVerts) {
+			return nil, fmt.Errorf("partition: %s restored %d values for %d vertices",
+				part.Dataset.Name, len(v.Data), len(part.GlobalVerts))
+		}
+		for lv, gv := range part.GlobalVerts {
+			if !have[gv] {
+				out[gv] = v.Data[lv]
+				have[gv] = true
+			}
+		}
+	}
+	for gv, ok := range have {
+		if !ok {
+			return nil, fmt.Errorf("partition: global vertex %d not covered by any part", gv)
+		}
+	}
+	return out, nil
+}

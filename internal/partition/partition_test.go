@@ -1,0 +1,218 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adios"
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/storage"
+)
+
+func testDS(nx int) *core.Dataset {
+	m := mesh.Rect(nx, nx, 2, 1)
+	data := make([]float64, m.NumVerts())
+	for i, v := range m.Verts {
+		data[i] = math.Sin(4*v.X) * math.Cos(3*v.Y)
+	}
+	return &core.Dataset{Name: "f", Mesh: m, Data: data}
+}
+
+func TestSplitCoversAllTrianglesOnce(t *testing.T) {
+	ds := testDS(16)
+	parts, err := Split(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p, part := range parts {
+		if err := part.Dataset.Validate(); err != nil {
+			t.Fatalf("part %d invalid: %v", p, err)
+		}
+		total += part.Dataset.Mesh.NumTris()
+	}
+	if total != ds.Mesh.NumTris() {
+		t.Fatalf("parts hold %d triangles, want %d", total, ds.Mesh.NumTris())
+	}
+}
+
+func TestSplitGeometryAndDataConsistent(t *testing.T) {
+	ds := testDS(12)
+	parts, err := Split(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]bool, ds.Mesh.NumVerts())
+	for _, part := range parts {
+		for lv, gv := range part.GlobalVerts {
+			covered[gv] = true
+			if part.Dataset.Mesh.Verts[lv] != ds.Mesh.Verts[gv] {
+				t.Fatalf("vertex %d geometry mismatch", gv)
+			}
+			if part.Dataset.Data[lv] != ds.Data[gv] {
+				t.Fatalf("vertex %d data mismatch", gv)
+			}
+		}
+	}
+	for gv, ok := range covered {
+		if !ok {
+			t.Fatalf("global vertex %d in no part", gv)
+		}
+	}
+}
+
+func TestSplitPartsAreSpatiallyContiguous(t *testing.T) {
+	// With a wide rectangle split along x, part p's centroids must all
+	// lie left of part p+1's.
+	ds := testDS(20)
+	parts, err := Split(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOf := func(p *Part) float64 {
+		worst := math.Inf(-1)
+		for _, tr := range p.Dataset.Mesh.Tris {
+			c := (p.Dataset.Mesh.Verts[tr[0]].X + p.Dataset.Mesh.Verts[tr[1]].X + p.Dataset.Mesh.Verts[tr[2]].X) / 3
+			worst = math.Max(worst, c)
+		}
+		return worst
+	}
+	minOf := func(p *Part) float64 {
+		best := math.Inf(1)
+		for _, tr := range p.Dataset.Mesh.Tris {
+			c := (p.Dataset.Mesh.Verts[tr[0]].X + p.Dataset.Mesh.Verts[tr[1]].X + p.Dataset.Mesh.Verts[tr[2]].X) / 3
+			best = math.Min(best, c)
+		}
+		return best
+	}
+	for p := 0; p+1 < len(parts); p++ {
+		if maxOf(parts[p]) > minOf(parts[p+1])+1e-9 {
+			t.Fatalf("parts %d and %d overlap spatially", p, p+1)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	ds := testDS(4)
+	if _, err := Split(ds, 0); err == nil {
+		t.Error("accepted 0 parts")
+	}
+	if _, err := Split(ds, ds.Mesh.NumTris()+1); err == nil {
+		t.Error("accepted more parts than triangles")
+	}
+	bad := &core.Dataset{Name: "x", Mesh: ds.Mesh, Data: ds.Data[:1]}
+	if _, err := Split(bad, 2); err == nil {
+		t.Error("accepted invalid dataset")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	ds := testDS(10)
+	a, err := Split(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Split(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range a {
+		if a[p].Dataset.Mesh.NumVerts() != b[p].Dataset.Mesh.NumVerts() {
+			t.Fatal("split not deterministic")
+		}
+		for i := range a[p].GlobalVerts {
+			if a[p].GlobalVerts[i] != b[p].GlobalVerts[i] {
+				t.Fatal("split not deterministic")
+			}
+		}
+	}
+}
+
+func TestWriteParallelAndReadFull(t *testing.T) {
+	ds := testDS(24)
+	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
+	rep, err := WriteParallel(aio, ds, 4, core.Options{Levels: 3, RelTolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Parts != 4 || len(rep.PerPart) != 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.WallSeconds <= 0 || rep.IOSeconds <= 0 {
+		t.Fatal("report missing timings")
+	}
+	parts, err := Split(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFull(aio, ds, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := rep.PerPart[0].Tolerance * 8
+	for i := range ds.Data {
+		if math.Abs(got[i]-ds.Data[i]) > bound {
+			t.Fatalf("vertex %d error %g exceeds bound %g", i, math.Abs(got[i]-ds.Data[i]), bound)
+		}
+	}
+}
+
+func TestWriteParallelSinglePart(t *testing.T) {
+	ds := testDS(10)
+	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
+	rep, err := WriteParallel(aio, ds, 1, core.Options{Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Parts != 1 {
+		t.Fatalf("parts = %d", rep.Parts)
+	}
+	rd, err := core.OpenReader(aio, "f.p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Retrieve(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFullDetectsMissingPart(t *testing.T) {
+	ds := testDS(12)
+	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
+	if _, err := WriteParallel(aio, ds, 3, core.Options{Levels: 2}); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Split(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one part: reassembly must fail loudly, not silently zero.
+	if _, err := ReadFull(aio, ds, parts[:2]); err == nil {
+		t.Fatal("ReadFull succeeded with a missing part")
+	}
+}
+
+func BenchmarkWriteParallel4(b *testing.B) {
+	ds := testDS(48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aio := adios.NewIO(storage.TitanTwoTier(0), nil)
+		if _, err := WriteParallel(aio, ds, 4, core.Options{Levels: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteSerial(b *testing.B) {
+	ds := testDS(48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aio := adios.NewIO(storage.TitanTwoTier(0), nil)
+		if _, err := WriteParallel(aio, ds, 1, core.Options{Levels: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

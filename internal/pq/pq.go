@@ -1,0 +1,180 @@
+// Package pq implements an indexed binary min-heap keyed by float64
+// priorities.
+//
+// The decimation algorithm in Algorithm 1 of the Canopus paper repeatedly
+// pops the shortest edge from a priority queue, and every edge collapse
+// changes the lengths of the edges incident to the new vertex. That access
+// pattern needs three operations a plain container/heap cannot provide
+// without O(n) scans: Update (re-key an arbitrary element), Remove (delete an
+// arbitrary element), and Contains. The queue here keeps a position index so
+// all three run in O(log n).
+//
+// Items are identified by a caller-chosen non-negative int handle (for
+// Canopus, the edge id). Handles may be sparse; the index is a map.
+package pq
+
+import "fmt"
+
+// Queue is an indexed min-priority queue. The zero value is ready to use.
+// Queue is not safe for concurrent use.
+type Queue struct {
+	ids   []int       // heap order: ids[0] has the smallest priority
+	prio  []float64   // prio[i] is the priority of ids[i]
+	index map[int]int // id -> position in ids
+}
+
+// New returns a queue with capacity preallocated for n items.
+func New(n int) *Queue {
+	return &Queue{
+		ids:   make([]int, 0, n),
+		prio:  make([]float64, 0, n),
+		index: make(map[int]int, n),
+	}
+}
+
+// Len reports the number of items currently queued.
+func (q *Queue) Len() int { return len(q.ids) }
+
+// Contains reports whether id is in the queue.
+func (q *Queue) Contains(id int) bool {
+	if q.index == nil {
+		return false
+	}
+	_, ok := q.index[id]
+	return ok
+}
+
+// Priority returns the current priority of id. The second result is false if
+// id is not queued.
+func (q *Queue) Priority(id int) (float64, bool) {
+	i, ok := q.index[id]
+	if !ok {
+		return 0, false
+	}
+	return q.prio[i], true
+}
+
+// Push inserts id with the given priority. It panics if id is already queued;
+// use Update to re-key an existing item.
+func (q *Queue) Push(id int, priority float64) {
+	if q.index == nil {
+		q.index = make(map[int]int)
+	}
+	if _, ok := q.index[id]; ok {
+		panic(fmt.Sprintf("pq: Push of queued id %d", id))
+	}
+	q.ids = append(q.ids, id)
+	q.prio = append(q.prio, priority)
+	q.index[id] = len(q.ids) - 1
+	q.up(len(q.ids) - 1)
+}
+
+// Pop removes and returns the id with the smallest priority. ok is false if
+// the queue is empty.
+func (q *Queue) Pop() (id int, priority float64, ok bool) {
+	if len(q.ids) == 0 {
+		return 0, 0, false
+	}
+	id, priority = q.ids[0], q.prio[0]
+	q.swap(0, len(q.ids)-1)
+	q.truncate()
+	delete(q.index, id)
+	if len(q.ids) > 0 {
+		q.down(0)
+	}
+	return id, priority, true
+}
+
+// Peek returns the id with the smallest priority without removing it.
+func (q *Queue) Peek() (id int, priority float64, ok bool) {
+	if len(q.ids) == 0 {
+		return 0, 0, false
+	}
+	return q.ids[0], q.prio[0], true
+}
+
+// Update changes the priority of id, inserting it if absent.
+func (q *Queue) Update(id int, priority float64) {
+	i, ok := q.index[id]
+	if !ok {
+		q.Push(id, priority)
+		return
+	}
+	old := q.prio[i]
+	q.prio[i] = priority
+	switch {
+	case priority < old:
+		q.up(i)
+	case priority > old:
+		q.down(i)
+	}
+}
+
+// Remove deletes id from the queue. It reports whether id was present.
+func (q *Queue) Remove(id int) bool {
+	i, ok := q.index[id]
+	if !ok {
+		return false
+	}
+	last := len(q.ids) - 1
+	q.swap(i, last)
+	q.truncate()
+	delete(q.index, id)
+	if i < last {
+		// The element moved into slot i may need to go either way.
+		q.down(i)
+		q.up(i)
+	}
+	return true
+}
+
+func (q *Queue) truncate() {
+	q.ids = q.ids[:len(q.ids)-1]
+	q.prio = q.prio[:len(q.prio)-1]
+}
+
+func (q *Queue) swap(i, j int) {
+	q.ids[i], q.ids[j] = q.ids[j], q.ids[i]
+	q.prio[i], q.prio[j] = q.prio[j], q.prio[i]
+	q.index[q.ids[i]] = i
+	q.index[q.ids[j]] = j
+}
+
+func (q *Queue) less(i, j int) bool {
+	if q.prio[i] != q.prio[j] {
+		return q.prio[i] < q.prio[j]
+	}
+	// Tie-break on id so heap order (and therefore decimation) is
+	// deterministic across runs.
+	return q.ids[i] < q.ids[j]
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,202 @@
+// Package precision implements byte splitting, the second refactoring
+// method §III-C of the Canopus paper lists ("byte splitting [19], block
+// splitting [8], and mesh decimation"): progressive *precision* rather than
+// progressive *resolution*. Reference [19] is the Exacution line of work,
+// which splits each double into significance-ordered byte groups so a
+// reader can fetch the leading bytes first and refine numeric precision on
+// demand — the same elastic trade-off Canopus makes spatially, applied to
+// the mantissa instead of the mesh.
+//
+// A value is split according to a plan, e.g. [2 2 2 2]: group 0 carries the
+// two most significant bytes of every value (sign, exponent, top mantissa
+// bits), group 1 the next two, and so on. Groups are stored byte-plane-
+// major ("byte transposition"), which clusters high-entropy and low-entropy
+// bytes and markedly improves downstream lossless compression. Restoring
+// from the first k groups zeroes the missing low mantissa bytes, giving a
+// relative error below 2^-(8*bytes(k) - 12) for normal floats.
+package precision
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Refactored is a byte-split dataset: one byte group per plan entry.
+type Refactored struct {
+	// N is the number of values.
+	N int
+	// Plan is the byte width of each group, most significant first.
+	Plan []int
+	// Groups holds the split bytes. Groups[g] has N*Plan[g] bytes in
+	// byte-plane-major order: all values' first byte of the group, then
+	// all values' second byte, ...
+	Groups [][]byte
+}
+
+// ValidatePlan checks that a split plan is usable: positive widths summing
+// to 8, with the first group wide enough (>= 2 bytes) to carry the full
+// sign+exponent field — without it, a partial reconstruction would corrupt
+// magnitudes instead of merely truncating precision.
+func ValidatePlan(plan []int) error {
+	if len(plan) == 0 {
+		return errors.New("precision: empty plan")
+	}
+	sum := 0
+	for i, w := range plan {
+		if w < 1 {
+			return fmt.Errorf("precision: plan[%d] = %d must be positive", i, w)
+		}
+		sum += w
+	}
+	if sum != 8 {
+		return fmt.Errorf("precision: plan %v sums to %d bytes, want 8", plan, sum)
+	}
+	if plan[0] < 2 {
+		return fmt.Errorf("precision: plan[0] = %d must be >= 2 to cover sign and exponent", plan[0])
+	}
+	return nil
+}
+
+// DefaultPlan splits into four 2-byte groups.
+func DefaultPlan() []int { return []int{2, 2, 2, 2} }
+
+// Split refactors vals according to plan.
+func Split(vals []float64, plan []int) (*Refactored, error) {
+	if err := ValidatePlan(plan); err != nil {
+		return nil, err
+	}
+	r := &Refactored{
+		N:      len(vals),
+		Plan:   append([]int(nil), plan...),
+		Groups: make([][]byte, len(plan)),
+	}
+	off := 0 // byte offset from the most significant byte
+	for g, w := range plan {
+		buf := make([]byte, len(vals)*w)
+		for b := 0; b < w; b++ {
+			shift := uint(64 - 8*(off+b+1))
+			dst := buf[b*len(vals):]
+			for i, v := range vals {
+				dst[i] = byte(math.Float64bits(v) >> shift)
+			}
+		}
+		r.Groups[g] = buf
+		off += w
+	}
+	return r, nil
+}
+
+// Reconstruct rebuilds values from the first k groups (1 <= k <=
+// len(Plan)). Missing low-order bytes are zero, truncating the mantissa
+// toward zero. k = len(Plan) reproduces the input bit-exactly.
+func (r *Refactored) Reconstruct(k int) ([]float64, error) {
+	if k < 1 || k > len(r.Plan) {
+		return nil, fmt.Errorf("precision: k = %d out of range [1,%d]", k, len(r.Plan))
+	}
+	bits := make([]uint64, r.N)
+	off := 0
+	for g := 0; g < k; g++ {
+		w := r.Plan[g]
+		buf := r.Groups[g]
+		if len(buf) != r.N*w {
+			return nil, fmt.Errorf("precision: group %d has %d bytes, want %d", g, len(buf), r.N*w)
+		}
+		for b := 0; b < w; b++ {
+			shift := uint(64 - 8*(off+b+1))
+			src := buf[b*r.N:]
+			for i := 0; i < r.N; i++ {
+				bits[i] |= uint64(src[i]) << shift
+			}
+		}
+		off += w
+	}
+	out := make([]float64, r.N)
+	for i, u := range bits {
+		out[i] = math.Float64frombits(u)
+	}
+	return out, nil
+}
+
+// RelErrorBound returns the maximum relative reconstruction error (for
+// normal, finite values) when restoring from the first k groups: the
+// retained mantissa has 8*bytes(k) - 12 bits.
+func RelErrorBound(plan []int, k int) float64 {
+	if k >= len(plan) {
+		return 0
+	}
+	bytes := 0
+	for _, w := range plan[:k] {
+		bytes += w
+	}
+	retained := 8*bytes - 12
+	if retained >= 52 {
+		return 0
+	}
+	return math.Ldexp(1, -retained)
+}
+
+// Binary encoding for storage:
+//
+//	magic "CPS1" | uvarint n | uvarint nGroups | widths | per-group bytes
+
+const psMagic = 0x31535043 // "CPS1"
+
+// Encode serializes the refactored groups. Callers typically compress each
+// group independently before placement; EncodeGroup supports that.
+func (r *Refactored) Encode() []byte {
+	out := make([]byte, 0, 16+8*r.N)
+	out = binary.LittleEndian.AppendUint32(out, psMagic)
+	out = binary.AppendUvarint(out, uint64(r.N))
+	out = binary.AppendUvarint(out, uint64(len(r.Plan)))
+	for _, w := range r.Plan {
+		out = append(out, byte(w))
+	}
+	for _, g := range r.Groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// Decode parses an Encode stream.
+func Decode(data []byte) (*Refactored, error) {
+	if len(data) < 4 || binary.LittleEndian.Uint32(data) != psMagic {
+		return nil, errors.New("precision: bad magic")
+	}
+	off := 4
+	n, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return nil, errors.New("precision: truncated header")
+	}
+	off += k
+	nGroups, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return nil, errors.New("precision: truncated header")
+	}
+	off += k
+	if nGroups == 0 || nGroups > 8 || int(nGroups) > len(data)-off {
+		return nil, fmt.Errorf("precision: invalid group count %d", nGroups)
+	}
+	plan := make([]int, nGroups)
+	for i := range plan {
+		plan[i] = int(data[off])
+		off++
+	}
+	if err := ValidatePlan(plan); err != nil {
+		return nil, err
+	}
+	if n > uint64(len(data)) {
+		return nil, fmt.Errorf("precision: implausible count %d", n)
+	}
+	r := &Refactored{N: int(n), Plan: plan, Groups: make([][]byte, nGroups)}
+	for g, w := range plan {
+		need := int(n) * w
+		if len(data)-off < need {
+			return nil, errors.New("precision: truncated groups")
+		}
+		r.Groups[g] = append([]byte(nil), data[off:off+need]...)
+		off += need
+	}
+	return r, nil
+}

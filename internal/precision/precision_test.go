@@ -1,0 +1,295 @@
+package precision
+
+import (
+	"bytes"
+	"compress/flate"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sample(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * math.Ldexp(1, rng.Intn(20)-10)
+	}
+	return out
+}
+
+func TestValidatePlan(t *testing.T) {
+	good := [][]int{{2, 2, 2, 2}, {8}, {2, 6}, {3, 5}, {2, 1, 1, 1, 1, 1, 1}}
+	for _, p := range good {
+		if err := ValidatePlan(p); err != nil {
+			t.Errorf("ValidatePlan(%v): %v", p, err)
+		}
+	}
+	bad := [][]int{nil, {}, {4, 4, 4}, {1, 7}, {0, 8}, {2, -2, 8}, {2, 2}}
+	for _, p := range bad {
+		if err := ValidatePlan(p); err == nil {
+			t.Errorf("ValidatePlan(%v) accepted", p)
+		}
+	}
+	if err := ValidatePlan(DefaultPlan()); err != nil {
+		t.Errorf("DefaultPlan invalid: %v", err)
+	}
+}
+
+func TestFullReconstructionBitExact(t *testing.T) {
+	vals := append(sample(257, 1),
+		0, -0, math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, math.Inf(1), math.Inf(-1), math.NaN())
+	for _, plan := range [][]int{{2, 2, 2, 2}, {8}, {2, 6}, {2, 1, 1, 1, 1, 1, 1}} {
+		r, err := Split(vals, plan)
+		if err != nil {
+			t.Fatalf("plan %v: %v", plan, err)
+		}
+		got, err := r.Reconstruct(len(plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("plan %v: value %d = %x, want %x", plan, i,
+					math.Float64bits(got[i]), math.Float64bits(vals[i]))
+			}
+		}
+	}
+}
+
+func TestPartialReconstructionErrorBound(t *testing.T) {
+	vals := sample(1000, 2)
+	plan := []int{2, 2, 2, 2}
+	r, err := Split(vals, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(plan); k++ {
+		bound := RelErrorBound(plan, k)
+		got, err := r.Reconstruct(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			rel := math.Abs(got[i]-v) / math.Abs(v)
+			if rel > bound {
+				t.Fatalf("k=%d value %d: rel error %g exceeds bound %g", k, i, rel, bound)
+			}
+		}
+	}
+}
+
+func TestProgressiveErrorShrinks(t *testing.T) {
+	vals := sample(500, 3)
+	r, err := Split(vals, DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for k := 1; k <= 4; k++ {
+		got, err := r.Reconstruct(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for i := range vals {
+			worst = math.Max(worst, math.Abs(got[i]-vals[i]))
+		}
+		if worst > prev {
+			t.Fatalf("k=%d worst error %g grew from %g", k, worst, prev)
+		}
+		prev = worst
+	}
+	if prev != 0 {
+		t.Fatalf("full reconstruction error %g, want 0", prev)
+	}
+}
+
+func TestRelErrorBound(t *testing.T) {
+	plan := []int{2, 2, 2, 2}
+	// k=1: 16 bits - 12 = 4 mantissa bits retained -> 2^-4.
+	if got := RelErrorBound(plan, 1); got != math.Ldexp(1, -4) {
+		t.Fatalf("k=1 bound %g", got)
+	}
+	// k=4: exact.
+	if got := RelErrorBound(plan, 4); got != 0 {
+		t.Fatalf("k=4 bound %g", got)
+	}
+	// A single 8-byte group is exact at k=1.
+	if got := RelErrorBound([]int{8}, 1); got != 0 {
+		t.Fatalf("8-byte plan bound %g", got)
+	}
+}
+
+func TestReconstructBadK(t *testing.T) {
+	r, err := Split(sample(10, 4), DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reconstruct(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := r.Reconstruct(5); err == nil {
+		t.Error("k>groups accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vals := sample(321, 5)
+	r, err := Split(vals, []int{2, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != r.N || len(got.Plan) != len(r.Plan) {
+		t.Fatalf("decoded shape %d/%v", got.N, got.Plan)
+	}
+	rec, err := got.Reconstruct(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if rec[i] != vals[i] {
+			t.Fatalf("value %d mismatch after encode/decode", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	r, _ := Split(sample(16, 6), DefaultPlan())
+	enc := r.Encode()
+	cases := map[string][]byte{
+		"nil":       nil,
+		"bad magic": {1, 2, 3, 4, 5, 6},
+		"truncated": enc[:len(enc)/2],
+	}
+	for name, d := range cases {
+		if _, err := Decode(d); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Corrupt plan widths.
+	bad := append([]byte(nil), enc...)
+	bad[6] = 0 // first plan width (after magic+2 uvarints for small n)
+	if _, err := Decode(bad); err == nil {
+		t.Error("zero plan width accepted")
+	}
+}
+
+func TestByteTranspositionImprovesCompression(t *testing.T) {
+	// The design rationale: on smooth data, the leading-byte group is
+	// highly repetitive, so flate compresses the transposed layout much
+	// better than the interleaved raw bytes.
+	n := 4096
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1000 + math.Sin(float64(i)/50)
+	}
+	r, err := Split(vals, DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 0, 8*n)
+	for _, v := range vals {
+		var b [8]byte
+		u := math.Float64bits(v)
+		for j := 0; j < 8; j++ {
+			b[j] = byte(u >> (8 * uint(j)))
+		}
+		raw = append(raw, b[:]...)
+	}
+	if deflateLen(t, r.Groups[0]) >= deflateLen(t, raw[:len(r.Groups[0])]) {
+		t.Fatal("transposed leading group not more compressible than raw layout")
+	}
+}
+
+func deflateLen(t *testing.T, data []byte) int {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len()
+}
+
+// TestQuickSplitReconstruct is the property test: any values, any valid
+// plan, full reconstruction is bit-exact and partial reconstructions honor
+// the relative bound for normal values.
+func TestQuickSplitReconstruct(t *testing.T) {
+	plans := [][]int{{2, 2, 2, 2}, {8}, {2, 6}, {3, 5}, {2, 2, 4}}
+	f := func(vals []float64, planSel uint8) bool {
+		plan := plans[int(planSel)%len(plans)]
+		r, err := Split(vals, plan)
+		if err != nil {
+			return false
+		}
+		full, err := r.Reconstruct(len(plan))
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(full[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		for k := 1; k < len(plan); k++ {
+			bound := RelErrorBound(plan, k)
+			got, err := r.Reconstruct(k)
+			if err != nil {
+				return false
+			}
+			for i, v := range vals {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 ||
+					math.Abs(v) < math.Ldexp(1, -1000) {
+					continue // bound applies to normal values
+				}
+				if math.Abs(got[i]-v)/math.Abs(v) > bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	vals := sample(1<<16, 9)
+	b.SetBytes(int64(8 * len(vals)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(vals, DefaultPlan()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	vals := sample(1<<16, 10)
+	r, err := Split(vals, DefaultPlan())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * len(vals)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Reconstruct(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package query implements the query side of the Canopus architecture: the
+// "ADIOS Query API" box of Fig. 2, through which analytics ask for data
+// instead of reading files wholesale. It supports value-predicate queries
+// over refactored variables ("where is dpot > 0.8?") and evaluates them
+// *progressively*: the predicate is first screened on the cheap base
+// dataset, candidate neighborhoods are then refined with focused regional
+// retrieval at higher accuracy, and only the final candidates are verified
+// at the requested level. That is the paper's §III-E exploration loop —
+// low-accuracy scan guides focused high-accuracy reads — packaged as a
+// query engine, and it mirrors the query-driven-exploration systems (MLOC,
+// PARLO, SDS) the paper's related work positions Canopus beside.
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+)
+
+// Predicate tests one vertex value.
+type Predicate struct {
+	// Op is one of ">", ">=", "<", "<=".
+	Op string
+	// Threshold is the comparison constant.
+	Threshold float64
+}
+
+// Matches evaluates the predicate.
+func (p Predicate) Matches(v float64) bool {
+	switch p.Op {
+	case ">":
+		return v > p.Threshold
+	case ">=":
+		return v >= p.Threshold
+	case "<":
+		return v < p.Threshold
+	case "<=":
+		return v <= p.Threshold
+	default:
+		return false
+	}
+}
+
+// Validate checks the operator.
+func (p Predicate) Validate() error {
+	switch p.Op {
+	case ">", ">=", "<", "<=":
+		return nil
+	default:
+		return fmt.Errorf("query: unknown operator %q", p.Op)
+	}
+}
+
+// Margin loosens the predicate for screening at reduced accuracy: a vertex
+// whose base-level value is within `slack` of the threshold might still
+// match at full accuracy, so screening must keep it as a candidate.
+func (p Predicate) widened(slack float64) Predicate {
+	w := p
+	switch p.Op {
+	case ">", ">=":
+		w.Threshold -= slack
+	case "<", "<=":
+		w.Threshold += slack
+	}
+	return w
+}
+
+// Match is one query hit.
+type Match struct {
+	// Vertex is the vertex index at the answer level.
+	Vertex int32
+	// X, Y is its position; Value the restored value.
+	X, Y  float64
+	Value float64
+}
+
+// Result is a completed query.
+type Result struct {
+	Matches []Match
+	// Level the answer was evaluated at (0 = full accuracy).
+	Level int
+	// ScreenedRegions is how many candidate rectangles survived the
+	// base-level screen and were refined.
+	ScreenedRegions int
+	// Timings accumulates the retrieval costs of every phase.
+	Timings core.PhaseTimings
+}
+
+// Options tunes progressive evaluation.
+type Options struct {
+	// Level is the accuracy level to answer at (default 0, full).
+	Level int
+	// Slack widens the predicate during base-level screening, as a
+	// multiple of the field's base-level spread (default 0.5). Larger
+	// values screen more conservatively (fewer false dismissals, more
+	// I/O); decimation's averaging can depress a sharp peak below the
+	// raw threshold, so zero slack risks missing features.
+	Slack float64
+	// CellsPerAxis controls the granularity of candidate regions formed
+	// from base-level hits (default 8).
+	CellsPerAxis int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Slack == 0 {
+		o.Slack = 0.5
+	}
+	if o.CellsPerAxis == 0 {
+		o.CellsPerAxis = 8
+	}
+	return o
+}
+
+// Run evaluates pred against the variable behind rd.
+//
+// Strategy: read the base (fast tier, small), widen the predicate by
+// Slack×stddev(base) and collect matching base vertices; snap them to a
+// CellsPerAxis² grid of candidate rectangles; regionally retrieve each
+// candidate rectangle at the answer level; evaluate the exact predicate on
+// the restored values. Vertices outside every candidate rectangle are never
+// read at high accuracy.
+func Run(rd *core.Reader, pred Predicate, opts Options) (*Result, error) {
+	if err := pred.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.Level < 0 || opts.Level >= rd.Levels() {
+		return nil, fmt.Errorf("query: level %d out of range [0,%d)", opts.Level, rd.Levels())
+	}
+
+	base, err := rd.Base()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Level: opts.Level}
+	res.Timings.Add(base.Timings)
+
+	// Answering at the base level needs no refinement.
+	if opts.Level == rd.Levels()-1 {
+		res.Matches = evaluate(base.Mesh, base.Data, nil, pred)
+		return res, nil
+	}
+
+	// Screen with the widened predicate.
+	slack := opts.Slack * stddev(base.Data)
+	screen := pred.widened(slack)
+	minX, minY, maxX, maxY := base.Mesh.Bounds()
+	w := maxX - minX
+	h := maxY - minY
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	n := opts.CellsPerAxis
+	hot := make([]bool, n*n)
+	anyHot := false
+	for vi, val := range base.Data {
+		if !screen.Matches(val) {
+			continue
+		}
+		v := base.Mesh.Verts[vi]
+		cx := clampCell(int(float64(n)*(v.X-minX)/w), n)
+		cy := clampCell(int(float64(n)*(v.Y-minY)/h), n)
+		hot[cy*n+cx] = true
+		anyHot = true
+	}
+	if !anyHot {
+		return res, nil
+	}
+
+	// Refine each hot cell (padded by one cell so features on cell
+	// borders keep their support) with a focused regional read.
+	cw := w / float64(n)
+	ch := h / float64(n)
+	seen := map[int32]bool{}
+	for cy := 0; cy < n; cy++ {
+		for cx := 0; cx < n; cx++ {
+			if !hot[cy*n+cx] {
+				continue
+			}
+			res.ScreenedRegions++
+			x0 := minX + float64(cx-1)*cw
+			y0 := minY + float64(cy-1)*ch
+			x1 := minX + float64(cx+2)*cw
+			y1 := minY + float64(cy+2)*ch
+			rv, err := rd.RetrieveRegion(opts.Level, x0, y0, x1, y1)
+			if err != nil {
+				return nil, err
+			}
+			res.Timings.Add(rv.Timings)
+			for _, m := range evaluate(rv.Mesh, rv.Data, rv.Have, pred) {
+				if !seen[m.Vertex] {
+					seen[m.Vertex] = true
+					res.Matches = append(res.Matches, m)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunExhaustive answers the query by retrieving the whole level — the
+// baseline progressive evaluation is measured against.
+func RunExhaustive(rd *core.Reader, pred Predicate, level int) (*Result, error) {
+	if err := pred.Validate(); err != nil {
+		return nil, err
+	}
+	v, err := rd.Retrieve(level)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Level: level}
+	res.Timings.Add(v.Timings)
+	res.Matches = evaluate(v.Mesh, v.Data, nil, pred)
+	return res, nil
+}
+
+func evaluate(m *mesh.Mesh, data []float64, have []bool, pred Predicate) []Match {
+	var out []Match
+	for vi, val := range data {
+		if have != nil && !have[vi] {
+			continue
+		}
+		if pred.Matches(val) {
+			out = append(out, Match{
+				Vertex: int32(vi),
+				X:      m.Verts[vi].X,
+				Y:      m.Verts[vi].Y,
+				Value:  val,
+			})
+		}
+	}
+	return out
+}
+
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+func stddev(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	var s float64
+	for _, v := range x {
+		s += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(s / float64(len(x)))
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestXGC1DefaultScaleMatchesPaper(t *testing.T) {
+	res := XGC1(XGC1Config{})
+	ds := res.Dataset
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's plane: 41,087 triangles, 20,694 dpot values. Our
+	// generator targets the same order: ~41k / ~21k.
+	if n := ds.Mesh.NumTris(); n < 38000 || n > 44000 {
+		t.Fatalf("XGC1 triangles = %d, want ~41k", n)
+	}
+	if n := ds.Mesh.NumVerts(); n < 19000 || n > 23000 {
+		t.Fatalf("XGC1 vertices = %d, want ~21k", n)
+	}
+	if ds.Name != "dpot" {
+		t.Fatalf("name = %q", ds.Name)
+	}
+	if len(res.Truth) != 16 {
+		t.Fatalf("truth blobs = %d, want 16", len(res.Truth))
+	}
+}
+
+func TestXGC1Deterministic(t *testing.T) {
+	a := XGC1(XGC1Config{Rings: 8, Segments: 64, Seed: 7})
+	b := XGC1(XGC1Config{Rings: 8, Segments: 64, Seed: 7})
+	for i := range a.Dataset.Data {
+		if a.Dataset.Data[i] != b.Dataset.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := XGC1(XGC1Config{Rings: 8, Segments: 64, Seed: 8})
+	same := true
+	for i := range a.Dataset.Data {
+		if a.Dataset.Data[i] != c.Dataset.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestXGC1BlobsDominateBackground(t *testing.T) {
+	res := XGC1(XGC1Config{Rings: 16, Segments: 160, Seed: 3})
+	// Peak field value must be blob-scale (>0.5), not turbulence-scale.
+	peak := 0.0
+	for _, v := range res.Dataset.Data {
+		peak = math.Max(peak, v)
+	}
+	if peak < 0.5 {
+		t.Fatalf("peak %g too small; blobs missing", peak)
+	}
+}
+
+func TestXGC1BlobsAreDetectable(t *testing.T) {
+	// End-to-end sanity: the injected blobs must be findable by the blob
+	// detector on full-accuracy data — otherwise Fig. 7/8 are vacuous.
+	res := XGC1(XGC1Config{Rings: 24, Segments: 320, Blobs: 6, Seed: 5})
+	r, err := analysis.Rasterize(res.Dataset.Mesh, res.Dataset.Data, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := analysis.DetectBlobs(r.ToGray(), r.W, r.H, analysis.Config1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) < 4 {
+		t.Fatalf("detected %d blobs for 6 injected", len(blobs))
+	}
+	// Detected centers must be near injected centers (mesh coords ->
+	// pixels).
+	sx := float64(r.W) / (r.MaxX - r.MinX)
+	sy := float64(r.H) / (r.MaxY - r.MinY)
+	matched := 0
+	for _, g := range res.Truth {
+		px := (g.X - r.MinX) * sx
+		py := (g.Y - r.MinY) * sy
+		for _, b := range blobs {
+			if math.Hypot(b.X-px, b.Y-py) < 15 {
+				matched++
+				break
+			}
+		}
+	}
+	if matched < 4 {
+		t.Fatalf("only %d injected blobs matched a detection", matched)
+	}
+}
+
+func TestXGC1SequenceSharesMeshAndMovesBlobs(t *testing.T) {
+	seq := XGC1Sequence(XGC1Config{Rings: 10, Segments: 96, Blobs: 4, Seed: 6}, 5)
+	if len(seq) != 5 {
+		t.Fatalf("steps = %d", len(seq))
+	}
+	for s := 1; s < 5; s++ {
+		if seq[s].Dataset.Mesh != seq[0].Dataset.Mesh {
+			t.Fatal("sequence does not share one mesh")
+		}
+		if err := seq[s].Dataset.Validate(); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		// Blobs must move between steps but not teleport.
+		for b := range seq[s].Truth {
+			prev, cur := seq[s-1].Truth[b], seq[s].Truth[b]
+			d := math.Hypot(cur.X-prev.X, cur.Y-prev.Y)
+			if d == 0 {
+				t.Fatalf("step %d blob %d did not move", s, b)
+			}
+			if d > 0.25 {
+				t.Fatalf("step %d blob %d jumped %g", s, b, d)
+			}
+		}
+	}
+	// Fields differ across steps.
+	same := true
+	for i := range seq[0].Dataset.Data {
+		if seq[0].Dataset.Data[i] != seq[4].Dataset.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("field identical across the sequence")
+	}
+}
+
+func TestXGC1SequenceDeterministic(t *testing.T) {
+	a := XGC1Sequence(XGC1Config{Rings: 8, Segments: 64, Seed: 9}, 3)
+	b := XGC1Sequence(XGC1Config{Rings: 8, Segments: 64, Seed: 9}, 3)
+	for s := range a {
+		for i := range a[s].Dataset.Data {
+			if a[s].Dataset.Data[i] != b[s].Dataset.Data[i] {
+				t.Fatalf("step %d differs between runs", s)
+			}
+		}
+	}
+}
+
+func TestXGC1SequenceSingleStep(t *testing.T) {
+	seq := XGC1Sequence(XGC1Config{Rings: 6, Segments: 48, Seed: 2}, 0)
+	if len(seq) != 1 {
+		t.Fatalf("steps clamp: %d", len(seq))
+	}
+}
+
+func TestGenASiSDefaultScaleMatchesPaper(t *testing.T) {
+	ds := GenASiS(GenASiSConfig{})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 130,050 triangles.
+	if n := ds.Mesh.NumTris(); n < 125000 || n > 135000 {
+		t.Fatalf("GenASiS triangles = %d, want ~130k", n)
+	}
+	if ds.Name != "normVec" {
+		t.Fatalf("name = %q", ds.Name)
+	}
+}
+
+func TestGenASiSHasShockStructure(t *testing.T) {
+	ds := GenASiS(GenASiSConfig{Rings: 32, Segments: 128, Seed: 4})
+	// The field must vary strongly with radius: center region dominated
+	// by the core field, mid-radius by the shock.
+	var centerMax, rimMax float64
+	for i, v := range ds.Mesh.Verts {
+		r := math.Hypot(v.X, v.Y)
+		if r < 0.1 {
+			centerMax = math.Max(centerMax, ds.Data[i])
+		}
+		if r > 0.9 {
+			rimMax = math.Max(rimMax, ds.Data[i])
+		}
+	}
+	if centerMax < 0.2 {
+		t.Fatalf("core field too weak: %g", centerMax)
+	}
+	if rimMax > centerMax {
+		t.Fatalf("rim field %g exceeds core %g; structure inverted", rimMax, centerMax)
+	}
+}
+
+func TestCFDDefaultScaleMatchesPaper(t *testing.T) {
+	ds := CFD(CFDConfig{})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 12,577 triangles.
+	if n := ds.Mesh.NumTris(); n < 11500 || n > 13500 {
+		t.Fatalf("CFD triangles = %d, want ~12.6k", n)
+	}
+	if ds.Name != "pressure" {
+		t.Fatalf("name = %q", ds.Name)
+	}
+}
+
+func TestCFDStagnationPeak(t *testing.T) {
+	ds := CFD(CFDConfig{Seed: 9})
+	// Max pressure must sit near the nose (x ~ 1, y ~ 1).
+	best := 0
+	for i, v := range ds.Data {
+		if v > ds.Data[best] {
+			best = i
+		}
+	}
+	p := ds.Mesh.Verts[best]
+	if math.Abs(p.X-1.0) > 0.3 || math.Abs(p.Y-1.0) > 0.3 {
+		t.Fatalf("pressure peak at (%g, %g), want near (1, 1)", p.X, p.Y)
+	}
+}
+
+func TestAllGeneratorsFinite(t *testing.T) {
+	datasets := []*struct {
+		name string
+		data []float64
+	}{
+		{"xgc1", XGC1(XGC1Config{Rings: 8, Segments: 64}).Dataset.Data},
+		{"genasis", GenASiS(GenASiSConfig{Rings: 16, Segments: 64}).Data},
+		{"cfd", CFD(CFDConfig{NX: 20, NY: 16}).Data},
+	}
+	for _, d := range datasets {
+		for i, v := range d.data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite value at %d", d.name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileBackend persists tier contents in a directory, one file per key. The
+// command-line tools use it so refactored products survive across processes;
+// the simulated cost model still supplies timings, keeping experiment output
+// machine-independent.
+type FileBackend struct {
+	dir  string
+	mu   sync.Mutex
+	used int64
+}
+
+// NewFileBackend creates (if needed) and wraps dir. Existing files are
+// counted toward Used.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create backend dir: %w", err)
+	}
+	b := &FileBackend{dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: scan backend dir: %w", err)
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && !e.IsDir() {
+			b.used += info.Size()
+		}
+	}
+	return b, nil
+}
+
+// encodeKey makes an arbitrary key filesystem-safe.
+func encodeKey(key string) string {
+	safe := true
+	for _, r := range key {
+		if !(r == '-' || r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			safe = false
+			break
+		}
+	}
+	if safe && key != "" && !strings.HasPrefix(key, "x-") {
+		return key
+	}
+	return "x-" + hex.EncodeToString([]byte(key))
+}
+
+func decodeKey(name string) string {
+	if raw, ok := strings.CutPrefix(name, "x-"); ok {
+		if b, err := hex.DecodeString(raw); err == nil {
+			return string(b)
+		}
+	}
+	return name
+}
+
+// Put implements Backend.
+func (b *FileBackend) Put(key string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	path := filepath.Join(b.dir, encodeKey(key))
+	if info, err := os.Stat(path); err == nil {
+		b.used -= info.Size()
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("storage: write %q: %w", key, err)
+	}
+	b.used += int64(len(data))
+	return nil
+}
+
+// Get implements Backend.
+func (b *FileBackend) Get(key string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(b.dir, encodeKey(key)))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("storage: %w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read %q: %w", key, err)
+	}
+	return data, nil
+}
+
+// Delete implements Backend.
+func (b *FileBackend) Delete(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	path := filepath.Join(b.dir, encodeKey(key))
+	info, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	b.used -= info.Size()
+	return nil
+}
+
+// Used implements Backend.
+func (b *FileBackend) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Keys implements Backend.
+func (b *FileBackend) Keys() []string {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			out = append(out, decodeKey(e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFileTwoTierPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	h, err := FileTwoTier(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumTiers() != 2 {
+		t.Fatalf("NumTiers = %d", h.NumTiers())
+	}
+	if _, err := h.Put("fast-key", payload(64), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Put("slow-key", payload(128), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second process (fresh hierarchy over the same directory) must
+	// rebuild the catalog from disk, including tier placement.
+	h2, err := FileTwoTier(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Where("fast-key"); got != 0 {
+		t.Fatalf("fast-key on tier %d after reopen", got)
+	}
+	if got := h2.Where("slow-key"); got != 1 {
+		t.Fatalf("slow-key on tier %d after reopen", got)
+	}
+	data, p, err := h2.Get("slow-key", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload(128)) {
+		t.Fatal("data corrupted across reopen")
+	}
+	if p.TierName != "lustre" {
+		t.Fatalf("read from %s", p.TierName)
+	}
+	keys := h2.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestFileTwoTierCapacityRespected(t *testing.T) {
+	dir := t.TempDir()
+	h, err := FileTwoTier(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Put("a", payload(80), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := h.Put("b", payload(80), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TierIdx != 1 {
+		t.Fatalf("overflow landed on tier %d, want bypass to 1", p.TierIdx)
+	}
+	// Reopening with the same cap must still see tier 0 nearly full.
+	h2, err := FileTwoTier(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := h2.Put("c", payload(80), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.TierIdx != 1 {
+		t.Fatalf("post-reopen overflow landed on tier %d", p2.TierIdx)
+	}
+}
+
+func TestFileTwoTierMigration(t *testing.T) {
+	dir := t.TempDir()
+	h, err := FileTwoTier(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Put("k", payload(32), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Promote("k", 0); err != nil {
+		t.Fatal(err)
+	}
+	// The file must have physically moved between tier directories.
+	h2, err := FileTwoTier(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Where("k"); got != 0 {
+		t.Fatalf("promoted key on tier %d after reopen", got)
+	}
+	data, _, err := h2.Get("k", 1)
+	if err != nil || !bytes.Equal(data, payload(32)) {
+		t.Fatalf("data lost in file-backed migration: %v", err)
+	}
+}

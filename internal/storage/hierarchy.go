@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Hierarchy is an ordered stack of tiers, fastest first. It implements the
+// Canopus placement policy (§III-D): a data product asks for a preferred
+// tier; if that tier lacks capacity the product falls through to the next
+// one ("if a storage tier doesn't have sufficient capacity, it will be
+// bypassed and the next tier will be selected").
+type Hierarchy struct {
+	mu      sync.Mutex
+	tiers   []*Tier
+	catalog map[string]*entry
+	// clock is a logical access clock driving LRU migration decisions;
+	// logical time keeps experiments deterministic.
+	clock int64
+}
+
+// entry is the catalog record for one stored key.
+type entry struct {
+	tier     int
+	size     int64
+	lastUsed int64 // logical access time (Put or Get)
+	accesses int64
+}
+
+// NewHierarchy builds a hierarchy from tiers ordered fastest to slowest.
+func NewHierarchy(tiers ...*Tier) *Hierarchy {
+	h := &Hierarchy{tiers: tiers, catalog: make(map[string]*entry)}
+	for _, t := range tiers {
+		t.backend() // materialize backends up front
+	}
+	return h
+}
+
+// NumTiers reports the number of tiers.
+func (h *Hierarchy) NumTiers() int { return len(h.tiers) }
+
+// Tier returns tier i (0 = fastest).
+func (h *Hierarchy) Tier(i int) *Tier { return h.tiers[i] }
+
+// Placement records where a product landed and what the write cost was.
+type Placement struct {
+	Key      string
+	TierIdx  int
+	TierName string
+	Cost     Cost
+	// Bypassed lists tiers skipped for lack of capacity.
+	Bypassed []string
+}
+
+// Put writes data preferring tier `pref`, falling through to slower tiers
+// when capacity is exhausted. writers models how many clients share the
+// tier's bandwidth for this operation (1 for serial writes).
+func (h *Hierarchy) Put(key string, data []byte, pref int, writers int) (Placement, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if pref < 0 {
+		pref = 0
+	}
+	if pref >= len(h.tiers) {
+		pref = len(h.tiers) - 1
+	}
+	var bypassed []string
+	for i := pref; i < len(h.tiers); i++ {
+		t := h.tiers[i]
+		if !t.fits(int64(len(data))) {
+			bypassed = append(bypassed, t.Name)
+			continue
+		}
+		if err := t.backend().Put(key, data); err != nil {
+			return Placement{}, fmt.Errorf("storage: put %q on %s: %w", key, t.Name, err)
+		}
+		h.clock++
+		h.catalog[key] = &entry{tier: i, size: int64(len(data)), lastUsed: h.clock}
+		return Placement{
+			Key:      key,
+			TierIdx:  i,
+			TierName: t.Name,
+			Cost:     t.writeCost(int64(len(data)), writers),
+			Bypassed: bypassed,
+		}, nil
+	}
+	return Placement{}, fmt.Errorf("storage: put %q (%d bytes): %w on all tiers at or below %d",
+		key, len(data), ErrCapacity, pref)
+}
+
+// Get reads a key from whichever tier holds it and records the access for
+// the migration policy's LRU bookkeeping.
+func (h *Hierarchy) Get(key string, readers int) ([]byte, Placement, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.catalog[key]
+	if !ok {
+		return nil, Placement{}, fmt.Errorf("storage: get %q: %w", key, ErrNotFound)
+	}
+	t := h.tiers[e.tier]
+	data, err := t.backend().Get(key)
+	if err != nil {
+		return nil, Placement{}, err
+	}
+	h.clock++
+	e.lastUsed = h.clock
+	e.accesses++
+	return data, Placement{
+		Key:      key,
+		TierIdx:  e.tier,
+		TierName: t.Name,
+		Cost:     t.readCost(int64(len(data)), readers),
+	}, nil
+}
+
+// Where reports the tier index holding key, or -1.
+func (h *Hierarchy) Where(key string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e, ok := h.catalog[key]; ok {
+		return e.tier
+	}
+	return -1
+}
+
+// Accesses reports how many times key has been read.
+func (h *Hierarchy) Accesses(key string) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e, ok := h.catalog[key]; ok {
+		return e.accesses
+	}
+	return 0
+}
+
+// Delete removes key from the hierarchy.
+func (h *Hierarchy) Delete(key string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.catalog[key]
+	if !ok {
+		return nil
+	}
+	delete(h.catalog, key)
+	return h.tiers[e.tier].backend().Delete(key)
+}
+
+// Keys lists all stored keys sorted, across tiers.
+func (h *Hierarchy) Keys() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for _, t := range h.tiers {
+		out = append(out, t.backend().Keys()...)
+	}
+	return out
+}
+
+// Presets for the storage configurations used by the experiments. Numbers
+// are calibrated to the relative gaps in the paper's testbed (Titan tmpfs vs
+// the production Lustre file system as seen by one client), not to marketing
+// specs: the paper's own baseline read of a single XGC1 plane took seconds,
+// i.e. an effective per-client PFS bandwidth in the tens of MB/s under
+// production contention, three orders of magnitude below DRAM.
+
+// TitanTwoTier reproduces the paper's evaluation setup: a DRAM-backed tmpfs
+// tier over a contended Lustre-like parallel file system. tmpfsCapacity
+// bounds the tmpfs tier (the paper allocates tmpfs proportional to output
+// size); <= 0 leaves it unlimited.
+func TitanTwoTier(tmpfsCapacity int64) *Hierarchy {
+	return NewHierarchy(
+		&Tier{
+			Name:           "tmpfs",
+			Capacity:       tmpfsCapacity,
+			ReadBandwidth:  6e9,
+			WriteBandwidth: 6e9,
+			LatencySeconds: 2e-6,
+		},
+		&Tier{
+			Name:           "lustre",
+			ReadBandwidth:  1e7,
+			WriteBandwidth: 1e7,
+			LatencySeconds: 1e-3,
+		},
+	)
+}
+
+// FileTwoTier builds the Titan-like two-tier hierarchy with file-backed
+// tiers under dir (dir/tmpfs and dir/lustre), so the command-line tools can
+// refactor in one process and retrieve in another. Timing still comes from
+// the simulated cost model.
+func FileTwoTier(dir string, tmpfsCapacity int64) (*Hierarchy, error) {
+	h := TitanTwoTier(tmpfsCapacity)
+	for i := 0; i < h.NumTiers(); i++ {
+		t := h.Tier(i)
+		b, err := NewFileBackend(dir + "/" + t.Name)
+		if err != nil {
+			return nil, err
+		}
+		t.Backend = b
+	}
+	// Rebuild the catalog from what is on disk: fastest tier wins ties.
+	for i := h.NumTiers() - 1; i >= 0; i-- {
+		for _, k := range h.Tier(i).Backend.Keys() {
+			var size int64
+			if data, err := h.Tier(i).Backend.Get(k); err == nil {
+				size = int64(len(data))
+			}
+			h.catalog[k] = &entry{tier: i, size: size}
+		}
+	}
+	return h, nil
+}
+
+// DeepHierarchy models the four-tier stack of the CORAL-era systems the
+// paper anticipates (Fig. 2): NVRAM, burst buffer SSD, parallel file
+// system, campaign storage.
+func DeepHierarchy(nvramCap, bbCap int64) *Hierarchy {
+	return NewHierarchy(
+		&Tier{Name: "nvram", Capacity: nvramCap, ReadBandwidth: 1e10, WriteBandwidth: 5e9, LatencySeconds: 1e-6},
+		&Tier{Name: "burst-buffer", Capacity: bbCap, ReadBandwidth: 2e9, WriteBandwidth: 1.5e9, LatencySeconds: 1e-4},
+		&Tier{Name: "pfs", ReadBandwidth: 3e8, WriteBandwidth: 3e8, LatencySeconds: 5e-3},
+		&Tier{Name: "campaign", ReadBandwidth: 5e7, WriteBandwidth: 5e7, LatencySeconds: 5e-2},
+	)
+}

@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Data migration and eviction. §IV-B of the paper notes its testbed assumed
+// the base dataset always fits in tmpfs, and that "in a production
+// environment, this may not be true and we believe data migration and
+// eviction will play an integral part, which needs to be developed in
+// Canopus". This file develops it: explicit promotion/demotion between
+// tiers, and LRU eviction that makes room on a fast tier by pushing the
+// coldest products down the hierarchy.
+
+// Migration describes one completed move.
+type Migration struct {
+	Key      string
+	FromTier string
+	ToTier   string
+	// Cost is the read-from-source plus write-to-destination expense.
+	Cost Cost
+}
+
+// move relocates key to tier `to` without policy checks. Caller holds the
+// lock.
+func (h *Hierarchy) move(key string, to int) (Migration, error) {
+	e, ok := h.catalog[key]
+	if !ok {
+		return Migration{}, fmt.Errorf("storage: migrate %q: %w", key, ErrNotFound)
+	}
+	if to < 0 || to >= len(h.tiers) {
+		return Migration{}, fmt.Errorf("storage: migrate %q: tier %d out of range", key, to)
+	}
+	src := h.tiers[e.tier]
+	dst := h.tiers[to]
+	if e.tier == to {
+		return Migration{Key: key, FromTier: src.Name, ToTier: src.Name}, nil
+	}
+	data, err := src.backend().Get(key)
+	if err != nil {
+		return Migration{}, err
+	}
+	if !dst.fits(int64(len(data))) {
+		return Migration{}, fmt.Errorf("storage: migrate %q to %s: %w", key, dst.Name, ErrCapacity)
+	}
+	if err := dst.backend().Put(key, data); err != nil {
+		return Migration{}, err
+	}
+	if err := src.backend().Delete(key); err != nil {
+		// Roll back the copy so the catalog stays truthful.
+		_ = dst.backend().Delete(key)
+		return Migration{}, err
+	}
+	m := Migration{Key: key, FromTier: src.Name, ToTier: dst.Name}
+	m.Cost.Add(src.readCost(int64(len(data)), 1))
+	m.Cost.Add(dst.writeCost(int64(len(data)), 1))
+	e.tier = to
+	return m, nil
+}
+
+// Promote moves key to a faster tier (smaller index), evicting colder data
+// from the destination if necessary.
+func (h *Hierarchy) Promote(key string, to int) ([]Migration, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.catalog[key]
+	if !ok {
+		return nil, fmt.Errorf("storage: promote %q: %w", key, ErrNotFound)
+	}
+	if to >= e.tier {
+		return nil, fmt.Errorf("storage: promote %q: tier %d not above current %d", key, to, e.tier)
+	}
+	evictions, err := h.ensureRoomLocked(to, e.size, key)
+	if err != nil {
+		return nil, err
+	}
+	m, err := h.move(key, to)
+	if err != nil {
+		return evictions, err
+	}
+	// A promotion is an access signal: refresh recency so the key does
+	// not become the next promotion's LRU victim.
+	h.clock++
+	e.lastUsed = h.clock
+	return append(evictions, m), nil
+}
+
+// Demote moves key to a slower tier (larger index).
+func (h *Hierarchy) Demote(key string, to int) (Migration, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.catalog[key]
+	if !ok {
+		return Migration{}, fmt.Errorf("storage: demote %q: %w", key, ErrNotFound)
+	}
+	if to <= e.tier {
+		return Migration{}, fmt.Errorf("storage: demote %q: tier %d not below current %d", key, to, e.tier)
+	}
+	return h.move(key, to)
+}
+
+// EnsureRoom evicts least-recently-used keys from tier `tier` into slower
+// tiers until `bytes` additional bytes fit, returning the migrations
+// performed. It fails with ErrCapacity if the hierarchy as a whole cannot
+// absorb the spill.
+func (h *Hierarchy) EnsureRoom(tier int, bytes int64) ([]Migration, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ensureRoomLocked(tier, bytes, "")
+}
+
+// ensureRoomLocked evicts from `tier` until `bytes` fit, never moving
+// `protect`. Caller holds the lock.
+func (h *Hierarchy) ensureRoomLocked(tier int, bytes int64, protect string) ([]Migration, error) {
+	if tier < 0 || tier >= len(h.tiers) {
+		return nil, fmt.Errorf("storage: tier %d out of range", tier)
+	}
+	t := h.tiers[tier]
+	var out []Migration
+	for !t.fits(bytes) {
+		victim := h.coldestOn(tier, protect)
+		if victim == "" {
+			return out, fmt.Errorf("storage: tier %s: %w (nothing evictable)", t.Name, ErrCapacity)
+		}
+		if tier+1 >= len(h.tiers) {
+			return out, fmt.Errorf("storage: tier %s is the bottom tier: %w", t.Name, ErrCapacity)
+		}
+		// Cascade: make room below, then move the victim down one.
+		sub, err := h.ensureRoomLocked(tier+1, h.catalog[victim].size, protect)
+		out = append(out, sub...)
+		if err != nil {
+			return out, err
+		}
+		m, err := h.move(victim, tier+1)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// coldestOn returns the least-recently-used key on a tier, or "" if the
+// tier holds nothing evictable.
+func (h *Hierarchy) coldestOn(tier int, protect string) string {
+	best := ""
+	var bestUsed int64
+	keys := make([]string, 0)
+	for k, e := range h.catalog {
+		if e.tier == tier && k != protect {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys) // deterministic tie-break
+	for _, k := range keys {
+		e := h.catalog[k]
+		if best == "" || e.lastUsed < bestUsed {
+			best = k
+			bestUsed = e.lastUsed
+		}
+	}
+	return best
+}

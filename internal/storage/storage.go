@@ -1,0 +1,166 @@
+// Package storage models the multi-tier HPC storage hierarchy Canopus
+// places refactored data onto (§III-D of the paper): fast small tiers at the
+// top (DRAM/tmpfs, NVRAM), slower larger ones toward the bottom (burst
+// buffer, Lustre-like parallel file system, campaign store).
+//
+// The paper's evaluation ran on Titan with a DRAM-backed tmpfs and Lustre as
+// a two-tier emulation. This package generalizes that: each tier has a
+// capacity, bandwidth, and per-operation latency, and every Put/Get returns
+// the *simulated* wall time the operation would take, so experiments report
+// deterministic I/O timings independent of the host machine. Backends store
+// real bytes (in memory or on disk), so data round trips are genuine; only
+// the clock is modeled.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Cost is the simulated expense of a storage operation.
+type Cost struct {
+	// Seconds of simulated wall time (latency + bytes/bandwidth).
+	Seconds float64
+	// Bytes moved.
+	Bytes int64
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) {
+	c.Seconds += o.Seconds
+	c.Bytes += o.Bytes
+}
+
+// Backend stores bytes for a tier.
+type Backend interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	// Used reports the bytes currently stored.
+	Used() int64
+	// Keys lists stored keys in sorted order.
+	Keys() []string
+}
+
+// MemBackend is an in-memory Backend. It is safe for concurrent use.
+type MemBackend struct {
+	mu   sync.Mutex
+	data map[string][]byte
+	used int64
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{data: make(map[string][]byte)}
+}
+
+// Put implements Backend.
+func (b *MemBackend) Put(key string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if old, ok := b.data[key]; ok {
+		b.used -= int64(len(old))
+	}
+	cp := append([]byte(nil), data...)
+	b.data[key] = cp
+	b.used += int64(len(cp))
+	return nil
+}
+
+// Get implements Backend.
+func (b *MemBackend) Get(key string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d, ok := b.data[key]
+	if !ok {
+		return nil, fmt.Errorf("storage: %w: %q", ErrNotFound, key)
+	}
+	return append([]byte(nil), d...), nil
+}
+
+// Delete implements Backend.
+func (b *MemBackend) Delete(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if old, ok := b.data[key]; ok {
+		b.used -= int64(len(old))
+		delete(b.data, key)
+	}
+	return nil
+}
+
+// Used implements Backend.
+func (b *MemBackend) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Keys implements Backend.
+func (b *MemBackend) Keys() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.data))
+	for k := range b.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Errors returned by the hierarchy.
+var (
+	ErrNotFound = errors.New("key not found")
+	ErrCapacity = errors.New("insufficient capacity")
+)
+
+// Tier is one level of the hierarchy with its performance envelope.
+type Tier struct {
+	// Name identifies the tier in reports ("tmpfs", "lustre", ...).
+	Name string
+	// Capacity in bytes; <= 0 means unlimited.
+	Capacity int64
+	// ReadBandwidth and WriteBandwidth in bytes/second, per writer.
+	ReadBandwidth  float64
+	WriteBandwidth float64
+	// LatencySeconds is the fixed per-operation cost.
+	LatencySeconds float64
+	// Backend holds the bytes; nil gets a fresh MemBackend.
+	Backend Backend
+}
+
+func (t *Tier) backend() Backend {
+	if t.Backend == nil {
+		t.Backend = NewMemBackend()
+	}
+	return t.Backend
+}
+
+// fits reports whether adding n bytes stays within capacity.
+func (t *Tier) fits(n int64) bool {
+	return t.Capacity <= 0 || t.backend().Used()+n <= t.Capacity
+}
+
+// writeCost models a write of n bytes by `writers` concurrent clients
+// sharing the tier's bandwidth.
+func (t *Tier) writeCost(n int64, writers int) Cost {
+	if writers < 1 {
+		writers = 1
+	}
+	return Cost{
+		Seconds: t.LatencySeconds + float64(n)*float64(writers)/t.WriteBandwidth,
+		Bytes:   n,
+	}
+}
+
+func (t *Tier) readCost(n int64, readers int) Cost {
+	if readers < 1 {
+		readers = 1
+	}
+	return Cost{
+		Seconds: t.LatencySeconds + float64(n)*float64(readers)/t.ReadBandwidth,
+		Bytes:   n,
+	}
+}
