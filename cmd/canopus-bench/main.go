@@ -24,6 +24,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: "+strings.Join(bench.Figures(), ", ")+", or all")
 	scale := flag.String("scale", "paper", "dataset scale: paper or quick")
 	ascii := flag.Bool("ascii", false, "render text-art galleries for Figs. 4 and 7")
+	workers := flag.Int("workers", 0, "concurrent pipeline workers (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
 	var s bench.Scale
@@ -38,6 +39,7 @@ func main() {
 	}
 	r := bench.New(os.Stdout, s)
 	r.ASCII = *ascii
+	r.Workers = *workers
 	if err := r.Run(*fig); err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-bench: %v\n", err)
 		os.Exit(1)

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 
 	"repro/internal/adios"
@@ -29,9 +31,12 @@ func main() {
 	cfg := flag.Int("config", 1, "detector config from the paper: 1, 2, or 3")
 	raster := flag.Int("raster", 256, "raster resolution (pixels per side)")
 	compare := flag.Bool("compare", false, "also detect at full accuracy and report the overlap ratio")
+	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*dir, *name, *level, *cfg, *raster, *compare); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *dir, *name, *level, *cfg, *raster, *compare, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-blob: %v\n", err)
 		os.Exit(1)
 	}
@@ -50,8 +55,8 @@ func params(cfg int) (analysis.BlobParams, error) {
 	}
 }
 
-func detect(rd *core.Reader, level, raster int, p analysis.BlobParams) ([]analysis.Blob, *core.View, error) {
-	v, err := rd.Retrieve(level)
+func detect(ctx context.Context, rd *core.Reader, level, raster int, p analysis.BlobParams) ([]analysis.Blob, *core.View, error) {
+	v, err := rd.Retrieve(ctx, level)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -63,7 +68,7 @@ func detect(rd *core.Reader, level, raster int, p analysis.BlobParams) ([]analys
 	return blobs, v, err
 }
 
-func run(dir, name string, level, cfg, raster int, compare bool) error {
+func run(ctx context.Context, dir, name string, level, cfg, raster int, compare bool, workers int) error {
 	p, err := params(cfg)
 	if err != nil {
 		return err
@@ -72,11 +77,12 @@ func run(dir, name string, level, cfg, raster int, compare bool) error {
 	if err != nil {
 		return err
 	}
-	rd, err := core.OpenReader(adios.NewIO(h, nil), name)
+	rd, err := core.OpenReader(ctx, adios.NewIO(h, nil), name)
 	if err != nil {
 		return err
 	}
-	blobs, v, err := detect(rd, level, raster, p)
+	rd.SetWorkers(workers)
+	blobs, v, err := detect(ctx, rd, level, raster, p)
 	if err != nil {
 		return err
 	}
@@ -92,7 +98,7 @@ func run(dir, name string, level, cfg, raster int, compare bool) error {
 		return err
 	}
 	if compare && level != 0 {
-		ref, _, err := detect(rd, 0, raster, p)
+		ref, _, err := detect(ctx, rd, 0, raster, p)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,7 +54,7 @@ func run(dir, key string) error {
 }
 
 func dump(aio *adios.IO, key string) error {
-	hd, err := aio.Open(key, 1)
+	hd, err := aio.Open(context.Background(), key, 1)
 	if err != nil {
 		return err
 	}

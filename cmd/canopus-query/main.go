@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -30,9 +32,12 @@ func main() {
 	level := flag.Int("level", 0, "accuracy level to answer at (0 = full)")
 	exhaustive := flag.Bool("exhaustive", false, "answer by full retrieval instead of progressive screening")
 	limit := flag.Int("limit", 20, "max matches to print")
+	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*dir, *name, *where, *level, *exhaustive, *limit); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *dir, *name, *where, *level, *exhaustive, *limit, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-query: %v\n", err)
 		os.Exit(1)
 	}
@@ -51,7 +56,7 @@ func parseWhere(s string) (query.Predicate, error) {
 	return p, p.Validate()
 }
 
-func run(dir, name, where string, level int, exhaustive bool, limit int) error {
+func run(ctx context.Context, dir, name, where string, level int, exhaustive bool, limit, workers int) error {
 	pred, err := parseWhere(where)
 	if err != nil {
 		return err
@@ -60,15 +65,16 @@ func run(dir, name, where string, level int, exhaustive bool, limit int) error {
 	if err != nil {
 		return err
 	}
-	rd, err := core.OpenReader(adios.NewIO(h, nil), name)
+	rd, err := core.OpenReader(ctx, adios.NewIO(h, nil), name)
 	if err != nil {
 		return err
 	}
+	rd.SetWorkers(workers)
 	var res *query.Result
 	if exhaustive {
-		res, err = query.RunExhaustive(rd, pred, level)
+		res, err = query.RunExhaustive(ctx, rd, pred, level)
 	} else {
-		res, err = query.Run(rd, pred, query.Options{Level: level})
+		res, err = query.Run(ctx, rd, pred, query.Options{Level: level})
 	}
 	if err != nil {
 		return err

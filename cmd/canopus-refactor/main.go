@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 
 	"repro/internal/adios"
@@ -34,15 +36,18 @@ func main() {
 	transport := flag.String("transport", "posix", "ADIOS transport: posix, mpi-aggregate, staging")
 	chunks := flag.Int("chunks", 1, "spatial delta tiles per axis (enables focused regional reads)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "concurrent pipeline workers (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*app, *dir, *levels, *ratio, *codec, *tol, *mode, *estimator, *transport, *chunks, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *app, *dir, *levels, *ratio, *codec, *tol, *mode, *estimator, *transport, *chunks, *seed, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-refactor: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, dir string, levels int, ratio float64, codec string, tol float64, modeStr, estimator, transport string, chunks int, seed int64) error {
+func run(ctx context.Context, app, dir string, levels int, ratio float64, codec string, tol float64, modeStr, estimator, transport string, chunks int, seed int64, workers int) error {
 	ds, err := makeDataset(app, seed)
 	if err != nil {
 		return err
@@ -60,7 +65,7 @@ func run(app, dir string, levels int, ratio float64, codec string, tol float64, 
 		return err
 	}
 	aio := adios.NewIO(h, tr)
-	rep, err := core.Write(aio, ds, core.Options{
+	rep, err := core.Write(ctx, aio, ds, core.Options{
 		Levels:        levels,
 		RatioPerLevel: ratio,
 		Codec:         codec,
@@ -68,6 +73,7 @@ func run(app, dir string, levels int, ratio float64, codec string, tol float64, 
 		Estimator:     estimator,
 		Mode:          mode,
 		Chunks:        chunks,
+		Workers:       workers,
 	})
 	if err != nil {
 		return err

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -29,9 +31,12 @@ func main() {
 	level := flag.Int("level", 0, "target accuracy level (0 = full)")
 	region := flag.String("region", "", "focused retrieval region as minX,minY,maxX,maxY")
 	ascii := flag.Bool("ascii", false, "render the restored field as text art")
+	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*dir, *name, *level, *region, *ascii); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *dir, *name, *level, *region, *ascii, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-restore: %v\n", err)
 		os.Exit(1)
 	}
@@ -51,22 +56,23 @@ func parseRegion(s string) (minX, minY, maxX, maxY float64, err error) {
 	return vals[0], vals[1], vals[2], vals[3], nil
 }
 
-func run(dir, name string, level int, region string, ascii bool) error {
+func run(ctx context.Context, dir, name string, level int, region string, ascii bool, workers int) error {
 	h, err := storage.FileTwoTier(dir, 0)
 	if err != nil {
 		return err
 	}
 	aio := adios.NewIO(h, nil)
-	rd, err := core.OpenReader(aio, name)
+	rd, err := core.OpenReader(ctx, aio, name)
 	if err != nil {
 		return err
 	}
+	rd.SetWorkers(workers)
 	if region != "" {
 		minX, minY, maxX, maxY, err := parseRegion(region)
 		if err != nil {
 			return err
 		}
-		rv, err := rd.RetrieveRegion(level, minX, minY, maxX, maxY)
+		rv, err := rd.RetrieveRegion(ctx, level, minX, minY, maxX, maxY)
 		if err != nil {
 			return err
 		}
@@ -75,7 +81,7 @@ func run(dir, name string, level int, region string, ascii bool) error {
 			rv.CountHave(), rv.Mesh.NumVerts(), rv.Timings.IOBytes, rv.Timings.IOSeconds*1e3)
 		return nil
 	}
-	v, err := rd.Retrieve(level)
+	v, err := rd.Retrieve(ctx, level)
 	if err != nil {
 		return err
 	}

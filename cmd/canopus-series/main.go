@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 
 	"repro/internal/adios"
@@ -33,13 +35,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	step := flag.Int("step", 0, "timestep to retrieve")
 	level := flag.Int("level", 0, "accuracy level to retrieve")
+	workers := flag.Int("workers", 0, "concurrent pipeline workers (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	if *write {
-		err = runWrite(*dir, *name, *steps, *levels, *tol, *seed)
+		err = runWrite(ctx, *dir, *name, *steps, *levels, *tol, *seed, *workers)
 	} else {
-		err = runRead(*dir, *name, *step, *level)
+		err = runRead(ctx, *dir, *name, *step, *level, *workers)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-series: %v\n", err)
@@ -47,7 +52,7 @@ func main() {
 	}
 }
 
-func runWrite(dir, name string, steps, levels int, tol float64, seed int64) error {
+func runWrite(ctx context.Context, dir, name string, steps, levels int, tol float64, seed int64, workers int) error {
 	h, err := storage.FileTwoTier(dir, 0)
 	if err != nil {
 		return err
@@ -62,8 +67,8 @@ func runWrite(dir, name string, steps, levels int, tol float64, seed int64) erro
 			hi = math.Max(hi, v)
 		}
 	}
-	sw, err := core.NewSeriesWriter(aio, name, seq[0].Dataset.Mesh, hi-lo, core.Options{
-		Levels: levels, RelTolerance: tol,
+	sw, err := core.NewSeriesWriter(ctx, aio, name, seq[0].Dataset.Mesh, hi-lo, core.Options{
+		Levels: levels, RelTolerance: tol, Workers: workers,
 	})
 	if err != nil {
 		return err
@@ -72,7 +77,7 @@ func runWrite(dir, name string, steps, levels int, tol float64, seed int64) erro
 	fmt.Fprintln(tw, "step\tpayload bytes\twrite I/O(ms)\tcompute(ms)")
 	var payload int64
 	for _, snap := range seq {
-		rep, err := sw.WriteStep(snap.Dataset.Data)
+		rep, err := sw.WriteStep(ctx, snap.Dataset.Data)
 		if err != nil {
 			return err
 		}
@@ -90,16 +95,17 @@ func runWrite(dir, name string, steps, levels int, tol float64, seed int64) erro
 	return nil
 }
 
-func runRead(dir, name string, step, level int) error {
+func runRead(ctx context.Context, dir, name string, step, level, workers int) error {
 	h, err := storage.FileTwoTier(dir, 0)
 	if err != nil {
 		return err
 	}
-	sr, err := core.OpenSeriesReader(adios.NewIO(h, nil), name)
+	sr, err := core.OpenSeriesReader(ctx, adios.NewIO(h, nil), name)
 	if err != nil {
 		return err
 	}
-	v, err := sr.RetrieveStep(step, level)
+	sr.SetWorkers(workers)
+	v, err := sr.RetrieveStep(ctx, step, level)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -42,7 +43,7 @@ func main() {
 	}
 
 	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
-	sw, err := core.NewSeriesWriter(aio, "dpot", ds0.Mesh, hi-lo, core.Options{
+	sw, err := core.NewSeriesWriter(context.Background(), aio, "dpot", ds0.Mesh, hi-lo, core.Options{
 		Levels: 4, RelTolerance: 1e-4,
 	})
 	if err != nil {
@@ -50,7 +51,7 @@ func main() {
 	}
 	var payload int64
 	for _, snap := range seq {
-		rep, err := sw.WriteStep(snap.Dataset.Data)
+		rep, err := sw.WriteStep(context.Background(), snap.Dataset.Data)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,7 +60,7 @@ func main() {
 	fmt.Printf("stored: hierarchy %d B once + %d B of per-step payloads (%d steps)\n",
 		sw.HierarchyBytes(), payload, steps)
 
-	sr, err := core.OpenSeriesReader(aio, "dpot")
+	sr, err := core.OpenSeriesReader(context.Background(), aio, "dpot")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func main() {
 		frames := make([][]analysis.Blob, steps)
 		var io float64
 		for s := 0; s < steps; s++ {
-			v, err := sr.RetrieveStep(s, level)
+			v, err := sr.RetrieveStep(context.Background(), s, level)
 			if err != nil {
 				log.Fatal(err)
 			}

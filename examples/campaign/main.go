@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	for s := 0; s < steps; s++ {
 		res := sim.XGC1(sim.XGC1Config{Rings: 16, Segments: 256, Seed: int64(100 + s)})
 		res.Dataset.Name = fmt.Sprintf("dpot-t%02d", s)
-		if _, err := core.Write(aio, res.Dataset, core.Options{Levels: 3, RelTolerance: 1e-4}); err != nil {
+		if _, err := core.Write(context.Background(), aio, res.Dataset, core.Options{Levels: 3, RelTolerance: 1e-4}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -67,11 +68,11 @@ func main() {
 	// The hot timesteps now open their bases at memory speed.
 	for s := steps - 3; s < steps; s++ {
 		name := fmt.Sprintf("dpot-t%02d", s)
-		rd, err := core.OpenReader(aio, name)
+		rd, err := core.OpenReader(context.Background(), aio, name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		v, err := rd.Base()
+		v, err := rd.Base(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,17 +26,17 @@ func main() {
 	fmt.Printf("\n%-8s %10s %12s %14s %12s\n", "codec", "lossless", "payload (B)", "vs raw", "max error")
 	for _, name := range []string{"zfp", "sz", "fpc", "flate", "raw"} {
 		aio := adios.NewIO(storage.TitanTwoTier(0), nil)
-		rep, err := core.Write(aio, ds, core.Options{
+		rep, err := core.Write(context.Background(), aio, ds, core.Options{
 			Levels: 3, Codec: name, RelTolerance: 1e-5,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		rd, err := core.OpenReader(aio, ds.Name)
+		rd, err := core.OpenReader(context.Background(), aio, ds.Name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		v, err := rd.Retrieve(0)
+		v, err := rd.Retrieve(context.Background(), 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func main() {
 	fmt.Println("\nplacement on a 4-tier hierarchy (NVRAM 8 KiB, burst buffer 64 KiB):")
 	deep := storage.DeepHierarchy(8<<10, 64<<10)
 	aio := adios.NewIO(deep, nil)
-	rep, err := core.Write(aio, ds, core.Options{Levels: 4, RelTolerance: 1e-5})
+	rep, err := core.Write(context.Background(), aio, ds, core.Options{Levels: 4, RelTolerance: 1e-5})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,16 +32,16 @@ func main() {
 	// to the memory tier of auxiliary nodes, not to disk.
 	h := storage.TitanTwoTier(0)
 	aio := adios.NewIO(h, adios.Staging{})
-	if _, err := core.Write(aio, ds, core.Options{Levels: 4, RelTolerance: 1e-4, Chunks: 8}); err != nil {
+	if _, err := core.Write(context.Background(), aio, ds, core.Options{Levels: 4, RelTolerance: 1e-4, Chunks: 8}); err != nil {
 		log.Fatal(err)
 	}
-	rd, err := core.OpenReader(aio, ds.Name)
+	rd, err := core.OpenReader(context.Background(), aio, ds.Name)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// XGCa reads only the f0-like reduced summary: the base dataset.
-	base, err := rd.Base()
+	base, err := rd.Base(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 
 	// XGCa hands its state back through the same middleware.
 	xgcaOut := &core.Dataset{Name: "dpot-ff", Mesh: base.Mesh, Data: evolved}
-	if _, err := core.Write(aio, xgcaOut, core.Options{Levels: 1, RelTolerance: 1e-4}); err != nil {
+	if _, err := core.Write(context.Background(), aio, xgcaOut, core.Options{Levels: 1, RelTolerance: 1e-4}); err != nil {
 		log.Fatal(err)
 	}
 
@@ -64,14 +65,14 @@ func main() {
 	const pad = 0.12
 	// Steady-state accounting: prime the static mesh/mapping caches once
 	// (the coupled session keeps them resident), then compare warm reads.
-	if _, err := rd.Retrieve(0); err != nil {
+	if _, err := rd.Retrieve(context.Background(), 0); err != nil {
 		log.Fatal(err)
 	}
-	region, err := rd.RetrieveRegion(0, p.X-pad, p.Y-pad, p.X+pad, p.Y+pad)
+	region, err := rd.RetrieveRegion(context.Background(), 0, p.X-pad, p.Y-pad, p.X+pad, p.Y+pad)
 	if err != nil {
 		log.Fatal(err)
 	}
-	full, err := rd.Retrieve(0)
+	full, err := rd.Retrieve(context.Background(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,10 +28,10 @@ func main() {
 	// with deltas split into 8x8 spatial tiles so a zoomed-in read can
 	// fetch just the tiles it needs.
 	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
-	if _, err := core.Write(aio, ds, core.Options{Levels: 6, RelTolerance: 1e-4, Chunks: 8}); err != nil {
+	if _, err := core.Write(context.Background(), aio, ds, core.Options{Levels: 6, RelTolerance: 1e-4, Chunks: 8}); err != nil {
 		log.Fatal(err)
 	}
-	rd, err := core.OpenReader(aio, ds.Name)
+	rd, err := core.OpenReader(context.Background(), aio, ds.Name)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,11 +74,11 @@ func main() {
 	// Steady-state accounting: rd is warm (the gallery above already
 	// loaded the static mesh hierarchy and mappings), so both the zoom
 	// and the full retrieval below pay only data/delta I/O.
-	rv, err := rd.RetrieveRegion(0, cx-pad, cy-pad, cx+pad, cy+pad)
+	rv, err := rd.RetrieveRegion(context.Background(), 0, cx-pad, cy-pad, cx+pad, cy+pad)
 	if err != nil {
 		log.Fatal(err)
 	}
-	full, err := rd.Retrieve(0)
+	full, err := rd.Retrieve(context.Background(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func main() {
 }
 
 func detectWithRaster(rd *core.Reader, level int) ([]analysis.Blob, *analysis.Raster) {
-	v, err := rd.Retrieve(level)
+	v, err := rd.Retrieve(context.Background(), level)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func detectWithRaster(rd *core.Reader, level int) ([]analysis.Blob, *analysis.Ra
 }
 
 func detect(rd *core.Reader, level int) []analysis.Blob {
-	v, err := rd.Retrieve(level)
+	v, err := rd.Retrieve(context.Background(), level)
 	if err != nil {
 		log.Fatal(err)
 	}

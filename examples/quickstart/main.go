@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -30,7 +31,7 @@ func main() {
 
 	// 3. Refactor: three accuracy levels, decimation ratio 2 per level,
 	//    ZFP-like compression with a 1e-6 relative error bound.
-	rep, err := core.Write(aio, ds, core.Options{Levels: 3, RelTolerance: 1e-6})
+	rep, err := core.Write(context.Background(), aio, ds, core.Options{Levels: 3, RelTolerance: 1e-6})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,11 +43,11 @@ func main() {
 
 	// 4. Retrieve progressively: base first, then augment toward full
 	//    accuracy, measuring error against the original at each step.
-	rd, err := core.OpenReader(aio, "field")
+	rd, err := core.OpenReader(context.Background(), aio, "field")
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, err := rd.Base()
+	v, err := rd.Base(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func main() {
 		if v.Level == 0 {
 			break
 		}
-		if err := rd.Augment(v); err != nil {
+		if err := rd.Augment(context.Background(), v); err != nil {
 			log.Fatal(err)
 		}
 	}

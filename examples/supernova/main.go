@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,10 +25,10 @@ func main() {
 		ds.Mesh.NumVerts(), ds.Mesh.NumTris())
 
 	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
-	if _, err := core.Write(aio, ds, core.Options{Levels: 6, RelTolerance: 1e-5}); err != nil {
+	if _, err := core.Write(context.Background(), aio, ds, core.Options{Levels: 6, RelTolerance: 1e-5}); err != nil {
 		log.Fatal(err)
 	}
-	rd, err := core.OpenReader(aio, ds.Name)
+	rd, err := core.OpenReader(context.Background(), aio, ds.Name)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func main() {
 	const rasterN = 128
 	rmsStop := 0.02 * analysis.StdDev(ds.Data)
 
-	v, err := rd.Base()
+	v, err := rd.Base(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func main() {
 	fmt.Printf("\n%-24s %12s %14s\n", "level", "RMS vs prev", "cum I/O (ms)")
 	fmt.Printf("L%d (base, %dx)%*s %12s %14.2f\n", v.Level, 1<<v.Level, 8-len(fmt.Sprint(v.Level)), "", "-", v.Timings.IOSeconds*1e3)
 	for v.Level > 0 {
-		if err := rd.Augment(v); err != nil {
+		if err := rd.Augment(context.Background(), v); err != nil {
 			log.Fatal(err)
 		}
 		cur := raster(v)
@@ -66,11 +67,11 @@ func main() {
 		// How much would the remaining accuracy have cost? Use a fresh
 		// reader so both sides pay cold mesh I/O and the comparison is
 		// like-for-like.
-		rd2, err := core.OpenReader(aio, ds.Name)
+		rd2, err := core.OpenReader(context.Background(), aio, ds.Name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		full, err := rd2.Retrieve(0)
+		full, err := rd2.Retrieve(context.Background(), 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func raster(v *core.View) *analysis.Raster {
 }
 
 func mustRetrieveAt(rd *core.Reader, level int) *core.View {
-	v, err := rd.Retrieve(level)
+	v, err := rd.Retrieve(context.Background(), level)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package adios
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -28,14 +29,14 @@ func container(t *testing.T) *bp.Writer {
 
 func TestWriteOpenReadRoundTrip(t *testing.T) {
 	io := newIO(t)
-	p, err := io.WriteContainer("level2", container(t), 0)
+	p, err := io.WriteContainer(context.Background(), "level2", container(t), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.TierName != "tmpfs" {
 		t.Fatalf("placed on %s, want tmpfs", p.TierName)
 	}
-	h, err := io.Open("level2", 1)
+	h, err := io.Open(context.Background(), "level2", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,17 +54,17 @@ func TestWriteOpenReadRoundTrip(t *testing.T) {
 
 func TestOpenMissing(t *testing.T) {
 	io := newIO(t)
-	if _, err := io.Open("ghost", 1); !errors.Is(err, storage.ErrNotFound) {
+	if _, err := io.Open(context.Background(), "ghost", 1); !errors.Is(err, storage.ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
 }
 
 func TestSelectiveReadCostsLessThanFullContainer(t *testing.T) {
 	io := newIO(t)
-	if _, err := io.WriteContainer("c", container(t), 1); err != nil {
+	if _, err := io.WriteContainer(context.Background(), "c", container(t), 1); err != nil {
 		t.Fatal(err)
 	}
-	h, err := io.Open("c", 1)
+	h, err := io.Open(context.Background(), "c", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,10 +88,10 @@ func TestSelectiveReadCostsLessThanFullContainer(t *testing.T) {
 
 func TestReadMissingVariable(t *testing.T) {
 	io := newIO(t)
-	if _, err := io.WriteContainer("c", container(t), 0); err != nil {
+	if _, err := io.WriteContainer(context.Background(), "c", container(t), 0); err != nil {
 		t.Fatal(err)
 	}
-	h, err := io.Open("c", 1)
+	h, err := io.Open(context.Background(), "c", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestReadMissingVariable(t *testing.T) {
 
 func TestPOSIXTransportCost(t *testing.T) {
 	h := storage.TitanTwoTier(0)
-	p, err := POSIX{}.Write(h, "k", make([]byte, 3_000_000), 1)
+	p, err := POSIX{}.Write(context.Background(), h, "k", make([]byte, 3_000_000), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestMPIAggregateCost(t *testing.T) {
 	h := storage.TitanTwoTier(0)
 	tr := MPIAggregate{Ranks: 512, Aggregators: 8, NetBandwidth: 1e9}
 	data := make([]byte, 8_000_000)
-	p, err := tr.Write(h, "k", data, 1)
+	p, err := tr.Write(context.Background(), h, "k", data, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,14 +137,14 @@ func TestMPIAggregateCost(t *testing.T) {
 func TestMPIAggregateClampsDegenerateParams(t *testing.T) {
 	h := storage.TitanTwoTier(0)
 	tr := MPIAggregate{Ranks: 0, Aggregators: -1, NetBandwidth: 0}
-	if _, err := tr.Write(h, "k", []byte{1, 2, 3}, 0); err != nil {
+	if _, err := tr.Write(context.Background(), h, "k", []byte{1, 2, 3}, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestStagingPrefersFastTier(t *testing.T) {
 	h := storage.TitanTwoTier(0)
-	p, err := Staging{}.Write(h, "k", make([]byte, 1024), 1) // pref ignored
+	p, err := Staging{}.Write(context.Background(), h, "k", make([]byte, 1024), 1) // pref ignored
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestStagingPrefersFastTier(t *testing.T) {
 func TestStagingNetworkBound(t *testing.T) {
 	h := storage.TitanTwoTier(0)
 	// Slow network: 1 MB at 1e6 B/s => 1 s, dominating the memory write.
-	p, err := Staging{NetBandwidth: 1e6}.Write(h, "k", make([]byte, 1_000_000), 0)
+	p, err := Staging{NetBandwidth: 1e6}.Write(context.Background(), h, "k", make([]byte, 1_000_000), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

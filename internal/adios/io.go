@@ -2,14 +2,18 @@ package adios
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bp"
 	"repro/internal/storage"
 )
 
 // IO binds a storage hierarchy to a transport. It is the write/query/read
-// surface Canopus uses for all data movement.
+// surface Canopus uses for all data movement. Methods are safe for
+// concurrent use: the engine's worker pool issues overlapping writes and
+// retrievals through one IO.
 type IO struct {
 	H         *storage.Hierarchy
 	Transport Transport
@@ -24,15 +28,21 @@ func NewIO(h *storage.Hierarchy, t Transport) *IO {
 }
 
 // WriteContainer finalizes a BP container and writes it under key, preferring
-// tier pref.
-func (io *IO) WriteContainer(key string, w *bp.Writer, pref int) (storage.Placement, error) {
-	return io.Transport.Write(io.H, key, w.Bytes(), pref)
+// tier pref. A cancelled ctx aborts the write.
+func (io *IO) WriteContainer(ctx context.Context, key string, w *bp.Writer, pref int) (storage.Placement, error) {
+	return io.Transport.Write(ctx, io.H, key, w.Bytes(), pref)
 }
 
 // Handle is an open container. Reads through it are selective: the simulated
 // cost accumulates only the byte extents actually fetched (footer, index,
 // and requested variables), the way ADIOS BP readers issue ranged reads
 // instead of whole-file transfers.
+//
+// A handle is safe for concurrent reads: the engine fetches independent
+// delta tiles from one handle in parallel. The handle observes the context
+// it was opened with — once that context is cancelled, every subsequent
+// ranged read fails with the context's error, so a retrieval aborts
+// mid-fetch instead of draining remaining tiles.
 type Handle struct {
 	// BP is the parsed container index.
 	BP *bp.Reader
@@ -44,25 +54,39 @@ type Handle struct {
 }
 
 // costTracker is an io.ReaderAt that charges each ranged read to the tier's
-// cost model.
+// cost model. Byte counts accumulate atomically and the simulated seconds
+// are derived from the total, so the cost is deterministic regardless of
+// the order concurrent reads complete in.
 type costTracker struct {
+	ctx  context.Context
 	data *bytes.Reader
 	tier *storage.Tier
-	cost storage.Cost
+	// bytes is the total payload bytes fetched through this handle.
+	bytes atomic.Int64
 	// readers models bandwidth sharing for this retrieval.
 	readers int
 }
 
 func (c *costTracker) ReadAt(p []byte, off int64) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
 	n, err := c.data.ReadAt(p, off)
 	if n > 0 {
 		// Bytes-proportional cost only; the per-operation latency is
 		// charged once per Open so that parsing a fragmented index
 		// does not overcount round trips.
-		c.cost.Seconds += float64(n) * float64(max(c.readers, 1)) / c.tier.ReadBandwidth
-		c.cost.Bytes += int64(n)
+		c.bytes.Add(int64(n))
 	}
 	return n, err
+}
+
+func (c *costTracker) cost() storage.Cost {
+	n := c.bytes.Load()
+	return storage.Cost{
+		Seconds: c.tier.LatencySeconds + float64(n)*float64(max(c.readers, 1))/c.tier.ReadBandwidth,
+		Bytes:   n,
+	}
 }
 
 func max(a, b int) int {
@@ -74,7 +98,12 @@ func max(a, b int) int {
 
 // Open retrieves the container stored under key and parses its index.
 // readers models how many analysis processes share the tier's bandwidth.
-func (io *IO) Open(key string, readers int) (*Handle, error) {
+// The returned handle is bound to ctx: cancelling it fails subsequent reads
+// through the handle.
+func (io *IO) Open(ctx context.Context, key string, readers int) (*Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	idx := io.H.Where(key)
 	if idx < 0 {
 		return nil, fmt.Errorf("adios: open %q: %w", key, storage.ErrNotFound)
@@ -85,10 +114,10 @@ func (io *IO) Open(key string, readers int) (*Handle, error) {
 		return nil, err
 	}
 	tr := &costTracker{
+		ctx:     ctx,
 		data:    bytes.NewReader(blob),
 		tier:    tier,
 		readers: readers,
-		cost:    storage.Cost{Seconds: tier.LatencySeconds},
 	}
 	r, err := bp.Open(tr, int64(len(blob)))
 	if err != nil {
@@ -98,7 +127,7 @@ func (io *IO) Open(key string, readers int) (*Handle, error) {
 }
 
 // Cost reports the simulated cost accumulated by this handle so far.
-func (h *Handle) Cost() storage.Cost { return h.tracker.cost }
+func (h *Handle) Cost() storage.Cost { return h.tracker.cost() }
 
 // InqVar is the adios_inq_var analogue: metadata-only lookup.
 func (h *Handle) InqVar(name string, level int) (bp.VarInfo, bool) {

@@ -6,6 +6,7 @@
 package adios
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/storage"
@@ -18,8 +19,9 @@ import (
 type Transport interface {
 	Name() string
 	// Write places data under key, preferring tier pref, and returns the
-	// placement with its simulated cost.
-	Write(h *storage.Hierarchy, key string, data []byte, pref int) (storage.Placement, error)
+	// placement with its simulated cost. A cancelled ctx aborts the
+	// write before any byte lands.
+	Write(ctx context.Context, h *storage.Hierarchy, key string, data []byte, pref int) (storage.Placement, error)
 }
 
 // POSIX is the single-writer transport: one process streams the whole
@@ -30,8 +32,8 @@ type POSIX struct{}
 func (POSIX) Name() string { return "posix" }
 
 // Write implements Transport.
-func (POSIX) Write(h *storage.Hierarchy, key string, data []byte, pref int) (storage.Placement, error) {
-	return h.Put(key, data, pref, 1)
+func (POSIX) Write(ctx context.Context, h *storage.Hierarchy, key string, data []byte, pref int) (storage.Placement, error) {
+	return h.Put(ctx, key, data, pref, 1)
 }
 
 // MPIAggregate models the ADIOS MPI_AGGREGATE method used for Lustre in the
@@ -52,7 +54,7 @@ type MPIAggregate struct {
 func (t MPIAggregate) Name() string { return "mpi-aggregate" }
 
 // Write implements Transport.
-func (t MPIAggregate) Write(h *storage.Hierarchy, key string, data []byte, pref int) (storage.Placement, error) {
+func (t MPIAggregate) Write(ctx context.Context, h *storage.Hierarchy, key string, data []byte, pref int) (storage.Placement, error) {
 	ranks := t.Ranks
 	if ranks < 1 {
 		ranks = 1
@@ -68,7 +70,7 @@ func (t MPIAggregate) Write(h *storage.Hierarchy, key string, data []byte, pref 
 	if net <= 0 {
 		net = 1e9
 	}
-	p, err := h.Put(key, data, pref, aggrs)
+	p, err := h.Put(ctx, key, data, pref, aggrs)
 	if err != nil {
 		return p, err
 	}
@@ -92,12 +94,12 @@ type Staging struct {
 func (Staging) Name() string { return "staging" }
 
 // Write implements Transport.
-func (t Staging) Write(h *storage.Hierarchy, key string, data []byte, _ int) (storage.Placement, error) {
+func (t Staging) Write(ctx context.Context, h *storage.Hierarchy, key string, data []byte, _ int) (storage.Placement, error) {
 	net := t.NetBandwidth
 	if net <= 0 {
 		net = 5e9
 	}
-	p, err := h.Put(key, data, 0, 1)
+	p, err := h.Put(ctx, key, data, 0, 1)
 	if err != nil {
 		return p, err
 	}

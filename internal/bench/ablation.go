@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -59,7 +60,7 @@ func (r *Runner) ablationSeries() error {
 	for s, snap := range seq {
 		aio := newIO()
 		snap.Dataset.Name = fmt.Sprintf("dpot-t%d", s)
-		rep, err := core.Write(aio, snap.Dataset, core.Options{Levels: 3, RelTolerance: 1e-4})
+		rep, err := core.Write(context.Background(), aio, snap.Dataset, core.Options{Levels: 3, RelTolerance: 1e-4, Workers: r.Workers})
 		if err != nil {
 			return err
 		}
@@ -68,14 +69,14 @@ func (r *Runner) ablationSeries() error {
 	}
 
 	aio := newIO()
-	sw, err := core.NewSeriesWriter(aio, "dpot", m, 2.5, core.Options{Levels: 3, RelTolerance: 1e-4})
+	sw, err := core.NewSeriesWriter(context.Background(), aio, "dpot", m, 2.5, core.Options{Levels: 3, RelTolerance: 1e-4, Workers: r.Workers})
 	if err != nil {
 		return err
 	}
 	seriesBytes := sw.HierarchyBytes()
 	var seriesCompute float64
 	for _, snap := range seq {
-		rep, err := sw.WriteStep(snap.Dataset.Data)
+		rep, err := sw.WriteStep(context.Background(), snap.Dataset.Data)
 		if err != nil {
 			return err
 		}
@@ -101,7 +102,7 @@ func (r *Runner) ablationEstimator() error {
 	fmt.Fprintln(tw, "estimator\tstored payload\tnormalized")
 	for _, est := range []string{"mean", "barycentric"} {
 		aio := newIO()
-		rep, err := core.Write(aio, r.xgc1().Dataset, core.Options{
+		rep, err := core.Write(context.Background(), aio, r.xgc1().Dataset, core.Options{
 			Levels: 3, RelTolerance: 1e-4, Estimator: est,
 		})
 		if err != nil {
@@ -181,7 +182,7 @@ func (r *Runner) ablationCodec() error {
 	fmt.Fprintln(tw, "codec\tlossless\tstored payload\tnormalized")
 	for _, name := range []string{"zfp", "sz", "fpc", "flate"} {
 		aio := newIO()
-		rep, err := core.Write(aio, ds, core.Options{
+		rep, err := core.Write(context.Background(), aio, ds, core.Options{
 			Levels: 3, RelTolerance: 1e-4, Codec: name,
 		})
 		if err != nil {
@@ -210,14 +211,14 @@ func (r *Runner) ablationPlacement() error {
 	fmt.Fprintln(tw, "placement\tbase retrieval I/O(ms)")
 	// Paper placement: two tiers.
 	aio := newIO()
-	if _, err := core.Write(aio, ds, core.Options{Levels: 3, RelTolerance: 1e-4}); err != nil {
+	if _, err := core.Write(context.Background(), aio, ds, core.Options{Levels: 3, RelTolerance: 1e-4, Workers: r.Workers}); err != nil {
 		return err
 	}
-	rd, err := core.OpenReader(aio, ds.Name)
+	rd, err := core.OpenReader(context.Background(), aio, ds.Name)
 	if err != nil {
 		return err
 	}
-	v, err := rd.Base()
+	v, err := rd.Base(context.Background())
 	if err != nil {
 		return err
 	}
@@ -225,14 +226,14 @@ func (r *Runner) ablationPlacement() error {
 
 	// Flat placement: zero-capacity fast tier forces everything to PFS.
 	flat := adios.NewIO(storage.TitanTwoTier(1), nil)
-	if _, err := core.Write(flat, ds, core.Options{Levels: 3, RelTolerance: 1e-4}); err != nil {
+	if _, err := core.Write(context.Background(), flat, ds, core.Options{Levels: 3, RelTolerance: 1e-4, Workers: r.Workers}); err != nil {
 		return err
 	}
-	rdFlat, err := core.OpenReader(flat, ds.Name)
+	rdFlat, err := core.OpenReader(context.Background(), flat, ds.Name)
 	if err != nil {
 		return err
 	}
-	vFlat, err := rdFlat.Base()
+	vFlat, err := rdFlat.Base(context.Background())
 	if err != nil {
 		return err
 	}
@@ -255,11 +256,11 @@ func (r *Runner) ablationProgressiveAxis() error {
 
 	// Resolution path: 4 levels through the full pipeline.
 	aio := newIO()
-	rep, err := core.Write(aio, ds, core.Options{Levels: 4, RelTolerance: 1e-6})
+	rep, err := core.Write(context.Background(), aio, ds, core.Options{Levels: 4, RelTolerance: 1e-6, Workers: r.Workers})
 	if err != nil {
 		return err
 	}
-	rd, err := core.OpenReader(aio, ds.Name)
+	rd, err := core.OpenReader(context.Background(), aio, ds.Name)
 	if err != nil {
 		return err
 	}
@@ -268,7 +269,7 @@ func (r *Runner) ablationProgressiveAxis() error {
 	cum := int64(0)
 	for l := rep.Levels - 1; l >= 0; l-- {
 		cum += rep.PayloadBytes[l]
-		v, err := rd.Retrieve(l)
+		v, err := rd.Retrieve(context.Background(), l)
 		if err != nil {
 			return err
 		}

@@ -42,6 +42,9 @@ type Runner struct {
 	Scale Scale
 	// ASCII enables the qualitative text-art galleries in Fig. 4/7.
 	ASCII bool
+	// Workers bounds the engine worker pool for refactoring pipelines
+	// (0 = NumCPU, 1 = serial).
+	Workers int
 }
 
 // New returns a Runner writing to out at the given scale.

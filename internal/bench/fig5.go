@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -28,11 +29,11 @@ func (r *Runner) Fig5() error {
 		tw := r.table()
 		fmt.Fprintln(tw, "levels\tdirect\tcanopus\timprovement")
 		for n := 1; n <= 4; n++ {
-			direct, err := fig5Payload(app.ds(), n, core.ModeDirect, relTol)
+			direct, err := fig5Payload(app.ds(), n, core.ModeDirect, relTol, r.Workers)
 			if err != nil {
 				return fmt.Errorf("%s direct n=%d: %w", app.name, n, err)
 			}
-			canopus, err := fig5Payload(app.ds(), n, core.ModeDelta, relTol)
+			canopus, err := fig5Payload(app.ds(), n, core.ModeDelta, relTol, r.Workers)
 			if err != nil {
 				return fmt.Errorf("%s canopus n=%d: %w", app.name, n, err)
 			}
@@ -56,12 +57,13 @@ type fig5Result struct {
 	normalized   float64
 }
 
-func fig5Payload(ds *core.Dataset, levels int, mode core.Mode, relTol float64) (fig5Result, error) {
+func fig5Payload(ds *core.Dataset, levels int, mode core.Mode, relTol float64, workers int) (fig5Result, error) {
 	aio := newIO()
-	rep, err := core.Write(aio, ds, core.Options{
+	rep, err := core.Write(context.Background(), aio, ds, core.Options{
 		Levels:       levels,
 		RelTolerance: relTol,
 		Mode:         mode,
+		Workers:      workers,
 	})
 	if err != nil {
 		return fig5Result{}, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -101,7 +102,7 @@ func (r *Runner) Fig6b() error {
 		aio := adios.NewIO(h, adios.MPIAggregate{Ranks: sc.cores, Aggregators: 1, NetBandwidth: 1e9})
 		var ioSec float64
 		for i, blob := range [][]byte{encBase, encDelta} {
-			p, err := aio.Transport.Write(h, fmt.Sprintf("fig6b-%d-%d", sc.cores, i), blob, 1)
+			p, err := aio.Transport.Write(context.Background(), h, fmt.Sprintf("fig6b-%d-%d", sc.cores, i), blob, 1)
 			if err != nil {
 				return err
 			}

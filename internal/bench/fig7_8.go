@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -26,10 +27,10 @@ func (r *Runner) buildBlobLevels() (*blobLevels, error) {
 	}
 	levels := levelsForRatio(maxRatio)
 	aio := newIO()
-	if _, err := core.Write(aio, ds, core.Options{Levels: levels, RelTolerance: 1e-4}); err != nil {
+	if _, err := core.Write(context.Background(), aio, ds, core.Options{Levels: levels, RelTolerance: 1e-4, Workers: r.Workers}); err != nil {
 		return nil, err
 	}
-	rd, err := core.OpenReader(aio, ds.Name)
+	rd, err := core.OpenReader(context.Background(), aio, ds.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +40,7 @@ func (r *Runner) buildBlobLevels() (*blobLevels, error) {
 	}
 	out := &blobLevels{w: rasterW, h: rasterH}
 	for l := 0; l < levels; l++ {
-		v, err := rd.Retrieve(l)
+		v, err := rd.Retrieve(context.Background(), l)
 		if err != nil {
 			return nil, fmt.Errorf("retrieve L%d: %w", l, err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -33,24 +34,24 @@ func (p pipelineRow) total() float64 { return p.io + p.decompress + p.restore + 
 // paper's workloads, where the mesh is written once while fields are
 // analyzed many times. detect, when non-nil, runs the analysis phase (blob
 // detection for XGC1) on the restored level.
-func runPipeline(ds *core.Dataset, maxRatio int, relTol float64,
+func runPipeline(ds *core.Dataset, maxRatio int, relTol float64, workers int,
 	detect func(m *core.View) (float64, error)) ([]pipelineRow, []pipelineRow, error) {
 
 	levels := levelsForRatio(maxRatio)
 
 	// Baseline: raw full-accuracy product on the slow tier.
 	rawIO := newIO()
-	if _, err := core.WriteRaw(rawIO, ds); err != nil {
+	if _, err := core.WriteRaw(context.Background(), rawIO, ds); err != nil {
 		return nil, nil, err
 	}
 	rawReader, err := core.OpenRawReader(rawIO, ds.Name)
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := rawReader.Retrieve(); err != nil { // prime mesh cache
+	if _, err := rawReader.Retrieve(context.Background()); err != nil { // prime mesh cache
 		return nil, nil, err
 	}
-	rawView, err := rawReader.Retrieve()
+	rawView, err := rawReader.Retrieve(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -69,20 +70,20 @@ func runPipeline(ds *core.Dataset, maxRatio int, relTol float64,
 
 	// Canopus products.
 	aio := newIO()
-	if _, err := core.Write(aio, ds, core.Options{Levels: levels, RelTolerance: relTol}); err != nil {
+	if _, err := core.Write(context.Background(), aio, ds, core.Options{Levels: levels, RelTolerance: relTol, Workers: workers}); err != nil {
 		return nil, nil, err
 	}
-	rd, err := core.OpenReader(aio, ds.Name)
+	rd, err := core.OpenReader(context.Background(), aio, ds.Name)
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := rd.Retrieve(0); err != nil { // prime mesh/mapping caches
+	if _, err := rd.Retrieve(context.Background(), 0); err != nil { // prime mesh/mapping caches
 		return nil, nil, err
 	}
 
 	rows := []pipelineRow{noneRow}
 	for l := levels - 1; l >= 1; l-- { // coarsest (base) first, like scanning up the ratios
-		v, err := rd.Retrieve(l)
+		v, err := rd.Retrieve(context.Background(), l)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -112,17 +113,17 @@ func runPipeline(ds *core.Dataset, maxRatio int, relTol float64,
 	}}
 	for ratio := 2; ratio <= maxRatio; ratio *= 2 {
 		cio := newIO()
-		if _, err := core.Write(cio, ds, core.Options{Levels: levelsForRatio(ratio), RelTolerance: relTol}); err != nil {
+		if _, err := core.Write(context.Background(), cio, ds, core.Options{Levels: levelsForRatio(ratio), RelTolerance: relTol, Workers: workers}); err != nil {
 			return nil, nil, err
 		}
-		crd, err := core.OpenReader(cio, ds.Name)
+		crd, err := core.OpenReader(context.Background(), cio, ds.Name)
 		if err != nil {
 			return nil, nil, err
 		}
-		if _, err := crd.Retrieve(0); err != nil { // prime caches
+		if _, err := crd.Retrieve(context.Background(), 0); err != nil { // prime caches
 			return nil, nil, err
 		}
-		v, err := crd.Retrieve(0)
+		v, err := crd.Retrieve(context.Background(), 0)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -190,7 +191,7 @@ func (r *Runner) Fig9() error {
 		maxRatio = 8
 		rasterSize = 96
 	}
-	rows, restoreRows, err := runPipeline(ds, maxRatio, 1e-4, blobDetectPhase(rasterSize, rasterSize))
+	rows, restoreRows, err := runPipeline(ds, maxRatio, 1e-4, r.Workers, blobDetectPhase(rasterSize, rasterSize))
 	if err != nil {
 		return err
 	}
@@ -216,7 +217,7 @@ func (r *Runner) Fig10() error {
 	if r.Scale == ScaleQuick {
 		maxRatio = 8
 	}
-	rows, restoreRows, err := runPipeline(ds, maxRatio, 1e-4, nil)
+	rows, restoreRows, err := runPipeline(ds, maxRatio, 1e-4, r.Workers, nil)
 	if err != nil {
 		return err
 	}
@@ -237,7 +238,7 @@ func (r *Runner) Fig11() error {
 	if r.Scale == ScaleQuick {
 		maxRatio = 4
 	}
-	rows, restoreRows, err := runPipeline(ds, maxRatio, 1e-4, nil)
+	rows, restoreRows, err := runPipeline(ds, maxRatio, 1e-4, r.Workers, nil)
 	if err != nil {
 		return err
 	}

@@ -108,6 +108,11 @@ type Options struct {
 	// as separate selectively-readable variables, enabling focused
 	// regional retrieval (Reader.RetrieveRegion). Default 1 (one tile).
 	Chunks int
+	// Workers bounds the engine worker pool that executes independent
+	// pipeline units (per-level delta and compression on the write path).
+	// 0 means runtime.NumCPU(); 1 forces the exact serial execution order.
+	// Stored products are byte-identical at every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// TestWriteWorkersByteIdentical is the engine's core determinism guarantee:
+// the stored containers do not depend on the worker count, because products
+// are assembled in canonical order and placement stays serial.
+func TestWriteWorkersByteIdentical(t *testing.T) {
+	for _, opts := range []Options{
+		{Levels: 3, Chunks: 4, RelTolerance: 1e-4},
+		{Levels: 2, Mode: ModeDirect, RelTolerance: 1e-4},
+	} {
+		serial, parallel := newIO(), newIO()
+		ds := testDataset("dpot", 24)
+		optsSerial := opts
+		optsSerial.Workers = 1
+		optsParallel := opts
+		optsParallel.Workers = 8
+		if _, err := Write(context.Background(), serial, ds, optsSerial); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Write(context.Background(), parallel, ds, optsParallel); err != nil {
+			t.Fatal(err)
+		}
+		sk, pk := serial.H.Keys(), parallel.H.Keys()
+		if len(sk) != len(pk) {
+			t.Fatalf("mode %v: %d keys serial vs %d parallel", opts.Mode, len(sk), len(pk))
+		}
+		for i, k := range sk {
+			if pk[i] != k {
+				t.Fatalf("mode %v: key %q vs %q", opts.Mode, k, pk[i])
+			}
+			sb, _, err := serial.H.Get(context.Background(), k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pb, _, err := parallel.H.Get(context.Background(), k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(sb) != string(pb) {
+				t.Fatalf("mode %v: container %q differs between workers=1 and workers=8", opts.Mode, k)
+			}
+		}
+	}
+}
+
+// TestConcurrentRetrieveBitIdentical exercises the tentpole concurrency
+// contract: many goroutines retrieving through one shared Reader all get
+// fields bit-identical to a serial retrieval.
+func TestConcurrentRetrieveBitIdentical(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 32)
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, Chunks: 4, RelTolerance: 1e-6}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference on a fresh reader with a single worker.
+	ref, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetWorkers(1)
+	want := make([][]float64, 3)
+	for lvl := 0; lvl < 3; lvl++ {
+		v, err := ref.Retrieve(context.Background(), lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[lvl] = v.Data
+	}
+
+	// One shared reader, cold caches, hammered from many goroutines.
+	rd, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.SetWorkers(4)
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lvl := g % 3
+			v, err := rd.Retrieve(context.Background(), lvl)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if len(v.Data) != len(want[lvl]) {
+				errs[g] = fmt.Errorf("level %d: %d values, want %d", lvl, len(v.Data), len(want[lvl]))
+				return
+			}
+			for i, x := range v.Data {
+				if math.Float64bits(x) != math.Float64bits(want[lvl][i]) {
+					errs[g] = fmt.Errorf("level %d vertex %d: %g != serial %g", lvl, i, x, want[lvl][i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// TestConcurrentRegionMatchesRetrieve runs regional retrievals concurrently
+// with full retrievals on one reader and cross-checks values.
+func TestConcurrentRegionMatchesRetrieve(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 32)
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, Chunks: 4, RelTolerance: 1e-6}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := rd.Retrieve(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rv, err := rd.RetrieveRegion(context.Background(), 0, 0.1, 0.1, 0.6, 0.6)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for vi, ok := range rv.Have {
+				if !ok {
+					continue
+				}
+				if math.Float64bits(rv.Data[vi]) != math.Float64bits(full.Data[vi]) {
+					errs[g] = fmt.Errorf("vertex %d: region %g != full %g", vi, rv.Data[vi], full.Data[vi])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// slowBackend delays every Get so a cancellation lands mid-retrieval.
+type slowBackend struct {
+	storage.Backend
+	delay time.Duration
+}
+
+func (b slowBackend) Get(key string) ([]byte, error) {
+	time.Sleep(b.delay)
+	return b.Backend.Get(key)
+}
+
+// TestRetrieveCancellation checks both halves of the cancellation contract:
+// an already-cancelled context fails fast, and a cancellation arriving
+// mid-fetch aborts the retrieval promptly with context.Canceled instead of
+// draining the remaining levels and tiles.
+func TestRetrieveCancellation(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 32)
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 4, Chunks: 4, RelTolerance: 1e-4}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rd.Retrieve(cancelled, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled retrieve: err = %v, want context.Canceled", err)
+	}
+
+	// Slow every backend read down, then cancel shortly after the
+	// retrieval starts: it must return long before the ~20 reads a full
+	// 4-level retrieval would otherwise issue.
+	for i := 0; i < aio.H.NumTiers(); i++ {
+		tier := aio.H.Tier(i)
+		tier.Backend = slowBackend{Backend: tier.Backend, delay: 50 * time.Millisecond}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err = rd.Retrieve(ctx, 0)
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-fetch cancel: err = %v, want context.Canceled", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled retrieve took %v, want prompt return", elapsed)
+	}
+}
+
+// TestWriteCancellation checks that a cancelled context aborts the write
+// pipeline between units.
+func TestWriteCancellation(t *testing.T) {
+	aio := newIO()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Write(ctx, aio, testDataset("dpot", 24), Options{Levels: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled write: err = %v, want context.Canceled", err)
+	}
+	if n := len(aio.H.Keys()); n != 0 {
+		t.Fatalf("cancelled write stored %d containers", n)
+	}
+}
+
+// TestConcurrentSeriesRetrieve exercises the SeriesReader's shared
+// hierarchy cache under concurrent step retrievals.
+func TestConcurrentSeriesRetrieve(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("camp", 24)
+	sw, err := NewSeriesWriter(context.Background(), aio, "camp", ds.Mesh, 2.5, Options{Levels: 3, Chunks: 2, RelTolerance: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		if _, err := sw.WriteStep(context.Background(), ds.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr, err := OpenSeriesReader(context.Background(), aio, "camp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sr.RetrieveStep(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 9)
+	for g := 0; g < 9; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := sr.RetrieveStep(context.Background(), g%3, 0)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			// Steps carry identical data in this test, so every
+			// restored field must match the reference exactly.
+			for i, x := range v.Data {
+				if math.Float64bits(x) != math.Float64bits(ref.Data[i]) {
+					errs[g] = fmt.Errorf("step %d vertex %d differs", g%3, i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// TestConcurrentMixedReadersOneIO drives two Readers over one shared IO and
+// hierarchy concurrently — the storage/adios layers must tolerate parallel
+// retrievals of different variables.
+func TestConcurrentMixedReadersOneIO(t *testing.T) {
+	aio := newIO()
+	for _, name := range []string{"a", "b"} {
+		if _, err := Write(context.Background(), aio, testDataset(name, 24), Options{Levels: 3, Chunks: 2, RelTolerance: 1e-4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		name := []string{"a", "b"}[g%2]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rd, err := OpenReader(context.Background(), aio, name)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if _, err := rd.Retrieve(context.Background(), 0); err != nil {
+				errs[g] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

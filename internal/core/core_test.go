@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -26,14 +27,14 @@ func newIO() *adios.IO {
 func TestWriteRetrieveAllLevels(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 24)
-	rep, err := Write(aio, ds, Options{Levels: 3, RelTolerance: 1e-9})
+	rep, err := Write(context.Background(), aio, ds, Options{Levels: 3, RelTolerance: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Levels != 3 || len(rep.LevelBytes) != 3 {
 		t.Fatalf("report levels %d, bytes %v", rep.Levels, rep.LevelBytes)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestWriteRetrieveAllLevels(t *testing.T) {
 		t.Fatalf("reader levels=%d mode=%v", r.Levels(), r.Mode())
 	}
 	for lvl := 0; lvl < 3; lvl++ {
-		v, err := r.Retrieve(lvl)
+		v, err := r.Retrieve(context.Background(), lvl)
 		if err != nil {
 			t.Fatalf("retrieve level %d: %v", lvl, err)
 		}
@@ -60,15 +61,15 @@ func TestWriteRetrieveAllLevels(t *testing.T) {
 func TestFullAccuracyWithinErrorBound(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 24)
-	rep, err := Write(aio, ds, Options{Levels: 3, RelTolerance: 1e-6})
+	rep, err := Write(context.Background(), aio, ds, Options{Levels: 3, RelTolerance: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := r.Retrieve(0)
+	v, err := r.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,24 +88,24 @@ func TestFullAccuracyWithinErrorBound(t *testing.T) {
 func TestProgressiveAugmentMatchesDirectRetrieve(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 20)
-	if _, err := Write(aio, ds, Options{Levels: 4}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 4}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Progressive: base then augment step by step.
-	v, err := r.Base()
+	v, err := r.Base(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for v.Level > 0 {
-		if err := r.Augment(v); err != nil {
+		if err := r.Augment(context.Background(), v); err != nil {
 			t.Fatal(err)
 		}
 		// Invariant: progressive restore equals one-shot retrieve.
-		direct, err := r.Retrieve(v.Level)
+		direct, err := r.Retrieve(context.Background(), v.Level)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func TestProgressiveAugmentMatchesDirectRetrieve(t *testing.T) {
 			}
 		}
 	}
-	if err := r.Augment(v); err == nil {
+	if err := r.Augment(context.Background(), v); err == nil {
 		t.Fatal("Augment past level 0 succeeded")
 	}
 }
@@ -125,7 +126,7 @@ func TestProgressiveAugmentMatchesDirectRetrieve(t *testing.T) {
 func TestBaseIsOnFastTierAndCheapest(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 24)
-	rep, err := Write(aio, ds, Options{Levels: 3})
+	rep, err := Write(context.Background(), aio, ds, Options{Levels: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,15 +138,15 @@ func TestBaseIsOnFastTierAndCheapest(t *testing.T) {
 	if rep.Placements[len(rep.Placements)-1].TierName != "lustre" {
 		t.Fatalf("finest delta placed on %s, want lustre", rep.Placements[len(rep.Placements)-1].TierName)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := r.Base()
+	base, err := r.Base(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := r.Retrieve(0)
+	full, err := r.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,11 +162,11 @@ func TestDeltaModeSmallerThanDirect(t *testing.T) {
 	dsA := testDataset("a", 32)
 	dsB := testDataset("b", 32)
 	ioA, ioB := newIO(), newIO()
-	repDelta, err := Write(ioA, dsA, Options{Levels: 3, RelTolerance: 1e-4})
+	repDelta, err := Write(context.Background(), ioA, dsA, Options{Levels: 3, RelTolerance: 1e-4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	repDirect, err := Write(ioB, dsB, Options{Levels: 3, RelTolerance: 1e-4, Mode: ModeDirect})
+	repDirect, err := Write(context.Background(), ioB, dsB, Options{Levels: 3, RelTolerance: 1e-4, Mode: ModeDirect})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,17 +185,17 @@ func TestDeltaModeSmallerThanDirect(t *testing.T) {
 func TestDirectModeRetrieval(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 20)
-	if _, err := Write(aio, ds, Options{Levels: 3, Mode: ModeDirect, RelTolerance: 1e-8}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, Mode: ModeDirect, RelTolerance: 1e-8}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Mode() != ModeDirect {
 		t.Fatalf("mode = %v", r.Mode())
 	}
-	v, err := r.Retrieve(0)
+	v, err := r.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,11 +206,11 @@ func TestDirectModeRetrieval(t *testing.T) {
 		}
 	}
 	// Direct-mode Augment must also work (re-reads the finer product).
-	b, err := r.Base()
+	b, err := r.Base(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Augment(b); err != nil {
+	if err := r.Augment(context.Background(), b); err != nil {
 		t.Fatal(err)
 	}
 	if b.Level != r.Levels()-2 {
@@ -220,18 +221,18 @@ func TestDirectModeRetrieval(t *testing.T) {
 func TestSingleLevel(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("x", 10)
-	rep, err := Write(aio, ds, Options{Levels: 1, RelTolerance: 1e-8})
+	rep, err := Write(context.Background(), aio, ds, Options{Levels: 1, RelTolerance: 1e-8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Timings.DecimateSeconds != 0 && rep.VertexCounts[0] != ds.Mesh.NumVerts() {
 		t.Fatal("single level must not decimate")
 	}
-	r, err := OpenReader(aio, "x")
+	r, err := OpenReader(context.Background(), aio, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := r.Retrieve(0)
+	v, err := r.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,14 +244,14 @@ func TestSingleLevel(t *testing.T) {
 func TestLosslessCodecExactRoundTrip(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("x", 16)
-	if _, err := Write(aio, ds, Options{Levels: 3, Codec: "fpc"}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, Codec: "fpc"}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "x")
+	r, err := OpenReader(context.Background(), aio, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := r.Retrieve(0)
+	v, err := r.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,52 +266,52 @@ func TestLosslessCodecExactRoundTrip(t *testing.T) {
 func TestWriteValidation(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("x", 8)
-	if _, err := Write(aio, &Dataset{Name: "", Mesh: ds.Mesh, Data: ds.Data}, Options{}); err == nil {
+	if _, err := Write(context.Background(), aio, &Dataset{Name: "", Mesh: ds.Mesh, Data: ds.Data}, Options{}); err == nil {
 		t.Error("accepted empty name")
 	}
-	if _, err := Write(aio, &Dataset{Name: "x", Mesh: ds.Mesh, Data: ds.Data[:3]}, Options{}); err == nil {
+	if _, err := Write(context.Background(), aio, &Dataset{Name: "x", Mesh: ds.Mesh, Data: ds.Data[:3]}, Options{}); err == nil {
 		t.Error("accepted data/mesh mismatch")
 	}
-	if _, err := Write(aio, ds, Options{Levels: -1}); err == nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: -1}); err == nil {
 		t.Error("accepted negative levels")
 	}
-	if _, err := Write(aio, ds, Options{Levels: 2, RatioPerLevel: 0.5}); err == nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 2, RatioPerLevel: 0.5}); err == nil {
 		t.Error("accepted ratio <= 1")
 	}
-	if _, err := Write(aio, ds, Options{Codec: "bogus"}); err == nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Codec: "bogus"}); err == nil {
 		t.Error("accepted unknown codec")
 	}
-	if _, err := Write(aio, ds, Options{Estimator: "bogus"}); err == nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Estimator: "bogus"}); err == nil {
 		t.Error("accepted unknown estimator")
 	}
-	if _, err := Write(aio, ds, Options{RelTolerance: -1}); err == nil {
+	if _, err := Write(context.Background(), aio, ds, Options{RelTolerance: -1}); err == nil {
 		t.Error("accepted negative tolerance")
 	}
-	if _, err := Write(aio, ds, Options{Mode: Mode(9)}); err == nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Mode: Mode(9)}); err == nil {
 		t.Error("accepted bad mode")
 	}
 }
 
 func TestOpenReaderMissing(t *testing.T) {
 	aio := newIO()
-	if _, err := OpenReader(aio, "ghost"); !errors.Is(err, storage.ErrNotFound) {
+	if _, err := OpenReader(context.Background(), aio, "ghost"); !errors.Is(err, storage.ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
 }
 
 func TestRetrieveLevelOutOfRange(t *testing.T) {
 	aio := newIO()
-	if _, err := Write(aio, testDataset("x", 10), Options{Levels: 2}); err != nil {
+	if _, err := Write(context.Background(), aio, testDataset("x", 10), Options{Levels: 2}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "x")
+	r, err := OpenReader(context.Background(), aio, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Retrieve(-1); err == nil {
+	if _, err := r.Retrieve(context.Background(), -1); err == nil {
 		t.Error("accepted level -1")
 	}
-	if _, err := r.Retrieve(2); err == nil {
+	if _, err := r.Retrieve(context.Background(), 2); err == nil {
 		t.Error("accepted level == N")
 	}
 }
@@ -318,14 +319,14 @@ func TestRetrieveLevelOutOfRange(t *testing.T) {
 func TestRawBaseline(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("x", 16)
-	rep, err := WriteRaw(aio, ds)
+	rep, err := WriteRaw(context.Background(), aio, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Placements[0].TierName != "lustre" {
 		t.Fatalf("raw baseline placed on %s, want slowest tier", rep.Placements[0].TierName)
 	}
-	v, err := ReadRaw(aio, "x")
+	v, err := ReadRaw(context.Background(), aio, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestCapacityBypassStillRetrievable(t *testing.T) {
 	h := storage.TitanTwoTier(64)
 	aio := adios.NewIO(h, nil)
 	ds := testDataset("x", 16)
-	rep, err := Write(aio, ds, Options{Levels: 3})
+	rep, err := Write(context.Background(), aio, ds, Options{Levels: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,11 +362,11 @@ func TestCapacityBypassStillRetrievable(t *testing.T) {
 	if !foundBypass {
 		t.Fatal("expected tier bypass with 64-byte tmpfs")
 	}
-	r, err := OpenReader(aio, "x")
+	r, err := OpenReader(context.Background(), aio, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Retrieve(0); err != nil {
+	if _, err := r.Retrieve(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -391,7 +392,7 @@ func TestTierFor(t *testing.T) {
 func TestWriteReportAccounting(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("x", 20)
-	rep, err := Write(aio, ds, Options{Levels: 3})
+	rep, err := Write(context.Background(), aio, ds, Options{Levels: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

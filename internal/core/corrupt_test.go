@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -52,15 +53,15 @@ func TestOpenReaderRejectsCorruptMetadata(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			aio := newIO()
 			ds := testDataset("dpot", 8)
-			if _, err := Write(aio, ds, Options{Levels: 3}); err != nil {
+			if _, err := Write(context.Background(), aio, ds, Options{Levels: 3}); err != nil {
 				t.Fatal(err)
 			}
 			// Overwrite the metadata container in place.
 			blob := corruptMeta(t, c.drop, c.replace)
-			if _, err := aio.H.Put(metaKey("dpot"), blob, 0, 1); err != nil {
+			if _, err := aio.H.Put(context.Background(), metaKey("dpot"), blob, 0, 1); err != nil {
 				t.Fatal(err)
 			}
-			_, err := OpenReader(aio, "dpot")
+			_, err := OpenReader(context.Background(), aio, "dpot")
 			if err == nil {
 				t.Fatalf("OpenReader accepted metadata with %s", c.name)
 			}
@@ -74,21 +75,21 @@ func TestOpenReaderRejectsCorruptMetadata(t *testing.T) {
 func TestRetrieveRejectsMissingLevelContainer(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 10)
-	if _, err := Write(aio, ds, Options{Levels: 3}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if err := aio.H.Delete(levelKey("dpot", 1)); err != nil {
 		t.Fatal(err)
 	}
-	rd, err := OpenReader(aio, "dpot")
+	rd, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rd.Retrieve(0); err == nil {
+	if _, err := rd.Retrieve(context.Background(), 0); err == nil {
 		t.Fatal("Retrieve succeeded with a missing level container")
 	}
 	// The base is still intact and must keep working.
-	if _, err := rd.Base(); err != nil {
+	if _, err := rd.Base(context.Background()); err != nil {
 		t.Fatalf("Base failed after unrelated level loss: %v", err)
 	}
 }
@@ -96,11 +97,11 @@ func TestRetrieveRejectsMissingLevelContainer(t *testing.T) {
 func TestRetrieveRejectsCorruptLevelPayload(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 10)
-	if _, err := Write(aio, ds, Options{Levels: 2}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 2}); err != nil {
 		t.Fatal(err)
 	}
 	key := levelKey("dpot", 0)
-	blob, _, err := aio.H.Get(key, 1)
+	blob, _, err := aio.H.Get(context.Background(), key, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,14 +109,14 @@ func TestRetrieveRejectsCorruptLevelPayload(t *testing.T) {
 	for i := len(blob) / 3; i < len(blob)/3+16 && i < len(blob); i++ {
 		blob[i] ^= 0xFF
 	}
-	if _, err := aio.H.Put(key, blob, 1, 1); err != nil {
+	if _, err := aio.H.Put(context.Background(), key, blob, 1, 1); err != nil {
 		t.Fatal(err)
 	}
-	rd, err := OpenReader(aio, "dpot")
+	rd, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rd.Retrieve(0); err == nil {
+	if _, err := rd.Retrieve(context.Background(), 0); err == nil {
 		t.Fatal("Retrieve decoded a corrupted container without error")
 	}
 }
@@ -125,12 +126,12 @@ func TestReaderMissingTileFrame(t *testing.T) {
 	// by an incompatible tool) must fail cleanly during augmentation.
 	aio := newIO()
 	ds := testDataset("dpot", 10)
-	if _, err := Write(aio, ds, Options{Levels: 2}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 2}); err != nil {
 		t.Fatal(err)
 	}
 	// Rebuild the level-0 container without the tile-frame attribute.
 	key := levelKey("dpot", 0)
-	blob, _, err := aio.H.Get(key, 1)
+	blob, _, err := aio.H.Get(context.Background(), key, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,14 +149,14 @@ func TestReaderMissingTileFrame(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := aio.H.Put(key, w.Bytes(), 1, 1); err != nil {
+	if _, err := aio.H.Put(context.Background(), key, w.Bytes(), 1, 1); err != nil {
 		t.Fatal(err)
 	}
-	rd, err := OpenReader(aio, "dpot")
+	rd, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = rd.Retrieve(0)
+	_, err = rd.Retrieve(context.Background(), 0)
 	if err == nil || !strings.Contains(err.Error(), "tile-frame") {
 		t.Fatalf("err = %v, want tile-frame complaint", err)
 	}

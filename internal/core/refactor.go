@@ -1,17 +1,16 @@
 package core
 
 import (
-	"bytes"
-	"compress/flate"
+	"context"
 	"fmt"
 	"strconv"
-	"time"
 
 	"repro/internal/adios"
 	"repro/internal/bp"
 	"repro/internal/compress"
 	"repro/internal/decimate"
 	"repro/internal/delta"
+	"repro/internal/engine"
 	"repro/internal/mesh"
 	"repro/internal/storage"
 )
@@ -20,6 +19,14 @@ import (
 // evaluation reports (Fig. 6b, Fig. 9–11). Compute phases are measured in
 // real wall time on the host; I/O phases are simulated by the storage cost
 // model, so experiment output is machine-independent on the I/O side.
+//
+// Under concurrency the write-path phases (decimate, delta, compress)
+// report the wall time of the whole stage — the elapsed time the phase
+// occupied, which shrinks as workers overlap its units. The read-path
+// compute phases (decompress, restore) accumulate per-unit compute seconds
+// through mutex-guarded adds; at one worker both conventions coincide with
+// the old serial measurements. Simulated I/O cost is derived from byte
+// totals and stays deterministic regardless of worker count.
 type PhaseTimings struct {
 	// DecimateSeconds covers mesh decimation (write path).
 	DecimateSeconds float64
@@ -52,6 +59,14 @@ func (t PhaseTimings) TotalSeconds() float64 {
 	return t.DecimateSeconds + t.DeltaSeconds + t.CompressSeconds +
 		t.DecompressSeconds + t.RestoreSeconds + t.IOSeconds
 }
+
+// Stage names of the write pipeline (the read path is their inverse).
+const (
+	stageDecimate = "decimate"
+	stageDelta    = "delta"
+	stageCompress = "compress"
+	stageStore    = "store"
+)
 
 // WriteReport summarizes one refactor-and-store pass.
 type WriteReport struct {
@@ -95,9 +110,73 @@ type level struct {
 	mapping delta.Mapping
 }
 
-// Write refactors ds per opts and stores the products through io. It is the
-// write half of the Canopus workflow (Fig. 1, left of the pyramid).
-func Write(aio *adios.IO, ds *Dataset, opts Options) (*WriteReport, error) {
+// compressLevel encodes one level's artifacts into products: mesh geometry,
+// plus either a whole-level data payload (base level, or every level in
+// direct mode) or per-tile delta payloads and the vertex mapping. It is one
+// compress-stage unit; levels compress independently and concurrently.
+func compressLevel(lv *level, l int, isBase bool, mode Mode, codec compress.Codec, chunks int) ([]engine.Product, string, int64, error) {
+	var products []engine.Product
+	mp, err := meshProduct(l, lv.mesh)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	products = append(products, mp)
+
+	var payloadBytes int64
+	var tileFrame string
+	switch {
+	case mode == ModeDirect, isBase:
+		enc, err := codec.Encode(lv.data)
+		if err != nil {
+			return nil, "", 0, fmt.Errorf("canopus: compress level %d: %w", l, err)
+		}
+		products = append(products, engine.Product{
+			Level: l, Kind: engine.KindData, Codec: codec.Name(), Payload: enc,
+		})
+		payloadBytes = int64(len(enc))
+	default:
+		// Deltas are stored as spatial tiles, each its own
+		// selectively-readable variable, so regional retrieval
+		// can fetch only the tiles a zoomed-in analysis needs.
+		tb := newTileBox(lv.mesh, chunks)
+		tileFrame = tb.encode()
+		for ci, ids := range partitionVerts(lv.mesh, tb) {
+			if len(ids) == 0 {
+				continue
+			}
+			sub := make([]float64, len(ids))
+			for j, id := range ids {
+				sub[j] = lv.deltaTo[id]
+			}
+			enc, err := codec.Encode(sub)
+			if err != nil {
+				return nil, "", 0, fmt.Errorf("canopus: compress delta %d chunk %d: %w", l, ci, err)
+			}
+			payload := encodeChunkPayload(ids, enc)
+			products = append(products, engine.Product{
+				Level: l, Kind: engine.KindDelta, Chunk: ci, Codec: codec.Name(), Payload: payload,
+			})
+			payloadBytes += int64(len(payload))
+		}
+		mpBytes, err := deflateBytes(lv.mapping.Encode())
+		if err != nil {
+			return nil, "", 0, err
+		}
+		products = append(products, engine.Product{
+			Level: l, Kind: engine.KindMapping, Payload: mpBytes,
+		})
+	}
+	return products, tileFrame, payloadBytes, nil
+}
+
+// Write refactors ds per opts and stores the products through aio. It is
+// the write half of the Canopus workflow (Fig. 1, left of the pyramid),
+// executed as an engine pipeline: the decimation cascade runs first (each
+// level depends on the previous), then delta calculation and per-level
+// compression fan out across the worker pool, then placement runs base
+// first (tier preference is order-sensitive, §III-D). Cancelling ctx aborts
+// the pipeline between units and mid-I/O.
+func Write(ctx context.Context, aio *adios.IO, ds *Dataset, opts Options) (*WriteReport, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -123,115 +202,111 @@ func Write(aio *adios.IO, ds *Dataset, opts Options) (*WriteReport, error) {
 		RawBytes:  ds.RawBytes(),
 	}
 
-	// Phase 1: decimation cascade (Algorithm 1 per level).
+	pipe := engine.NewPipeline(engine.NewPool(opts.Workers))
 	levels := make([]*level, opts.Levels)
 	levels[0] = &level{mesh: ds.Mesh, data: ds.Data}
-	t0 := time.Now()
-	for l := 0; l < opts.Levels-1; l++ {
-		cur := levels[l]
-		target := decimate.TargetForRatio(cur.mesh.NumVerts(), opts.RatioPerLevel)
-		res, err := decimate.Decimate(cur.mesh, cur.data, target, decimate.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("canopus: decimate level %d: %w", l, err)
-		}
-		levels[l+1] = &level{mesh: res.Coarse, data: res.Data}
-	}
-	rep.Timings.DecimateSeconds = time.Since(t0).Seconds()
-	for _, lv := range levels {
-		rep.VertexCounts = append(rep.VertexCounts, lv.mesh.NumVerts())
-	}
 
-	// Phase 2: delta calculation (Algorithm 2), delta mode only.
-	if opts.Mode == ModeDelta {
-		t0 = time.Now()
+	// Stage 1: decimation cascade (Algorithm 1 per level). Each level is
+	// decimated from the previous, so the cascade is one sequential unit.
+	pipe.AddStage(stageDecimate, func(ctx context.Context) error {
 		for l := 0; l < opts.Levels-1; l++ {
-			fine, coarse := levels[l], levels[l+1]
-			mp, err := delta.Build(fine.mesh, coarse.mesh)
-			if err != nil {
-				return nil, fmt.Errorf("canopus: mapping level %d: %w", l, err)
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			d, err := delta.Compute(fine.mesh, fine.data, coarse.mesh, coarse.data, mp, est)
+			cur := levels[l]
+			target := decimate.TargetForRatio(cur.mesh.NumVerts(), opts.RatioPerLevel)
+			res, err := decimate.Decimate(cur.mesh, cur.data, target, decimate.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("canopus: delta level %d: %w", l, err)
+				return fmt.Errorf("canopus: decimate level %d: %w", l, err)
 			}
-			fine.mapping = mp
-			fine.deltaTo = d
+			levels[l+1] = &level{mesh: res.Coarse, data: res.Data}
 		}
-		rep.Timings.DeltaSeconds = time.Since(t0).Seconds()
+		return nil
+	})
+
+	// Stage 2: delta calculation (Algorithm 2), delta mode only. Each
+	// level's mapping and delta depend only on its own pair of meshes, so
+	// levels fan out across the pool.
+	if opts.Mode == ModeDelta {
+		units := make([]engine.Unit, 0, opts.Levels-1)
+		for l := 0; l < opts.Levels-1; l++ {
+			l := l
+			units = append(units, func(ctx context.Context) error {
+				fine, coarse := levels[l], levels[l+1]
+				mp, err := delta.Build(fine.mesh, coarse.mesh)
+				if err != nil {
+					return fmt.Errorf("canopus: mapping level %d: %w", l, err)
+				}
+				d, err := delta.Compute(fine.mesh, fine.data, coarse.mesh, coarse.data, mp, est)
+				if err != nil {
+					return fmt.Errorf("canopus: delta level %d: %w", l, err)
+				}
+				fine.mapping = mp
+				fine.deltaTo = d
+				return nil
+			})
+		}
+		pipe.AddStage(stageDelta, units...)
 	}
 
-	// Phase 3: compression and container assembly.
+	// Stage 3: compression and container assembly, one unit per level.
+	// Containers are assembled in canonical product order, so the stored
+	// bytes do not depend on the worker count.
 	containers := make([]*bp.Writer, opts.Levels)
 	rep.PayloadBytes = make([]int64, opts.Levels)
-	t0 = time.Now()
-	for l, lv := range levels {
-		w := bp.NewWriter()
-		meshBytes, err := deflateBytes(mesh.Encode(lv.mesh))
-		if err != nil {
-			return nil, err
-		}
-		if err := w.PutBytes("mesh", l, meshBytes, nil); err != nil {
-			return nil, err
-		}
-		isBase := l == opts.Levels-1
-		switch {
-		case opts.Mode == ModeDirect, isBase:
-			enc, err := codec.Encode(lv.data)
+	compressUnits := make([]engine.Unit, 0, opts.Levels)
+	for l := 0; l < opts.Levels; l++ {
+		l := l
+		compressUnits = append(compressUnits, func(ctx context.Context) error {
+			products, tileFrame, payloadBytes, err := compressLevel(
+				levels[l], l, l == opts.Levels-1, opts.Mode, codec, opts.Chunks)
 			if err != nil {
-				return nil, fmt.Errorf("canopus: compress level %d: %w", l, err)
+				return err
 			}
-			if err := w.PutBytes("data", l, enc, map[string]string{"codec": codec.Name()}); err != nil {
-				return nil, err
+			var attrs map[string]string
+			if tileFrame != "" {
+				attrs = map[string]string{"tile-frame": tileFrame}
 			}
-			rep.PayloadBytes[l] = int64(len(enc))
-		default:
-			// Deltas are stored as spatial tiles, each its own
-			// selectively-readable variable, so regional retrieval
-			// can fetch only the tiles a zoomed-in analysis needs.
-			tb := newTileBox(lv.mesh, opts.Chunks)
-			w.SetAttr("tile-frame", tb.encode())
-			for ci, ids := range partitionVerts(lv.mesh, tb) {
-				if len(ids) == 0 {
-					continue
-				}
-				sub := make([]float64, len(ids))
-				for j, id := range ids {
-					sub[j] = lv.deltaTo[id]
-				}
-				enc, err := codec.Encode(sub)
-				if err != nil {
-					return nil, fmt.Errorf("canopus: compress delta %d chunk %d: %w", l, ci, err)
-				}
-				payload := encodeChunkPayload(ids, enc)
-				if err := w.PutBytes(chunkVarName(ci), l, payload, map[string]string{"codec": codec.Name()}); err != nil {
-					return nil, err
-				}
-				rep.PayloadBytes[l] += int64(len(payload))
-			}
-			mpBytes, err := deflateBytes(lv.mapping.Encode())
+			w, err := assembleContainer(products, attrs)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if err := w.PutBytes("mapping", l, mpBytes, nil); err != nil {
-				return nil, err
-			}
-		}
-		containers[l] = w
+			containers[l] = w
+			rep.PayloadBytes[l] = payloadBytes
+			return nil
+		})
 	}
-	rep.Timings.CompressSeconds = time.Since(t0).Seconds()
+	pipe.AddStage(stageCompress, compressUnits...)
 
-	// Phase 4: placement — base to the fastest tier first, then finer
-	// deltas toward slower tiers (§III-D).
+	// Stage 4: placement — base to the fastest tier first, then finer
+	// deltas toward slower tiers (§III-D). Placement order decides which
+	// products claim fast-tier capacity, so the stage is serial.
 	numTiers := aio.H.NumTiers()
+	storeUnits := make([]engine.Unit, 0, opts.Levels)
 	for l := opts.Levels - 1; l >= 0; l-- {
-		pref := tierFor(l, opts.Levels, numTiers)
-		p, err := aio.WriteContainer(levelKey(ds.Name, l), containers[l], pref)
-		if err != nil {
-			return nil, fmt.Errorf("canopus: store level %d: %w", l, err)
-		}
-		rep.Placements = append(rep.Placements, p)
-		rep.Timings.IOSeconds += p.Cost.Seconds
-		rep.Timings.IOBytes += p.Cost.Bytes
+		l := l
+		storeUnits = append(storeUnits, func(ctx context.Context) error {
+			pref := tierFor(l, opts.Levels, numTiers)
+			p, err := aio.WriteContainer(ctx, levelKey(ds.Name, l), containers[l], pref)
+			if err != nil {
+				return fmt.Errorf("canopus: store level %d: %w", l, err)
+			}
+			rep.Placements = append(rep.Placements, p)
+			rep.Timings.IOSeconds += p.Cost.Seconds
+			rep.Timings.IOBytes += p.Cost.Bytes
+			return nil
+		})
+	}
+	pipe.AddSerialStage(stageStore, storeUnits...)
+
+	if err := pipe.Run(ctx); err != nil {
+		return nil, err
+	}
+	rep.Timings.DecimateSeconds = pipe.StageSeconds(stageDecimate)
+	rep.Timings.DeltaSeconds = pipe.StageSeconds(stageDelta)
+	rep.Timings.CompressSeconds = pipe.StageSeconds(stageCompress)
+	for _, lv := range levels {
+		rep.VertexCounts = append(rep.VertexCounts, lv.mesh.NumVerts())
 	}
 	// LevelBytes indexed by level.
 	rep.LevelBytes = make([]int64, opts.Levels)
@@ -251,7 +326,7 @@ func Write(aio *adios.IO, ds *Dataset, opts Options) (*WriteReport, error) {
 	for l, n := range rep.VertexCounts {
 		metaW.SetAttr(fmt.Sprintf("verts-L%d", l), strconv.Itoa(n))
 	}
-	mp, err := aio.WriteContainer(metaKey(ds.Name), metaW, 0)
+	mp, err := aio.WriteContainer(ctx, metaKey(ds.Name), metaW, 0)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: store metadata: %w", err)
 	}
@@ -260,25 +335,9 @@ func Write(aio *adios.IO, ds *Dataset, opts Options) (*WriteReport, error) {
 	return rep, nil
 }
 
-// deflateBytes losslessly compresses opaque bytes (mesh encodings).
-func deflateBytes(raw []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := fw.Write(raw); err != nil {
-		return nil, err
-	}
-	if err := fw.Close(); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
 // WriteRaw stores ds unrefactored and uncompressed on the slowest tier —
 // the "None" baseline in Fig. 9–11: full-accuracy analysis with no Canopus.
-func WriteRaw(aio *adios.IO, ds *Dataset) (*WriteReport, error) {
+func WriteRaw(ctx context.Context, aio *adios.IO, ds *Dataset) (*WriteReport, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -295,7 +354,7 @@ func WriteRaw(aio *adios.IO, ds *Dataset) (*WriteReport, error) {
 	if err := w.PutBytes("data", 0, enc, map[string]string{"codec": "raw"}); err != nil {
 		return nil, err
 	}
-	p, err := aio.WriteContainer(rawKey(ds.Name), w, aio.H.NumTiers()-1)
+	p, err := aio.WriteContainer(ctx, rawKey(ds.Name), w, aio.H.NumTiers()-1)
 	if err != nil {
 		return nil, err
 	}

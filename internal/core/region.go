@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/adios"
 	"repro/internal/delta"
+	"repro/internal/engine"
 	"repro/internal/mesh"
 )
 
@@ -51,8 +53,9 @@ func (v *RegionView) CountHave() int {
 //
 // Regional retrieval requires delta-mode products (written with
 // Options.Chunks > 1 to benefit; Chunks == 1 still works but reads the
-// whole delta).
-func (r *Reader) RetrieveRegion(targetLevel int, minX, minY, maxX, maxY float64) (*RegionView, error) {
+// whole delta). The needed tiles of each level are fetched concurrently on
+// the reader's pool; cancelling ctx aborts mid-fetch.
+func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY, maxX, maxY float64) (*RegionView, error) {
 	if targetLevel < 0 || targetLevel >= r.levels {
 		return nil, fmt.Errorf("canopus: level %d out of range [0,%d)", targetLevel, r.levels)
 	}
@@ -71,7 +74,7 @@ func (r *Reader) RetrieveRegion(targetLevel int, minX, minY, maxX, maxY float64)
 	base := r.levels - 1
 	handles := make([]*handleInfo, base+1)
 	for l := targetLevel; l <= base; l++ {
-		h, err := r.aio.Open(levelKey(r.name, l), 1)
+		h, err := r.aio.Open(ctx, levelKey(r.name, l), 1)
 		if err != nil {
 			return nil, err
 		}
@@ -115,12 +118,12 @@ func (r *Reader) RetrieveRegion(targetLevel int, minX, minY, maxX, maxY float64)
 
 	// Base: read in full (small, fast tier).
 	hBase := handles[base].h
-	encBase, err := hBase.ReadBytes("data", base)
+	pBase, err := fetchProduct(hBase, base, engine.KindData, 0)
 	if err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	baseData, err := r.codec.Decode(encBase)
+	baseData, err := r.codec.Decode(pBase.Payload)
 	out.Timings.DecompressSeconds += time.Since(t0).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("canopus: decompress base: %w", err)
@@ -153,9 +156,11 @@ func (r *Reader) RetrieveRegion(targetLevel int, minX, minY, maxX, maxY float64)
 		}
 		deltas := make([]float64, fine.mesh.NumVerts())
 		haveDelta := make([]bool, fine.mesh.NumVerts())
-		if err := r.readDeltaChunks(fine.h, l, chunks, deltas, haveDelta, &out.Timings.DecompressSeconds); err != nil {
+		var decompress engine.Counter
+		if err := r.readDeltaChunks(ctx, fine.h, l, chunks, deltas, haveDelta, &decompress); err != nil {
 			return nil, err
 		}
+		out.Timings.DecompressSeconds += decompress.Value()
 
 		t0 = time.Now()
 		fineData := make([]float64, fine.mesh.NumVerts())

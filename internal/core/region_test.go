@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -114,14 +115,14 @@ func TestDecodeChunkPayloadErrors(t *testing.T) {
 func TestChunkedWriteStillFullyRetrievable(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 24)
-	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 4, RelTolerance: 1e-8}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, Chunks: 4, RelTolerance: 1e-8}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := r.Retrieve(0)
+	v, err := r.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,25 +142,25 @@ func TestChunkedMatchesUnchunked(t *testing.T) {
 	dsA := testDataset("x", 20)
 	dsB := testDataset("x", 20)
 	ioA, ioB := newIO(), newIO()
-	if _, err := Write(ioA, dsA, Options{Levels: 3, Chunks: 1}); err != nil {
+	if _, err := Write(context.Background(), ioA, dsA, Options{Levels: 3, Chunks: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Write(ioB, dsB, Options{Levels: 3, Chunks: 5}); err != nil {
+	if _, err := Write(context.Background(), ioB, dsB, Options{Levels: 3, Chunks: 5}); err != nil {
 		t.Fatal(err)
 	}
-	ra, err := OpenReader(ioA, "x")
+	ra, err := OpenReader(context.Background(), ioA, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := OpenReader(ioB, "x")
+	rb, err := OpenReader(context.Background(), ioB, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
-	va, err := ra.Retrieve(0)
+	va, err := ra.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	vb, err := rb.Retrieve(0)
+	vb, err := rb.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,25 +173,25 @@ func TestChunkedMatchesUnchunked(t *testing.T) {
 
 	// Lossless codec: layouts must agree exactly.
 	ioC, ioD := newIO(), newIO()
-	if _, err := Write(ioC, testDataset("y", 16), Options{Levels: 3, Chunks: 1, Codec: "fpc"}); err != nil {
+	if _, err := Write(context.Background(), ioC, testDataset("y", 16), Options{Levels: 3, Chunks: 1, Codec: "fpc"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Write(ioD, testDataset("y", 16), Options{Levels: 3, Chunks: 4, Codec: "fpc"}); err != nil {
+	if _, err := Write(context.Background(), ioD, testDataset("y", 16), Options{Levels: 3, Chunks: 4, Codec: "fpc"}); err != nil {
 		t.Fatal(err)
 	}
-	rc, err := OpenReader(ioC, "y")
+	rc, err := OpenReader(context.Background(), ioC, "y")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := OpenReader(ioD, "y")
+	rd, err := OpenReader(context.Background(), ioD, "y")
 	if err != nil {
 		t.Fatal(err)
 	}
-	vc, err := rc.Retrieve(0)
+	vc, err := rc.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	vd, err := rd.Retrieve(0)
+	vd, err := rd.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,23 +205,23 @@ func TestChunkedMatchesUnchunked(t *testing.T) {
 func TestRetrieveRegionMatchesFull(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 28)
-	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 4}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, Chunks: 4}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := r.Retrieve(0)
+	full, err := r.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Fresh reader: the regional path must work cold.
-	r2, err := OpenReader(aio, "dpot")
+	r2, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rv, err := r2.RetrieveRegion(0, 0.2, 0.2, 0.5, 0.5)
+	rv, err := r2.RetrieveRegion(context.Background(), 0, 0.2, 0.2, 0.5, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,22 +252,22 @@ func TestRetrieveRegionMatchesFull(t *testing.T) {
 func TestRetrieveRegionReadsFewerBytes(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 40)
-	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 8}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, Chunks: 8}); err != nil {
 		t.Fatal(err)
 	}
-	rFull, err := OpenReader(aio, "dpot")
+	rFull, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := rFull.Retrieve(0)
+	full, err := rFull.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rRegion, err := OpenReader(aio, "dpot")
+	rRegion, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rv, err := rRegion.RetrieveRegion(0, 0.0, 0.0, 0.2, 0.2)
+	rv, err := rRegion.RetrieveRegion(context.Background(), 0, 0.0, 0.0, 0.2, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,21 +280,21 @@ func TestRetrieveRegionReadsFewerBytes(t *testing.T) {
 func TestRetrieveRegionWholeDomainEqualsFull(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 20)
-	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 3}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, Chunks: 3}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rv, err := r.RetrieveRegion(0, -1, -1, 2, 2)
+	rv, err := r.RetrieveRegion(context.Background(), 0, -1, -1, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rv.CountHave() != ds.Mesh.NumVerts() {
 		t.Fatalf("whole-domain region restored %d of %d vertices", rv.CountHave(), ds.Mesh.NumVerts())
 	}
-	full, err := r.Retrieve(0)
+	full, err := r.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,14 +308,14 @@ func TestRetrieveRegionWholeDomainEqualsFull(t *testing.T) {
 func TestRetrieveRegionBaseLevel(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 16)
-	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 2}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, Chunks: 2}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rv, err := r.RetrieveRegion(2, 0, 0, 0.1, 0.1)
+	rv, err := r.RetrieveRegion(context.Background(), 2, 0, 0, 0.1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,29 +328,29 @@ func TestRetrieveRegionBaseLevel(t *testing.T) {
 func TestRetrieveRegionErrors(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 12)
-	if _, err := Write(aio, ds, Options{Levels: 2, Chunks: 2}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 2, Chunks: 2}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.RetrieveRegion(5, 0, 0, 1, 1); err == nil {
+	if _, err := r.RetrieveRegion(context.Background(), 5, 0, 0, 1, 1); err == nil {
 		t.Error("accepted out-of-range level")
 	}
-	if _, err := r.RetrieveRegion(0, 1, 1, 0, 0); err == nil {
+	if _, err := r.RetrieveRegion(context.Background(), 0, 1, 1, 0, 0); err == nil {
 		t.Error("accepted inverted region")
 	}
 	// Direct mode rejects regional retrieval.
 	io2 := newIO()
-	if _, err := Write(io2, testDataset("y", 12), Options{Levels: 2, Mode: ModeDirect}); err != nil {
+	if _, err := Write(context.Background(), io2, testDataset("y", 12), Options{Levels: 2, Mode: ModeDirect}); err != nil {
 		t.Fatal(err)
 	}
-	rd, err := OpenReader(io2, "y")
+	rd, err := OpenReader(context.Background(), io2, "y")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rd.RetrieveRegion(0, 0, 0, 1, 1); err == nil {
+	if _, err := rd.RetrieveRegion(context.Background(), 0, 0, 0, 1, 1); err == nil {
 		t.Error("direct mode accepted regional retrieval")
 	}
 }
@@ -357,14 +358,14 @@ func TestRetrieveRegionErrors(t *testing.T) {
 func TestRetrieveRegionEmptyIntersection(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 12)
-	if _, err := Write(aio, ds, Options{Levels: 2, Chunks: 2}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 2, Chunks: 2}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rv, err := r.RetrieveRegion(0, 5, 5, 6, 6) // far outside the unit square
+	rv, err := r.RetrieveRegion(context.Background(), 0, 5, 5, 6, 6) // far outside the unit square
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,10 +377,10 @@ func TestRetrieveRegionEmptyIntersection(t *testing.T) {
 func TestChunksValidation(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 10)
-	if _, err := Write(aio, ds, Options{Chunks: -1}); err == nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Chunks: -1}); err == nil {
 		t.Error("accepted negative chunks")
 	}
-	if _, err := Write(aio, ds, Options{Chunks: 100}); err == nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Chunks: 100}); err == nil {
 		t.Error("accepted chunks > 64")
 	}
 }
@@ -389,14 +390,14 @@ func TestChunksValidation(t *testing.T) {
 func TestQuickRegionAlwaysMatchesFull(t *testing.T) {
 	aio := newIO()
 	ds := testDataset("dpot", 24)
-	if _, err := Write(aio, ds, Options{Levels: 3, Chunks: 5}); err != nil {
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, Chunks: 5}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(aio, "dpot")
+	r, err := OpenReader(context.Background(), aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := r.Retrieve(0)
+	full, err := r.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +410,7 @@ func TestQuickRegionAlwaysMatchesFull(t *testing.T) {
 		if y0 > y1 {
 			y0, y1 = y1, y0
 		}
-		rv, err := r.RetrieveRegion(0, x0, y0, x1, y1)
+		rv, err := r.RetrieveRegion(context.Background(), 0, x0, y0, x1, y1)
 		if err != nil {
 			return false
 		}

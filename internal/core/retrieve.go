@@ -1,16 +1,16 @@
 package core
 
 import (
-	"bytes"
-	"compress/flate"
+	"context"
 	"fmt"
-	"io"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/adios"
 	"repro/internal/compress"
 	"repro/internal/delta"
+	"repro/internal/engine"
 	"repro/internal/mesh"
 	"repro/internal/storage"
 )
@@ -25,6 +25,12 @@ import (
 // pays mesh I/O once and subsequent retrievals charge only the data/delta
 // payloads. Retrieval timings on a warm reader therefore reflect the
 // steady-state analysis cost the paper measures.
+//
+// A Reader is safe for concurrent use: many goroutines may Retrieve (or
+// Base/Augment distinct views) at once. The caches are mutex-guarded and a
+// cache miss decodes each level's mesh and mapping exactly once even when
+// several retrievals race to it. Independent delta tiles within one
+// retrieval are fetched and decompressed on the reader's worker pool.
 type Reader struct {
 	aio       *adios.IO
 	name      string
@@ -35,13 +41,17 @@ type Reader struct {
 	tolerance float64
 	rawBytes  int64
 
+	pool *engine.Pool
+
+	mu           sync.RWMutex // guards the caches below
 	meshCache    map[int]*mesh.Mesh
 	mappingCache map[int]delta.Mapping
+	flight       engine.Group
 }
 
 // OpenReader loads the metadata for a refactored variable.
-func OpenReader(aio *adios.IO, name string) (*Reader, error) {
-	h, err := aio.Open(metaKey(name), 1)
+func OpenReader(ctx context.Context, aio *adios.IO, name string) (*Reader, error) {
+	h, err := aio.Open(ctx, metaKey(name), 1)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: open metadata for %q: %w", name, err)
 	}
@@ -100,6 +110,7 @@ func OpenReader(aio *adios.IO, name string) (*Reader, error) {
 		codec:        codec,
 		estimator:    est,
 		tolerance:    tol,
+		pool:         engine.NewPool(0),
 		meshCache:    make(map[int]*mesh.Mesh),
 		mappingCache: make(map[int]delta.Mapping),
 	}
@@ -108,6 +119,10 @@ func OpenReader(aio *adios.IO, name string) (*Reader, error) {
 	}
 	return r, nil
 }
+
+// SetWorkers resizes the reader's worker pool (n <= 0 means NumCPU). It must
+// not be called concurrently with retrievals.
+func (r *Reader) SetWorkers(n int) { r.pool = engine.NewPool(n) }
 
 // Levels reports the total number of stored accuracy levels N.
 func (r *Reader) Levels() int { return r.levels }
@@ -119,7 +134,8 @@ func (r *Reader) Mode() Mode { return r.mode }
 func (r *Reader) Tolerance() float64 { return r.tolerance }
 
 // View is data restored to some accuracy level, plus the accumulated cost
-// of producing it. Augment refines it in place, one level at a time.
+// of producing it. Augment refines it in place, one level at a time. A View
+// is not shared: concurrent retrievals each build their own.
 type View struct {
 	// Level is the current accuracy level (N-1 = base, 0 = full).
 	Level int
@@ -142,16 +158,16 @@ func (v *View) DecimationRatio(fullVerts int) float64 {
 
 // Base retrieves the lowest-accuracy view: read L^(N-1) from the fast tier
 // and decompress — option (1) in §III-B's walkthrough.
-func (r *Reader) Base() (*View, error) {
+func (r *Reader) Base(ctx context.Context) (*View, error) {
 	l := r.levels - 1
 	if r.mode == ModeDirect {
-		return r.retrieveDirect(l)
+		return r.retrieveDirect(ctx, l)
 	}
-	h, err := r.aio.Open(levelKey(r.name, l), 1)
+	h, err := r.aio.Open(ctx, levelKey(r.name, l), 1)
 	if err != nil {
 		return nil, err
 	}
-	enc, err := h.ReadBytes("data", l)
+	p, err := fetchProduct(h, l, engine.KindData, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +180,7 @@ func (r *Reader) Base() (*View, error) {
 	v.Timings.IOBytes = h.Cost().Bytes
 
 	t0 := time.Now()
-	v.Data, err = r.codec.Decode(enc)
+	v.Data, err = r.codec.Decode(p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("canopus: decompress base: %w", err)
@@ -179,13 +195,13 @@ func (r *Reader) Base() (*View, error) {
 // delta^((Level-1)-(Level)) and the finer mesh from storage, then applies
 // Algorithm 3. The paper's progressive exploration loop is Base() followed
 // by Augment() until the accuracy satisfies the analysis.
-func (r *Reader) Augment(v *View) error {
+func (r *Reader) Augment(ctx context.Context, v *View) error {
 	if v.Level == 0 {
 		return fmt.Errorf("canopus: %q already at full accuracy", r.name)
 	}
 	fineLevel := v.Level - 1
 	if r.mode == ModeDirect {
-		nv, err := r.retrieveDirect(fineLevel)
+		nv, err := r.retrieveDirect(ctx, fineLevel)
 		if err != nil {
 			return err
 		}
@@ -193,7 +209,7 @@ func (r *Reader) Augment(v *View) error {
 		*v = *nv
 		return nil
 	}
-	h, err := r.aio.Open(levelKey(r.name, fineLevel), 1)
+	h, err := r.aio.Open(ctx, levelKey(r.name, fineLevel), 1)
 	if err != nil {
 		return err
 	}
@@ -206,13 +222,13 @@ func (r *Reader) Augment(v *View) error {
 		return err
 	}
 	d := make([]float64, fineMesh.NumVerts())
-	var decompressSec float64
-	if err := r.readDeltaChunks(h, fineLevel, nil, d, nil, &decompressSec); err != nil {
+	var decompress engine.Counter
+	if err := r.readDeltaChunks(ctx, h, fineLevel, nil, d, nil, &decompress); err != nil {
 		return err
 	}
 	v.Timings.IOSeconds += h.Cost().Seconds
 	v.Timings.IOBytes += h.Cost().Bytes
-	v.Timings.DecompressSeconds += decompressSec
+	v.Timings.DecompressSeconds += decompress.Value()
 
 	t0 := time.Now()
 	fineData, err := delta.Restore(fineMesh, v.Mesh, v.Data, mp, d, r.estimator)
@@ -229,20 +245,20 @@ func (r *Reader) Augment(v *View) error {
 
 // Retrieve restores the variable to the requested accuracy level,
 // progressing from the base through the required deltas (or reading one
-// product in direct mode).
-func (r *Reader) Retrieve(targetLevel int) (*View, error) {
+// product in direct mode). Cancelling ctx aborts the retrieval mid-fetch.
+func (r *Reader) Retrieve(ctx context.Context, targetLevel int) (*View, error) {
 	if targetLevel < 0 || targetLevel >= r.levels {
 		return nil, fmt.Errorf("canopus: level %d out of range [0,%d)", targetLevel, r.levels)
 	}
 	if r.mode == ModeDirect {
-		return r.retrieveDirect(targetLevel)
+		return r.retrieveDirect(ctx, targetLevel)
 	}
-	v, err := r.Base()
+	v, err := r.Base(ctx)
 	if err != nil {
 		return nil, err
 	}
 	for v.Level > targetLevel {
-		if err := r.Augment(v); err != nil {
+		if err := r.Augment(ctx, v); err != nil {
 			return nil, err
 		}
 	}
@@ -250,12 +266,12 @@ func (r *Reader) Retrieve(targetLevel int) (*View, error) {
 }
 
 // retrieveDirect reads level l compressed directly (the §II-B baseline).
-func (r *Reader) retrieveDirect(l int) (*View, error) {
-	h, err := r.aio.Open(levelKey(r.name, l), 1)
+func (r *Reader) retrieveDirect(ctx context.Context, l int) (*View, error) {
+	h, err := r.aio.Open(ctx, levelKey(r.name, l), 1)
 	if err != nil {
 		return nil, err
 	}
-	enc, err := h.ReadBytes("data", l)
+	p, err := fetchProduct(h, l, engine.KindData, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +283,7 @@ func (r *Reader) retrieveDirect(l int) (*View, error) {
 	v.Timings.IOSeconds = h.Cost().Seconds
 	v.Timings.IOBytes = h.Cost().Bytes
 	t0 := time.Now()
-	v.Data, err = r.codec.Decode(enc)
+	v.Data, err = r.codec.Decode(p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("canopus: decompress level %d: %w", l, err)
@@ -275,42 +291,70 @@ func (r *Reader) retrieveDirect(l int) (*View, error) {
 	return v, nil
 }
 
-// readDeflated reads a flate-compressed variable from an open container.
-func readDeflated(h *adios.Handle, name string, l int) ([]byte, error) {
-	enc, err := h.ReadBytes(name, l)
-	if err != nil {
-		return nil, err
-	}
-	raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(enc)))
-	if err != nil {
-		return nil, fmt.Errorf("canopus: inflate %s %d: %w", name, l, err)
-	}
-	return raw, nil
-}
-
-// readDeflatedMesh reads and decodes a level's mesh geometry.
-func readDeflatedMesh(h *adios.Handle, l int) (*mesh.Mesh, error) {
-	raw, err := readDeflated(h, "mesh", l)
-	if err != nil {
-		return nil, err
-	}
-	m, _, err := mesh.Decode(raw)
-	if err != nil {
-		return nil, fmt.Errorf("canopus: decode mesh %d: %w", l, err)
-	}
-	return m, nil
-}
-
+// readMesh returns level l's mesh, decoding it at most once across all
+// concurrent retrievals (single-flight on a cache miss).
 func (r *Reader) readMesh(h *adios.Handle, l int) (*mesh.Mesh, error) {
-	if m, ok := r.meshCache[l]; ok {
+	r.mu.RLock()
+	m, ok := r.meshCache[l]
+	r.mu.RUnlock()
+	if ok {
 		return m, nil
 	}
-	m, err := readDeflatedMesh(h, l)
+	v, err := r.flight.Do(fmt.Sprintf("mesh/%d", l), func() (any, error) {
+		r.mu.RLock()
+		m, ok := r.meshCache[l]
+		r.mu.RUnlock()
+		if ok {
+			return m, nil
+		}
+		m, err := fetchMesh(h, l)
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.meshCache[l] = m
+		r.mu.Unlock()
+		return m, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	r.meshCache[l] = m
-	return m, nil
+	return v.(*mesh.Mesh), nil
+}
+
+// readMapping returns level l's vertex→triangle mapping, decoding it at most
+// once across all concurrent retrievals.
+func (r *Reader) readMapping(h *adios.Handle, l int) (delta.Mapping, error) {
+	r.mu.RLock()
+	mp, ok := r.mappingCache[l]
+	r.mu.RUnlock()
+	if ok {
+		return mp, nil
+	}
+	v, err := r.flight.Do(fmt.Sprintf("mapping/%d", l), func() (any, error) {
+		r.mu.RLock()
+		mp, ok := r.mappingCache[l]
+		r.mu.RUnlock()
+		if ok {
+			return mp, nil
+		}
+		raw, err := fetchDeflated(h, l, engine.KindMapping)
+		if err != nil {
+			return nil, err
+		}
+		mp, _, err = delta.DecodeMapping(raw)
+		if err != nil {
+			return nil, fmt.Errorf("canopus: mapping %d: %w", l, err)
+		}
+		r.mu.Lock()
+		r.mappingCache[l] = mp
+		r.mu.Unlock()
+		return mp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(delta.Mapping), nil
 }
 
 // readDeltaChunks reads delta tiles from an open level container and
@@ -318,18 +362,21 @@ func (r *Reader) readMesh(h *adios.Handle, l int) (*mesh.Mesh, error) {
 // When wantChunks is nil every stored tile is read (full augmentation);
 // otherwise only the listed tile indices are fetched — the focused-read
 // path. have, when non-nil, is marked true for each vertex whose delta was
-// loaded. Decompression time accumulates into decompressSec.
-func (r *Reader) readDeltaChunks(h *adios.Handle, level int, wantChunks []int, out []float64, have []bool, decompressSec *float64) error {
+// loaded. Decompression time accumulates into decompress.
+func (r *Reader) readDeltaChunks(ctx context.Context, h *adios.Handle, level int, wantChunks []int, out []float64, have []bool, decompress *engine.Counter) error {
 	tb, err := r.tileFrame(h)
 	if err != nil {
 		return err
 	}
-	return readDeltaChunksFrom(h, r.codec, tb, level, wantChunks, out, have, decompressSec)
+	return readDeltaChunksFrom(ctx, r.pool, h, r.codec, tb, level, wantChunks, out, have, decompress)
 }
 
 // readDeltaChunksFrom is the container-agnostic tile reader shared by the
-// single-variable Reader and the SeriesReader.
-func readDeltaChunksFrom(h *adios.Handle, codec compress.Codec, tb tileBox, level int, wantChunks []int, out []float64, have []bool, decompressSec *float64) error {
+// single-variable Reader and the SeriesReader. Tiles are independent units
+// on the pool: they cover disjoint vertex id sets, so concurrent scatters
+// into out and have are race-free, and the restored field does not depend on
+// the worker count.
+func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle, codec compress.Codec, tb tileBox, level int, wantChunks []int, out []float64, have []bool, decompress *engine.Counter) error {
 	chunks := wantChunks
 	if chunks == nil {
 		chunks = make([]int, tb.n*tb.n)
@@ -337,41 +384,49 @@ func readDeltaChunksFrom(h *adios.Handle, codec compress.Codec, tb tileBox, leve
 			chunks[i] = i
 		}
 	}
-	for _, ci := range chunks {
-		if _, ok := h.InqVar(chunkVarName(ci), level); !ok {
-			if wantChunks != nil {
-				return fmt.Errorf("canopus: level %d missing delta chunk %d", level, ci)
-			}
-			continue // empty tile
-		}
-		payload, err := h.ReadBytes(chunkVarName(ci), level)
-		if err != nil {
-			return err
-		}
-		ids, enc, err := decodeChunkPayload(payload)
-		if err != nil {
-			return fmt.Errorf("canopus: level %d chunk %d: %w", level, ci, err)
-		}
-		t0 := time.Now()
-		vals, err := codec.Decode(enc)
-		*decompressSec += time.Since(t0).Seconds()
-		if err != nil {
-			return fmt.Errorf("canopus: decompress delta %d chunk %d: %w", level, ci, err)
-		}
-		if len(vals) != len(ids) {
-			return fmt.Errorf("canopus: level %d chunk %d: %d values for %d ids", level, ci, len(vals), len(ids))
-		}
-		for j, id := range ids {
-			if int(id) >= len(out) {
-				return fmt.Errorf("canopus: level %d chunk %d: vertex id %d out of range", level, ci, id)
-			}
-			out[id] = vals[j]
-			if have != nil {
-				have[id] = true
-			}
-		}
+	if pool == nil {
+		pool = engine.NewPool(1)
 	}
-	return nil
+	units := make([]engine.Unit, 0, len(chunks))
+	for _, ci := range chunks {
+		ci := ci
+		units = append(units, func(ctx context.Context) error {
+			if _, ok := h.InqVar(chunkVarName(ci), level); !ok {
+				if wantChunks != nil {
+					return fmt.Errorf("canopus: level %d missing delta chunk %d", level, ci)
+				}
+				return nil // empty tile
+			}
+			p, err := fetchProduct(h, level, engine.KindDelta, ci)
+			if err != nil {
+				return err
+			}
+			ids, enc, err := decodeChunkPayload(p.Payload)
+			if err != nil {
+				return fmt.Errorf("canopus: level %d chunk %d: %w", level, ci, err)
+			}
+			t0 := time.Now()
+			vals, err := codec.Decode(enc)
+			decompress.Add(time.Since(t0).Seconds())
+			if err != nil {
+				return fmt.Errorf("canopus: decompress delta %d chunk %d: %w", level, ci, err)
+			}
+			if len(vals) != len(ids) {
+				return fmt.Errorf("canopus: level %d chunk %d: %d values for %d ids", level, ci, len(vals), len(ids))
+			}
+			for j, id := range ids {
+				if int(id) >= len(out) {
+					return fmt.Errorf("canopus: level %d chunk %d: vertex id %d out of range", level, ci, id)
+				}
+				out[id] = vals[j]
+				if have != nil {
+					have[id] = true
+				}
+			}
+			return nil
+		})
+	}
+	return pool.Run(ctx, units...)
 }
 
 // tileFrame parses the tiling frame recorded in a level container.
@@ -383,28 +438,15 @@ func (r *Reader) tileFrame(h *adios.Handle) (tileBox, error) {
 	return parseTileBox(s)
 }
 
-func (r *Reader) readMapping(h *adios.Handle, l int) (delta.Mapping, error) {
-	if mp, ok := r.mappingCache[l]; ok {
-		return mp, nil
-	}
-	raw, err := readDeflated(h, "mapping", l)
-	if err != nil {
-		return nil, err
-	}
-	mp, _, err := delta.DecodeMapping(raw)
-	if err != nil {
-		return nil, fmt.Errorf("canopus: mapping %d: %w", l, err)
-	}
-	r.mappingCache[l] = mp
-	return mp, nil
-}
-
 // RawReader retrieves the WriteRaw baseline product. Like Reader, it caches
 // the static mesh after the first retrieval, so warm retrievals measure
-// data I/O only — the same steady-state convention.
+// data I/O only — the same steady-state convention. It is safe for
+// concurrent use.
 type RawReader struct {
 	aio  *adios.IO
 	name string
+
+	mu   sync.Mutex
 	mesh *mesh.Mesh
 }
 
@@ -417,21 +459,26 @@ func OpenRawReader(aio *adios.IO, name string) (*RawReader, error) {
 }
 
 // Retrieve reads the full-accuracy baseline.
-func (r *RawReader) Retrieve() (*View, error) {
-	h, err := r.aio.Open(rawKey(r.name), 1)
+func (r *RawReader) Retrieve(ctx context.Context) (*View, error) {
+	h, err := r.aio.Open(ctx, rawKey(r.name), 1)
 	if err != nil {
 		return nil, err
 	}
-	if r.mesh == nil {
+	r.mu.Lock()
+	m := r.mesh
+	r.mu.Unlock()
+	if m == nil {
 		encMesh, err := h.ReadBytes("mesh", 0)
 		if err != nil {
 			return nil, err
 		}
-		m, _, err := mesh.Decode(encMesh)
+		m, _, err = mesh.Decode(encMesh)
 		if err != nil {
 			return nil, err
 		}
+		r.mu.Lock()
 		r.mesh = m
+		r.mu.Unlock()
 	}
 	raw, err := h.ReadBytes("data", 0)
 	if err != nil {
@@ -441,17 +488,17 @@ func (r *RawReader) Retrieve() (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := &View{Level: 0, Mesh: r.mesh, Data: data}
+	v := &View{Level: 0, Mesh: m, Data: data}
 	v.Timings.IOSeconds = h.Cost().Seconds
 	v.Timings.IOBytes = h.Cost().Bytes
 	return v, nil
 }
 
 // ReadRaw retrieves the WriteRaw baseline product in one (cold) shot.
-func ReadRaw(aio *adios.IO, name string) (*View, error) {
+func ReadRaw(ctx context.Context, aio *adios.IO, name string) (*View, error) {
 	r, err := OpenRawReader(aio, name)
 	if err != nil {
 		return nil, err
 	}
-	return r.Retrieve()
+	return r.Retrieve(ctx)
 }

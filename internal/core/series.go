@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/adios"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/decimate"
 	"repro/internal/delta"
+	"repro/internal/engine"
 	"repro/internal/mesh"
 	"repro/internal/storage"
 )
@@ -39,12 +42,15 @@ func stepKey(name string, step, l int) string {
 	return fmt.Sprintf("%s/s%d-L%d", name, step, l)
 }
 
-// SeriesWriter refactors a campaign of timesteps over one static mesh.
+// SeriesWriter refactors a campaign of timesteps over one static mesh. Per
+// step, delta calculation and per-level compression fan out on the engine
+// pool (Options.Workers); placement stays serial, base first.
 type SeriesWriter struct {
 	aio  *adios.IO
 	name string
 	opts Options
 	est  delta.Estimator
+	pool *engine.Pool
 
 	meshes       []*mesh.Mesh
 	restrictions []decimate.Restriction
@@ -77,7 +83,7 @@ type SeriesReport struct {
 // fieldRange is the expected |max-min| of the fields (used with
 // opts.RelTolerance to fix the codec's absolute error bound for the whole
 // campaign); it must be positive for lossy codecs.
-func NewSeriesWriter(aio *adios.IO, name string, m *mesh.Mesh, fieldRange float64, opts Options) (*SeriesWriter, error) {
+func NewSeriesWriter(ctx context.Context, aio *adios.IO, name string, m *mesh.Mesh, fieldRange float64, opts Options) (*SeriesWriter, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -106,6 +112,7 @@ func NewSeriesWriter(aio *adios.IO, name string, m *mesh.Mesh, fieldRange float6
 
 	sw := &SeriesWriter{
 		aio: aio, name: name, opts: opts, est: est, tol: tol, codec: codec,
+		pool:   engine.NewPool(opts.Workers),
 		meshes: []*mesh.Mesh{m},
 	}
 	// Build the hierarchy once. Decimation uses the geometry-only
@@ -113,6 +120,9 @@ func NewSeriesWriter(aio *adios.IO, name string, m *mesh.Mesh, fieldRange float6
 	// sequence and its restriction operators.
 	zeros := make([]float64, m.NumVerts())
 	for l := 0; l < opts.Levels-1; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur := sw.meshes[l]
 		res, err := decimate.Decimate(cur, zeros[:cur.NumVerts()],
 			decimate.TargetForRatio(cur.NumVerts(), opts.RatioPerLevel),
@@ -140,37 +150,38 @@ func NewSeriesWriter(aio *adios.IO, name string, m *mesh.Mesh, fieldRange float6
 
 	// Store the shared hierarchy.
 	for l, lm := range sw.meshes {
-		w := bp.NewWriter()
-		w.SetAttr("tile-frame", sw.tiles[l].encode())
-		meshBytes, err := deflateBytes(mesh.Encode(lm))
+		products := make([]engine.Product, 0, 2)
+		mp, err := meshProduct(l, lm)
 		if err != nil {
 			return nil, err
 		}
-		if err := w.PutBytes("mesh", l, meshBytes, nil); err != nil {
-			return nil, err
-		}
+		products = append(products, mp)
 		if l < opts.Levels-1 {
 			mpBytes, err := deflateBytes(sw.mappings[l].Encode())
 			if err != nil {
 				return nil, err
 			}
-			if err := w.PutBytes("mapping", l, mpBytes, nil); err != nil {
-				return nil, err
-			}
+			products = append(products, engine.Product{
+				Level: l, Kind: engine.KindMapping, Payload: mpBytes,
+			})
 		}
-		p, err := aio.WriteContainer(hierKey(name, l), w, tierFor(l, opts.Levels, aio.H.NumTiers()))
+		w, err := assembleContainer(products, map[string]string{"tile-frame": sw.tiles[l].encode()})
+		if err != nil {
+			return nil, err
+		}
+		p, err := aio.WriteContainer(ctx, hierKey(name, l), w, tierFor(l, opts.Levels, aio.H.NumTiers()))
 		if err != nil {
 			return nil, fmt.Errorf("canopus: store hierarchy level %d: %w", l, err)
 		}
 		sw.hierBytes += p.Cost.Bytes
 	}
-	if err := sw.writeMeta(); err != nil {
+	if err := sw.writeMeta(ctx); err != nil {
 		return nil, err
 	}
 	return sw, nil
 }
 
-func (sw *SeriesWriter) writeMeta() error {
+func (sw *SeriesWriter) writeMeta(ctx context.Context) error {
 	w := bp.NewWriter()
 	w.SetAttr("name", sw.name)
 	w.SetAttr("levels", strconv.Itoa(sw.opts.Levels))
@@ -178,7 +189,7 @@ func (sw *SeriesWriter) writeMeta() error {
 	w.SetAttr("tolerance", strconv.FormatFloat(sw.tol, 'g', -1, 64))
 	w.SetAttr("estimator", sw.est.Name())
 	w.SetAttr("steps", strconv.Itoa(sw.steps))
-	if _, err := sw.aio.WriteContainer(seriesMetaKey(sw.name), w, 0); err != nil {
+	if _, err := sw.aio.WriteContainer(ctx, seriesMetaKey(sw.name), w, 0); err != nil {
 		return fmt.Errorf("canopus: store series metadata: %w", err)
 	}
 	return nil
@@ -192,8 +203,9 @@ func (sw *SeriesWriter) HierarchyBytes() int64 { return sw.hierBytes }
 
 // WriteStep refactors and stores one timestep's field. Steps must be
 // written with len(data) == the mesh vertex count; step indices are
-// assigned sequentially.
-func (sw *SeriesWriter) WriteStep(data []float64) (*SeriesReport, error) {
+// assigned sequentially. WriteStep is not itself concurrent-safe (steps are
+// ordered); within a step, independent levels compress concurrently.
+func (sw *SeriesWriter) WriteStep(ctx context.Context, data []float64) (*SeriesReport, error) {
 	if len(data) != sw.meshes[0].NumVerts() {
 		return nil, fmt.Errorf("canopus: step data length %d != vertex count %d",
 			len(data), sw.meshes[0].NumVerts())
@@ -204,59 +216,92 @@ func (sw *SeriesWriter) WriteStep(data []float64) (*SeriesReport, error) {
 	}
 
 	// Coarse fields via the cached restrictions (replaces decimation).
+	// Each level restricts from the previous, so the chain is sequential.
 	t0 := time.Now()
 	levelData := make([][]float64, sw.opts.Levels)
 	levelData[0] = data
 	for l := 0; l < sw.opts.Levels-1; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		levelData[l+1] = sw.restrictions[l].Apply(levelData[l])
 	}
 	rep.Timings.DecimateSeconds = time.Since(t0).Seconds()
 
-	// Deltas via the cached mappings.
+	// Deltas via the cached mappings, one pool unit per level.
 	t0 = time.Now()
 	deltas := make([][]float64, sw.opts.Levels-1)
+	deltaUnits := make([]engine.Unit, 0, sw.opts.Levels-1)
 	for l := 0; l < sw.opts.Levels-1; l++ {
-		d, err := delta.Compute(sw.meshes[l], levelData[l], sw.meshes[l+1], levelData[l+1], sw.mappings[l], sw.est)
-		if err != nil {
-			return nil, fmt.Errorf("canopus: step %d delta %d: %w", sw.steps, l, err)
-		}
-		deltas[l] = d
+		l := l
+		deltaUnits = append(deltaUnits, func(ctx context.Context) error {
+			d, err := delta.Compute(sw.meshes[l], levelData[l], sw.meshes[l+1], levelData[l+1], sw.mappings[l], sw.est)
+			if err != nil {
+				return fmt.Errorf("canopus: step %d delta %d: %w", sw.steps, l, err)
+			}
+			deltas[l] = d
+			return nil
+		})
+	}
+	if err := sw.pool.Run(ctx, deltaUnits...); err != nil {
+		return nil, err
 	}
 	rep.Timings.DeltaSeconds = time.Since(t0).Seconds()
 
-	// Compress and place payload containers.
+	// Compress payload containers, one pool unit per level. Step
+	// containers carry payloads only (the hierarchy container has the
+	// mesh, mapping, and tile frame), in canonical product order.
+	t0 = time.Now()
+	containers := make([]*bp.Writer, sw.opts.Levels)
+	compressUnits := make([]engine.Unit, 0, sw.opts.Levels)
+	for l := 0; l < sw.opts.Levels; l++ {
+		l := l
+		compressUnits = append(compressUnits, func(ctx context.Context) error {
+			var products []engine.Product
+			if l == sw.opts.Levels-1 {
+				enc, err := sw.codec.Encode(levelData[l])
+				if err != nil {
+					return fmt.Errorf("canopus: step %d compress base: %w", sw.steps, err)
+				}
+				products = append(products, engine.Product{
+					Level: l, Kind: engine.KindData, Codec: sw.codec.Name(), Payload: enc,
+				})
+			} else {
+				for ci, ids := range sw.tilesIDs[l] {
+					if len(ids) == 0 {
+						continue
+					}
+					sub := make([]float64, len(ids))
+					for j, id := range ids {
+						sub[j] = deltas[l][id]
+					}
+					enc, err := sw.codec.Encode(sub)
+					if err != nil {
+						return fmt.Errorf("canopus: step %d compress delta %d: %w", sw.steps, l, err)
+					}
+					products = append(products, engine.Product{
+						Level: l, Kind: engine.KindDelta, Chunk: ci,
+						Payload: encodeChunkPayload(ids, enc),
+					})
+				}
+			}
+			w, err := assembleContainer(products, nil)
+			if err != nil {
+				return err
+			}
+			containers[l] = w
+			return nil
+		})
+	}
+	if err := sw.pool.Run(ctx, compressUnits...); err != nil {
+		return nil, err
+	}
+	rep.Timings.CompressSeconds = time.Since(t0).Seconds()
+
+	// Place base first (§III-D ordering).
 	numTiers := sw.aio.H.NumTiers()
 	for l := sw.opts.Levels - 1; l >= 0; l-- {
-		w := bp.NewWriter()
-		t0 = time.Now()
-		if l == sw.opts.Levels-1 {
-			enc, err := sw.codec.Encode(levelData[l])
-			if err != nil {
-				return nil, fmt.Errorf("canopus: step %d compress base: %w", sw.steps, err)
-			}
-			if err := w.PutBytes("data", l, enc, map[string]string{"codec": sw.codec.Name()}); err != nil {
-				return nil, err
-			}
-		} else {
-			for ci, ids := range sw.tilesIDs[l] {
-				if len(ids) == 0 {
-					continue
-				}
-				sub := make([]float64, len(ids))
-				for j, id := range ids {
-					sub[j] = deltas[l][id]
-				}
-				enc, err := sw.codec.Encode(sub)
-				if err != nil {
-					return nil, fmt.Errorf("canopus: step %d compress delta %d: %w", sw.steps, l, err)
-				}
-				if err := w.PutBytes(chunkVarName(ci), l, encodeChunkPayload(ids, enc), nil); err != nil {
-					return nil, err
-				}
-			}
-		}
-		rep.Timings.CompressSeconds += time.Since(t0).Seconds()
-		p, err := sw.aio.WriteContainer(stepKey(sw.name, sw.steps, l), w, tierFor(l, sw.opts.Levels, numTiers))
+		p, err := sw.aio.WriteContainer(ctx, stepKey(sw.name, sw.steps, l), containers[l], tierFor(l, sw.opts.Levels, numTiers))
 		if err != nil {
 			return nil, fmt.Errorf("canopus: store step %d level %d: %w", sw.steps, l, err)
 		}
@@ -266,14 +311,15 @@ func (sw *SeriesWriter) WriteStep(data []float64) (*SeriesReport, error) {
 	}
 
 	sw.steps++
-	if err := sw.writeMeta(); err != nil {
+	if err := sw.writeMeta(ctx); err != nil {
 		return nil, err
 	}
 	return rep, nil
 }
 
 // SeriesReader retrieves campaign timesteps progressively, sharing one
-// cached mesh hierarchy across every step.
+// cached mesh hierarchy across every step. It is safe for concurrent use:
+// goroutines may retrieve different (or the same) steps in parallel.
 type SeriesReader struct {
 	aio       *adios.IO
 	name      string
@@ -282,16 +328,19 @@ type SeriesReader struct {
 	codec     compress.Codec
 	estimator delta.Estimator
 	tolerance float64
+	pool      *engine.Pool
 
+	mu       sync.Mutex // guards the hierarchy caches and hierCost
 	meshes   map[int]*mesh.Mesh
 	mappings map[int]delta.Mapping
 	tiles    map[int]tileBox
 	hierCost storage.Cost
+	flight   engine.Group
 }
 
 // OpenSeriesReader loads a campaign's metadata.
-func OpenSeriesReader(aio *adios.IO, name string) (*SeriesReader, error) {
-	h, err := aio.Open(seriesMetaKey(name), 1)
+func OpenSeriesReader(ctx context.Context, aio *adios.IO, name string) (*SeriesReader, error) {
+	h, err := aio.Open(ctx, seriesMetaKey(name), 1)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: open series metadata for %q: %w", name, err)
 	}
@@ -345,11 +394,16 @@ func OpenSeriesReader(aio *adios.IO, name string) (*SeriesReader, error) {
 	return &SeriesReader{
 		aio: aio, name: name, levels: levels, steps: steps,
 		codec: codec, estimator: est, tolerance: tol,
+		pool:     engine.NewPool(0),
 		meshes:   map[int]*mesh.Mesh{},
 		mappings: map[int]delta.Mapping{},
 		tiles:    map[int]tileBox{},
 	}, nil
 }
+
+// SetWorkers resizes the reader's worker pool (n <= 0 means NumCPU). It must
+// not be called concurrently with retrievals.
+func (sr *SeriesReader) SetWorkers(n int) { sr.pool = engine.NewPool(n) }
 
 // Levels reports the level count; Steps the number of stored timesteps.
 func (sr *SeriesReader) Levels() int { return sr.levels }
@@ -360,48 +414,79 @@ func (sr *SeriesReader) Steps() int { return sr.steps }
 // Tolerance reports the campaign's absolute codec error bound.
 func (sr *SeriesReader) Tolerance() float64 { return sr.tolerance }
 
-// hier loads (and caches) the shared hierarchy pieces for one level.
-func (sr *SeriesReader) hier(l int) (*mesh.Mesh, delta.Mapping, tileBox, error) {
-	if m, ok := sr.meshes[l]; ok {
-		return m, sr.mappings[l], sr.tiles[l], nil
+// hierLevel is one cached rung of the shared hierarchy.
+type hierLevel struct {
+	mesh    *mesh.Mesh
+	mapping delta.Mapping
+	tb      tileBox
+}
+
+// hier loads (and caches) the shared hierarchy pieces for one level,
+// fetching each level at most once across concurrent retrievals.
+func (sr *SeriesReader) hier(ctx context.Context, l int) (*mesh.Mesh, delta.Mapping, tileBox, error) {
+	sr.mu.Lock()
+	m, ok := sr.meshes[l]
+	if ok {
+		mp, tb := sr.mappings[l], sr.tiles[l]
+		sr.mu.Unlock()
+		return m, mp, tb, nil
 	}
-	h, err := sr.aio.Open(hierKey(sr.name, l), 1)
-	if err != nil {
-		return nil, nil, tileBox{}, err
-	}
-	tfStr, ok := h.BP.Attr("tile-frame")
-	if !ok {
-		return nil, nil, tileBox{}, fmt.Errorf("canopus: hierarchy level %d missing tile-frame", l)
-	}
-	tb, err := parseTileBox(tfStr)
-	if err != nil {
-		return nil, nil, tileBox{}, err
-	}
-	m, err := readDeflatedMesh(h, l)
-	if err != nil {
-		return nil, nil, tileBox{}, err
-	}
-	var mp delta.Mapping
-	if l < sr.levels-1 {
-		raw, err := readDeflated(h, "mapping", l)
-		if err != nil {
-			return nil, nil, tileBox{}, err
+	sr.mu.Unlock()
+
+	v, err := sr.flight.Do(fmt.Sprintf("hier/%d", l), func() (any, error) {
+		sr.mu.Lock()
+		if m, ok := sr.meshes[l]; ok {
+			hl := &hierLevel{mesh: m, mapping: sr.mappings[l], tb: sr.tiles[l]}
+			sr.mu.Unlock()
+			return hl, nil
 		}
-		mp, _, err = delta.DecodeMapping(raw)
+		sr.mu.Unlock()
+
+		h, err := sr.aio.Open(ctx, hierKey(sr.name, l), 1)
 		if err != nil {
-			return nil, nil, tileBox{}, fmt.Errorf("canopus: series mapping %d: %w", l, err)
+			return nil, err
 		}
+		tfStr, ok := h.BP.Attr("tile-frame")
+		if !ok {
+			return nil, fmt.Errorf("canopus: hierarchy level %d missing tile-frame", l)
+		}
+		tb, err := parseTileBox(tfStr)
+		if err != nil {
+			return nil, err
+		}
+		m, err := fetchMesh(h, l)
+		if err != nil {
+			return nil, err
+		}
+		var mp delta.Mapping
+		if l < sr.levels-1 {
+			raw, err := fetchDeflated(h, l, engine.KindMapping)
+			if err != nil {
+				return nil, err
+			}
+			mp, _, err = delta.DecodeMapping(raw)
+			if err != nil {
+				return nil, fmt.Errorf("canopus: series mapping %d: %w", l, err)
+			}
+		}
+		sr.mu.Lock()
+		sr.meshes[l] = m
+		sr.mappings[l] = mp
+		sr.tiles[l] = tb
+		sr.hierCost.Add(h.Cost())
+		sr.mu.Unlock()
+		return &hierLevel{mesh: m, mapping: mp, tb: tb}, nil
+	})
+	if err != nil {
+		return nil, nil, tileBox{}, err
 	}
-	sr.meshes[l] = m
-	sr.mappings[l] = mp
-	sr.tiles[l] = tb
-	sr.hierCost.Add(h.Cost())
-	return m, mp, tb, nil
+	hl := v.(*hierLevel)
+	return hl.mesh, hl.mapping, hl.tb, nil
 }
 
 // RetrieveStep restores one timestep to the target level, progressing from
-// the base through the stored deltas.
-func (sr *SeriesReader) RetrieveStep(step, targetLevel int) (*View, error) {
+// the base through the stored deltas. Cancelling ctx aborts mid-fetch.
+func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int) (*View, error) {
 	if step < 0 || step >= sr.steps {
 		return nil, fmt.Errorf("canopus: step %d out of range [0,%d)", step, sr.steps)
 	}
@@ -409,15 +494,15 @@ func (sr *SeriesReader) RetrieveStep(step, targetLevel int) (*View, error) {
 		return nil, fmt.Errorf("canopus: level %d out of range [0,%d)", targetLevel, sr.levels)
 	}
 	base := sr.levels - 1
-	baseMesh, _, _, err := sr.hier(base)
+	baseMesh, _, _, err := sr.hier(ctx, base)
 	if err != nil {
 		return nil, err
 	}
-	h, err := sr.aio.Open(stepKey(sr.name, step, base), 1)
+	h, err := sr.aio.Open(ctx, stepKey(sr.name, step, base), 1)
 	if err != nil {
 		return nil, err
 	}
-	enc, err := h.ReadBytes("data", base)
+	p, err := fetchProduct(h, base, engine.KindData, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -425,7 +510,7 @@ func (sr *SeriesReader) RetrieveStep(step, targetLevel int) (*View, error) {
 	v.Timings.IOSeconds = h.Cost().Seconds
 	v.Timings.IOBytes = h.Cost().Bytes
 	t0 := time.Now()
-	v.Data, err = sr.codec.Decode(enc)
+	v.Data, err = sr.codec.Decode(p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("canopus: step %d decompress base: %w", step, err)
@@ -436,22 +521,22 @@ func (sr *SeriesReader) RetrieveStep(step, targetLevel int) (*View, error) {
 	}
 
 	for l := base - 1; l >= targetLevel; l-- {
-		fineMesh, mp, tb, err := sr.hier(l)
+		fineMesh, mp, tb, err := sr.hier(ctx, l)
 		if err != nil {
 			return nil, err
 		}
-		hs, err := sr.aio.Open(stepKey(sr.name, step, l), 1)
+		hs, err := sr.aio.Open(ctx, stepKey(sr.name, step, l), 1)
 		if err != nil {
 			return nil, err
 		}
 		d := make([]float64, fineMesh.NumVerts())
-		var decompressSec float64
-		if err := readDeltaChunksFrom(hs, sr.codec, tb, l, nil, d, nil, &decompressSec); err != nil {
+		var decompress engine.Counter
+		if err := readDeltaChunksFrom(ctx, sr.pool, hs, sr.codec, tb, l, nil, d, nil, &decompress); err != nil {
 			return nil, err
 		}
 		v.Timings.IOSeconds += hs.Cost().Seconds
 		v.Timings.IOBytes += hs.Cost().Bytes
-		v.Timings.DecompressSeconds += decompressSec
+		v.Timings.DecompressSeconds += decompress.Value()
 
 		t0 = time.Now()
 		fineData, err := delta.Restore(fineMesh, v.Mesh, v.Data, mp, d, sr.estimator)
@@ -468,4 +553,8 @@ func (sr *SeriesReader) RetrieveStep(step, targetLevel int) (*View, error) {
 
 // HierarchyCost reports the accumulated one-time cost of loading the shared
 // mesh hierarchy in this reader.
-func (sr *SeriesReader) HierarchyCost() storage.Cost { return sr.hierCost }
+func (sr *SeriesReader) HierarchyCost() storage.Cost {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.hierCost
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func newSeries(t *testing.T, levels, chunks int) (*SeriesWriter, *mesh.Mesh) {
 	t.Helper()
 	m := mesh.Rect(20, 20, 1, 1)
 	aio := newIO()
-	sw, err := NewSeriesWriter(aio, "dpot", m, 2.5, Options{
+	sw, err := NewSeriesWriter(context.Background(), aio, "dpot", m, 2.5, Options{
 		Levels: levels, RelTolerance: 1e-6, Chunks: chunks,
 	})
 	if err != nil {
@@ -35,7 +36,7 @@ func TestSeriesWriteRetrieveAllSteps(t *testing.T) {
 	fields := make([][]float64, steps)
 	for s := 0; s < steps; s++ {
 		fields[s] = seriesField(m, float64(s))
-		rep, err := sw.WriteStep(fields[s])
+		rep, err := sw.WriteStep(context.Background(), fields[s])
 		if err != nil {
 			t.Fatalf("step %d: %v", s, err)
 		}
@@ -46,7 +47,7 @@ func TestSeriesWriteRetrieveAllSteps(t *testing.T) {
 			t.Fatalf("step %d report missing accounting: %+v", s, rep)
 		}
 	}
-	sr, err := OpenSeriesReader(sw.aio, "dpot")
+	sr, err := OpenSeriesReader(context.Background(), sw.aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestSeriesWriteRetrieveAllSteps(t *testing.T) {
 	}
 	bound := sr.Tolerance() * 6
 	for s := 0; s < steps; s++ {
-		v, err := sr.RetrieveStep(s, 0)
+		v, err := sr.RetrieveStep(context.Background(), s, 0)
 		if err != nil {
 			t.Fatalf("retrieve step %d: %v", s, err)
 		}
@@ -73,16 +74,16 @@ func TestSeriesWriteRetrieveAllSteps(t *testing.T) {
 func TestSeriesIntermediateLevels(t *testing.T) {
 	sw, m := newSeries(t, 4, 1)
 	f := seriesField(m, 1.5)
-	if _, err := sw.WriteStep(f); err != nil {
+	if _, err := sw.WriteStep(context.Background(), f); err != nil {
 		t.Fatal(err)
 	}
-	sr, err := OpenSeriesReader(sw.aio, "dpot")
+	sr, err := OpenSeriesReader(context.Background(), sw.aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
 	prevVerts := 1 << 30
 	for l := 0; l < 4; l++ {
-		v, err := sr.RetrieveStep(0, l)
+		v, err := sr.RetrieveStep(context.Background(), 0, l)
 		if err != nil {
 			t.Fatalf("level %d: %v", l, err)
 		}
@@ -105,13 +106,13 @@ func TestSeriesHierarchyStoredOnce(t *testing.T) {
 	const steps = 6
 
 	aioA := newIO()
-	sw, err := NewSeriesWriter(aioA, "dpot", m, 2.5, Options{Levels: 3, RelTolerance: 1e-6})
+	sw, err := NewSeriesWriter(context.Background(), aioA, "dpot", m, 2.5, Options{Levels: 3, RelTolerance: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var seriesBytes int64 = sw.HierarchyBytes()
 	for s := 0; s < steps; s++ {
-		rep, err := sw.WriteStep(seriesField(m, float64(s)))
+		rep, err := sw.WriteStep(context.Background(), seriesField(m, float64(s)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func TestSeriesHierarchyStoredOnce(t *testing.T) {
 	for s := 0; s < steps; s++ {
 		aioB := newIO()
 		ds := &Dataset{Name: "dpot", Mesh: m, Data: seriesField(m, float64(s))}
-		rep, err := Write(aioB, ds, Options{Levels: 3, RelTolerance: 1e-6})
+		rep, err := Write(context.Background(), aioB, ds, Options{Levels: 3, RelTolerance: 1e-6})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,31 +143,31 @@ func TestSeriesMatchesStandaloneWithinTolerance(t *testing.T) {
 	f := seriesField(m, 0.7)
 
 	aioA := newIO()
-	sw, err := NewSeriesWriter(aioA, "dpot", m, 2.5, Options{Levels: 3, RelTolerance: 1e-8})
+	sw, err := NewSeriesWriter(context.Background(), aioA, "dpot", m, 2.5, Options{Levels: 3, RelTolerance: 1e-8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sw.WriteStep(f); err != nil {
+	if _, err := sw.WriteStep(context.Background(), f); err != nil {
 		t.Fatal(err)
 	}
-	sr, err := OpenSeriesReader(aioA, "dpot")
+	sr, err := OpenSeriesReader(context.Background(), aioA, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	vs, err := sr.RetrieveStep(0, 0)
+	vs, err := sr.RetrieveStep(context.Background(), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	aioB := newIO()
-	if _, err := Write(aioB, &Dataset{Name: "dpot", Mesh: m, Data: f}, Options{Levels: 3, RelTolerance: 1e-8}); err != nil {
+	if _, err := Write(context.Background(), aioB, &Dataset{Name: "dpot", Mesh: m, Data: f}, Options{Levels: 3, RelTolerance: 1e-8}); err != nil {
 		t.Fatal(err)
 	}
-	rd, err := OpenReader(aioB, "dpot")
+	rd, err := OpenReader(context.Background(), aioB, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	vb, err := rd.Retrieve(0)
+	vb, err := rd.Retrieve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,47 +182,47 @@ func TestSeriesMatchesStandaloneWithinTolerance(t *testing.T) {
 func TestSeriesValidation(t *testing.T) {
 	m := mesh.Rect(8, 8, 1, 1)
 	aio := newIO()
-	if _, err := NewSeriesWriter(aio, "", m, 1, Options{}); err == nil {
+	if _, err := NewSeriesWriter(context.Background(), aio, "", m, 1, Options{}); err == nil {
 		t.Error("accepted empty name")
 	}
-	if _, err := NewSeriesWriter(aio, "x", m, 0, Options{}); err == nil {
+	if _, err := NewSeriesWriter(context.Background(), aio, "x", m, 0, Options{}); err == nil {
 		t.Error("accepted zero field range")
 	}
-	if _, err := NewSeriesWriter(aio, "x", m, 1, Options{Mode: ModeDirect}); err == nil {
+	if _, err := NewSeriesWriter(context.Background(), aio, "x", m, 1, Options{Mode: ModeDirect}); err == nil {
 		t.Error("accepted direct mode")
 	}
-	if _, err := NewSeriesWriter(aio, "x", m, 1, Options{Codec: "bogus"}); err == nil {
+	if _, err := NewSeriesWriter(context.Background(), aio, "x", m, 1, Options{Codec: "bogus"}); err == nil {
 		t.Error("accepted unknown codec")
 	}
-	sw, err := NewSeriesWriter(aio, "x", m, 1, Options{Levels: 2})
+	sw, err := NewSeriesWriter(context.Background(), aio, "x", m, 1, Options{Levels: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sw.WriteStep(make([]float64, 3)); err == nil {
+	if _, err := sw.WriteStep(context.Background(), make([]float64, 3)); err == nil {
 		t.Error("accepted short step data")
 	}
 }
 
 func TestSeriesReaderErrors(t *testing.T) {
 	aio := newIO()
-	if _, err := OpenSeriesReader(aio, "ghost"); err == nil {
+	if _, err := OpenSeriesReader(context.Background(), aio, "ghost"); err == nil {
 		t.Error("opened missing series")
 	}
 	sw, m := newSeries(t, 2, 1)
-	if _, err := sw.WriteStep(seriesField(m, 0)); err != nil {
+	if _, err := sw.WriteStep(context.Background(), seriesField(m, 0)); err != nil {
 		t.Fatal(err)
 	}
-	sr, err := OpenSeriesReader(sw.aio, "dpot")
+	sr, err := OpenSeriesReader(context.Background(), sw.aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sr.RetrieveStep(-1, 0); err == nil {
+	if _, err := sr.RetrieveStep(context.Background(), -1, 0); err == nil {
 		t.Error("accepted negative step")
 	}
-	if _, err := sr.RetrieveStep(5, 0); err == nil {
+	if _, err := sr.RetrieveStep(context.Background(), 5, 0); err == nil {
 		t.Error("accepted step beyond campaign")
 	}
-	if _, err := sr.RetrieveStep(0, 9); err == nil {
+	if _, err := sr.RetrieveStep(context.Background(), 0, 9); err == nil {
 		t.Error("accepted bad level")
 	}
 }
@@ -229,19 +230,19 @@ func TestSeriesReaderErrors(t *testing.T) {
 func TestSeriesMeshSharedAcrossSteps(t *testing.T) {
 	sw, m := newSeries(t, 3, 1)
 	for s := 0; s < 3; s++ {
-		if _, err := sw.WriteStep(seriesField(m, float64(s))); err != nil {
+		if _, err := sw.WriteStep(context.Background(), seriesField(m, float64(s))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	sr, err := OpenSeriesReader(sw.aio, "dpot")
+	sr, err := OpenSeriesReader(context.Background(), sw.aio, "dpot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0, err := sr.RetrieveStep(0, 1)
+	v0, err := sr.RetrieveStep(context.Background(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := sr.RetrieveStep(1, 1)
+	v1, err := sr.RetrieveStep(context.Background(), 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestSeriesMeshSharedAcrossSteps(t *testing.T) {
 		t.Fatalf("per-step payload reads diverge: %d vs %d bytes", v0.Timings.IOBytes, v1.Timings.IOBytes)
 	}
 	// A third retrieval must not grow the hierarchy cost (cache hit).
-	if _, err := sr.RetrieveStep(2, 1); err != nil {
+	if _, err := sr.RetrieveStep(context.Background(), 2, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := sr.HierarchyCost(); got.Bytes != hier.Bytes {

@@ -46,7 +46,7 @@ func DataWeighted(m *mesh.Mesh, a, b int32, data []float64) float64 {
 
 // HashOrder is an ablation priority that collapses edges in a pseudo-random
 // but deterministic order, ignoring geometry. It exists to quantify how much
-// the shortest-edge heuristic matters (DESIGN.md §4).
+// the shortest-edge heuristic matters (DESIGN.md §5).
 func HashOrder(_ *mesh.Mesh, a, b int32, _ []float64) float64 {
 	h := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xbf58476d1ce4e5b9
 	h ^= h >> 31

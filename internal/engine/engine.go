@@ -1,0 +1,155 @@
+// Package engine is the concurrent execution substrate the Canopus core
+// pipelines run on. The paper's elasticity argument is about overlap: the
+// refactoring phases (decimation, delta calculation, per-level compression,
+// tiered placement) and their read-path inverses decompose into units that
+// are independent per accuracy level, per delta tile, and per domain
+// partition, and §III-C1 calls the per-partition decomposition
+// "embarrassingly parallel". This package supplies the pieces the core
+// needs to exploit that without every call site reinventing goroutine
+// management:
+//
+//   - Pool: a bounded worker pool (runtime.NumCPU() workers by default)
+//     that executes units concurrently with context cancellation and
+//     deterministic first-error semantics. A one-worker pool runs units in
+//     the calling goroutine in submission order, so the serial path stays
+//     bit-for-bit identical to a hand-written loop.
+//   - Pipeline: an ordered stage graph over a Pool. Stages run one after
+//     another (a stage's outputs feed the next); units inside a stage run
+//     concurrently unless the stage is declared serial. Each stage's wall
+//     time is recorded, preserving the per-phase timing breakdown the
+//     paper's evaluation reports.
+//   - Product: the uniform descriptor for every artifact the pipelines move
+//     between stages and storage (mesh geometry, vertex mappings, level
+//     data, delta tiles).
+//   - Group: single-flight deduplication for concurrent cache misses.
+//   - Counter: a float64 accumulator safe for concurrent adds, used to keep
+//     PhaseTimings correct when units finish on different goroutines.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the pool width used when a caller passes workers <= 0.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Unit is one independently executable piece of a pipeline stage.
+type Unit func(ctx context.Context) error
+
+// Pool executes units on a bounded number of goroutines.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width; workers <= 0 selects
+// runtime.NumCPU().
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes units, at most p.Workers() at a time, and waits for all
+// started units to finish. The first failure (lowest unit index, matching
+// what a serial loop would report) cancels the remaining units; units not
+// yet started are skipped. A cancelled ctx yields ctx.Err().
+//
+// With one worker, units run in the calling goroutine in order — the exact
+// serial semantics of the pre-engine code path.
+func (p *Pool) Run(ctx context.Context, units ...Unit) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if p.workers == 1 || len(units) == 1 {
+		for _, u := range units {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := u(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs = make([]error, len(units))
+	)
+	sem := make(chan struct{}, p.workers)
+	for i, u := range units {
+		if runCtx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, u Unit) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := runCtx.Err(); err != nil {
+				mu.Lock()
+				errs[i] = err
+				mu.Unlock()
+				return
+			}
+			if err := u(runCtx); err != nil {
+				mu.Lock()
+				errs[i] = err
+				mu.Unlock()
+				cancel()
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	// Deterministic error selection: prefer the lowest-indexed real
+	// failure over cancellation fallout, then over the parent ctx error.
+	var firstCancel error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstCancel
+}
+
+// Counter is a float64 accumulator safe for concurrent adds. It exists so
+// PhaseTimings contributions from units running on different goroutines can
+// be collected without racing; at one worker its value is identical to a
+// plain `+=` accumulation.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add accumulates s.
+func (c *Counter) Add(s float64) {
+	c.mu.Lock()
+	c.v += s
+	c.mu.Unlock()
+}
+
+// Value reports the accumulated total.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}

@@ -1,0 +1,278 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() != DefaultWorkers() {
+		t.Fatal("workers=0 should select DefaultWorkers")
+	}
+	if NewPool(-3).Workers() != DefaultWorkers() {
+		t.Fatal("negative workers should select DefaultWorkers")
+	}
+	if NewPool(7).Workers() != 7 {
+		t.Fatal("explicit width not honored")
+	}
+}
+
+func TestPoolRunsEveryUnit(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var n atomic.Int64
+		units := make([]Unit, 50)
+		for i := range units {
+			units[i] = func(context.Context) error { n.Add(1); return nil }
+		}
+		if err := NewPool(workers).Run(context.Background(), units...); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n.Load() != 50 {
+			t.Fatalf("workers=%d: ran %d of 50 units", workers, n.Load())
+		}
+	}
+}
+
+func TestPoolSerialOrder(t *testing.T) {
+	var order []int
+	units := make([]Unit, 10)
+	for i := range units {
+		i := i
+		units[i] = func(context.Context) error { order = append(order, i); return nil }
+	}
+	if err := NewPool(1).Run(context.Background(), units...); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("one-worker pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	units := make([]Unit, 20)
+	for i := range units {
+		units[i] = func(context.Context) error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		}
+	}
+	if err := NewPool(workers).Run(context.Background(), units...); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent units on a %d-worker pool", p, workers)
+	}
+}
+
+func TestPoolFirstErrorWins(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		units := []Unit{
+			func(context.Context) error { return nil },
+			func(context.Context) error { return errA },
+			func(context.Context) error { time.Sleep(5 * time.Millisecond); return errB },
+		}
+		err := NewPool(workers).Run(context.Background(), units...)
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err = %v, want lowest-indexed failure %v", workers, err, errA)
+		}
+	}
+}
+
+func TestPoolErrorCancelsSiblings(t *testing.T) {
+	boom := errors.New("boom")
+	var cancelled atomic.Bool
+	units := []Unit{
+		func(context.Context) error { return boom },
+		func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				cancelled.Store(true)
+				return ctx.Err()
+			case <-time.After(2 * time.Second):
+				return errors.New("sibling not cancelled")
+			}
+		},
+	}
+	if err := NewPool(2).Run(context.Background(), units...); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPoolContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		err := NewPool(workers).Run(ctx, func(context.Context) error {
+			t.Fatal("unit ran under a cancelled context")
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestPipelineStagesAreBarriers(t *testing.T) {
+	var stage1 atomic.Int64
+	p := NewPipeline(NewPool(4))
+	units := make([]Unit, 8)
+	for i := range units {
+		units[i] = func(context.Context) error { stage1.Add(1); return nil }
+	}
+	p.AddStage("first", units...)
+	p.AddStage("second", func(context.Context) error {
+		if stage1.Load() != 8 {
+			return fmt.Errorf("second stage started with %d/8 first-stage units done", stage1.Load())
+		}
+		return nil
+	})
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p.StageSeconds("first") <= 0 || p.StageSeconds("second") <= 0 {
+		t.Fatal("stage wall times not recorded")
+	}
+}
+
+func TestPipelineSerialStage(t *testing.T) {
+	var order []int
+	p := NewPipeline(NewPool(8))
+	units := make([]Unit, 6)
+	var mu sync.Mutex
+	for i := range units {
+		i := i
+		units[i] = func(context.Context) error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		}
+	}
+	p.AddSerialStage("store", units...)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial stage ran out of order: %v", order)
+		}
+	}
+}
+
+func TestPipelineStopsAtFailingStage(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPipeline(NewPool(2))
+	p.AddStage("compress", func(context.Context) error { return boom })
+	p.AddStage("store", func(context.Context) error {
+		t.Fatal("stage after failure ran")
+		return nil
+	})
+	if err := p.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProductVarNames(t *testing.T) {
+	cases := []struct {
+		p    Product
+		want string
+	}{
+		{Product{Kind: KindMesh, Level: 2}, "mesh"},
+		{Product{Kind: KindMapping}, "mapping"},
+		{Product{Kind: KindData, Codec: "zfp"}, "data"},
+		{Product{Kind: KindDelta, Chunk: 7, Codec: "zfp"}, "delta.c7"},
+	}
+	for _, c := range cases {
+		if got := c.p.VarName(); got != c.want {
+			t.Errorf("VarName(%v) = %q, want %q", c.p.Kind, got, c.want)
+		}
+	}
+	if a := (Product{Kind: KindData, Codec: "sz"}).Attrs(); a["codec"] != "sz" {
+		t.Error("codec attr missing")
+	}
+	if a := (Product{Kind: KindMesh}).Attrs(); a != nil {
+		t.Error("metadata product should carry no attrs")
+	}
+}
+
+func TestGroupDeduplicates(t *testing.T) {
+	var calls atomic.Int64
+	var g Group
+	gate := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := g.Do("mesh-L3", func() (any, error) {
+				calls.Add(1)
+				<-gate
+				return "decoded", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach Do before releasing the first call.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("fn ran %d times for one key", c)
+	}
+	for _, r := range results {
+		if r != "decoded" {
+			t.Fatal("caller missed the shared result")
+		}
+	}
+}
+
+func TestGroupDistinctKeys(t *testing.T) {
+	var g Group
+	a, _ := g.Do("a", func() (any, error) { return 1, nil })
+	b, _ := g.Do("b", func() (any, error) { return 2, nil })
+	if a != 1 || b != 2 {
+		t.Fatal("keys interfered")
+	}
+}
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("Value = %g, want 4000", c.Value())
+	}
+}

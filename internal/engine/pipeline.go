@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Stage is one phase of a Pipeline: a name (matching the paper's phase
+// vocabulary: decimate, delta, compress, store, fetch, decompress, restore)
+// and the units that phase decomposes into.
+type Stage struct {
+	Name  string
+	Units []Unit
+	// Serial forces the units to run one at a time in order even on a
+	// wide pool. The store stage uses it: tier placement is
+	// order-sensitive (base first claims the fast tier; §III-D's bypass
+	// rule depends on what already landed).
+	Serial bool
+}
+
+// Pipeline executes an ordered list of stages on a shared pool. Stages are
+// barriers: stage i+1 starts only after every unit of stage i finished, the
+// same dependency structure as the paper's write path (deltas need the
+// decimated levels, compression needs the deltas, placement needs the
+// compressed containers). Units within a stage run concurrently.
+type Pipeline struct {
+	pool    *Pool
+	stages  []Stage
+	seconds map[string]float64
+}
+
+// NewPipeline returns an empty pipeline over pool (nil gets a default
+// pool).
+func NewPipeline(pool *Pool) *Pipeline {
+	if pool == nil {
+		pool = NewPool(0)
+	}
+	return &Pipeline{pool: pool, seconds: make(map[string]float64)}
+}
+
+// Pool reports the pipeline's worker pool.
+func (p *Pipeline) Pool() *Pool { return p.pool }
+
+// AddStage appends a concurrent stage.
+func (p *Pipeline) AddStage(name string, units ...Unit) {
+	p.stages = append(p.stages, Stage{Name: name, Units: units})
+}
+
+// AddSerialStage appends a stage whose units run strictly in order.
+func (p *Pipeline) AddSerialStage(name string, units ...Unit) {
+	p.stages = append(p.stages, Stage{Name: name, Units: units, Serial: true})
+}
+
+// Run executes the stages in order, recording each stage's wall time. It
+// stops at the first failing stage.
+func (p *Pipeline) Run(ctx context.Context) error {
+	for _, s := range p.stages {
+		t0 := time.Now()
+		var err error
+		if s.Serial {
+			err = serialPool.Run(ctx, s.Units...)
+		} else {
+			err = p.pool.Run(ctx, s.Units...)
+		}
+		p.seconds[s.Name] += time.Since(t0).Seconds()
+		if err != nil {
+			if err == context.Canceled || err == context.DeadlineExceeded {
+				return err
+			}
+			return fmt.Errorf("engine: stage %s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// StageSeconds reports the accumulated wall time of a named stage.
+func (p *Pipeline) StageSeconds(name string) float64 { return p.seconds[name] }
+
+// serialPool runs any stage marked Serial; sharing one instance avoids an
+// allocation per serial stage.
+var serialPool = NewPool(1)

@@ -1,0 +1,46 @@
+package engine
+
+import "sync"
+
+// Group deduplicates concurrent function calls by key: while one caller
+// executes fn for a key, other callers of the same key wait and share the
+// result instead of repeating the work. Reader caches use it so N analysis
+// goroutines missing the same level's mesh trigger one decode, not N.
+//
+// Results are not retained after the in-flight call completes; callers
+// layer their own cache on top.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do executes fn for key, suppressing duplicate concurrent calls.
+func (g *Group) Do(key string, fn func() (any, error)) (any, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err
+}

@@ -8,13 +8,14 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/adios"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/mesh"
 )
 
@@ -122,29 +123,38 @@ type Report struct {
 }
 
 // WriteParallel splits ds into `parts` ranks and refactors every rank
-// concurrently through aio. Products land under "<name>.p<i>" keys.
-func WriteParallel(aio *adios.IO, ds *core.Dataset, parts int, opts core.Options) (*Report, error) {
+// concurrently through aio. Products land under "<name>.p<i>" keys. Rank
+// fan-out runs on a bounded engine pool sized by opts.Workers (0 = NumCPU)
+// rather than one goroutine per rank, so a 1024-part split does not spawn
+// 1024 concurrent pipelines. Each rank's own pipeline runs serially
+// (Workers: 1) — the parallelism budget is spent across ranks, matching the
+// paper's per-core partition model.
+func WriteParallel(ctx context.Context, aio *adios.IO, ds *core.Dataset, parts int, opts core.Options) (*Report, error) {
 	split, err := Split(ds, parts)
 	if err != nil {
 		return nil, err
 	}
+	pool := engine.NewPool(opts.Workers)
+	rankOpts := opts
+	rankOpts.Workers = 1
 	rep := &Report{Parts: parts, PerPart: make([]*core.WriteReport, parts)}
-	errs := make([]error, parts)
-	var wg sync.WaitGroup
-	t0 := time.Now()
+	units := make([]engine.Unit, parts)
 	for p, part := range split {
-		wg.Add(1)
-		go func(p int, part *Part) {
-			defer wg.Done()
-			rep.PerPart[p], errs[p] = core.Write(aio, part.Dataset, opts)
-		}(p, part)
-	}
-	wg.Wait()
-	rep.WallSeconds = time.Since(t0).Seconds()
-	for p, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("partition: rank %d: %w", p, err)
+		p, part := p, part
+		units[p] = func(ctx context.Context) error {
+			r, err := core.Write(ctx, aio, part.Dataset, rankOpts)
+			if err != nil {
+				return fmt.Errorf("partition: rank %d: %w", p, err)
+			}
+			rep.PerPart[p] = r
+			return nil
 		}
+	}
+	t0 := time.Now()
+	err = pool.Run(ctx, units...)
+	rep.WallSeconds = time.Since(t0).Seconds()
+	if err != nil {
+		return nil, err
 	}
 	for _, r := range rep.PerPart {
 		rep.SerialSeconds += r.Timings.DecimateSeconds + r.Timings.DeltaSeconds + r.Timings.CompressSeconds
@@ -157,15 +167,15 @@ func WriteParallel(aio *adios.IO, ds *core.Dataset, parts int, opts core.Options
 // products written by WriteParallel. Halo vertices appear in multiple
 // parts; any copy is valid (they differ by at most the codec bound), and
 // the lowest part index wins for determinism.
-func ReadFull(aio *adios.IO, ds *core.Dataset, parts []*Part) ([]float64, error) {
+func ReadFull(ctx context.Context, aio *adios.IO, ds *core.Dataset, parts []*Part) ([]float64, error) {
 	out := make([]float64, ds.Mesh.NumVerts())
 	have := make([]bool, len(out))
 	for _, part := range parts {
-		rd, err := core.OpenReader(aio, part.Dataset.Name)
+		rd, err := core.OpenReader(ctx, aio, part.Dataset.Name)
 		if err != nil {
 			return nil, err
 		}
-		v, err := rd.Retrieve(0)
+		v, err := rd.Retrieve(ctx, 0)
 		if err != nil {
 			return nil, err
 		}

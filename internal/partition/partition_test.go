@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -132,7 +133,7 @@ func TestSplitDeterministic(t *testing.T) {
 func TestWriteParallelAndReadFull(t *testing.T) {
 	ds := testDS(24)
 	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
-	rep, err := WriteParallel(aio, ds, 4, core.Options{Levels: 3, RelTolerance: 1e-6})
+	rep, err := WriteParallel(context.Background(), aio, ds, 4, core.Options{Levels: 3, RelTolerance: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestWriteParallelAndReadFull(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadFull(aio, ds, parts)
+	got, err := ReadFull(context.Background(), aio, ds, parts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,18 +162,18 @@ func TestWriteParallelAndReadFull(t *testing.T) {
 func TestWriteParallelSinglePart(t *testing.T) {
 	ds := testDS(10)
 	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
-	rep, err := WriteParallel(aio, ds, 1, core.Options{Levels: 2})
+	rep, err := WriteParallel(context.Background(), aio, ds, 1, core.Options{Levels: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Parts != 1 {
 		t.Fatalf("parts = %d", rep.Parts)
 	}
-	rd, err := core.OpenReader(aio, "f.p0")
+	rd, err := core.OpenReader(context.Background(), aio, "f.p0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rd.Retrieve(0); err != nil {
+	if _, err := rd.Retrieve(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -180,7 +181,7 @@ func TestWriteParallelSinglePart(t *testing.T) {
 func TestReadFullDetectsMissingPart(t *testing.T) {
 	ds := testDS(12)
 	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
-	if _, err := WriteParallel(aio, ds, 3, core.Options{Levels: 2}); err != nil {
+	if _, err := WriteParallel(context.Background(), aio, ds, 3, core.Options{Levels: 2}); err != nil {
 		t.Fatal(err)
 	}
 	parts, err := Split(ds, 3)
@@ -188,7 +189,7 @@ func TestReadFullDetectsMissingPart(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Drop one part: reassembly must fail loudly, not silently zero.
-	if _, err := ReadFull(aio, ds, parts[:2]); err == nil {
+	if _, err := ReadFull(context.Background(), aio, ds, parts[:2]); err == nil {
 		t.Fatal("ReadFull succeeded with a missing part")
 	}
 }
@@ -199,7 +200,7 @@ func BenchmarkWriteParallel4(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		aio := adios.NewIO(storage.TitanTwoTier(0), nil)
-		if _, err := WriteParallel(aio, ds, 4, core.Options{Levels: 3}); err != nil {
+		if _, err := WriteParallel(context.Background(), aio, ds, 4, core.Options{Levels: 3}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,7 +212,7 @@ func BenchmarkWriteSerial(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		aio := adios.NewIO(storage.TitanTwoTier(0), nil)
-		if _, err := WriteParallel(aio, ds, 1, core.Options{Levels: 3}); err != nil {
+		if _, err := WriteParallel(context.Background(), aio, ds, 1, core.Options{Levels: 3}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,6 +12,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -121,7 +122,7 @@ func (o Options) withDefaults() Options {
 // candidate rectangle at the answer level; evaluate the exact predicate on
 // the restored values. Vertices outside every candidate rectangle are never
 // read at high accuracy.
-func Run(rd *core.Reader, pred Predicate, opts Options) (*Result, error) {
+func Run(ctx context.Context, rd *core.Reader, pred Predicate, opts Options) (*Result, error) {
 	if err := pred.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,7 +131,7 @@ func Run(rd *core.Reader, pred Predicate, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("query: level %d out of range [0,%d)", opts.Level, rd.Levels())
 	}
 
-	base, err := rd.Base()
+	base, err := rd.Base(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +188,7 @@ func Run(rd *core.Reader, pred Predicate, opts Options) (*Result, error) {
 			y0 := minY + float64(cy-1)*ch
 			x1 := minX + float64(cx+2)*cw
 			y1 := minY + float64(cy+2)*ch
-			rv, err := rd.RetrieveRegion(opts.Level, x0, y0, x1, y1)
+			rv, err := rd.RetrieveRegion(ctx, opts.Level, x0, y0, x1, y1)
 			if err != nil {
 				return nil, err
 			}
@@ -205,11 +206,11 @@ func Run(rd *core.Reader, pred Predicate, opts Options) (*Result, error) {
 
 // RunExhaustive answers the query by retrieving the whole level — the
 // baseline progressive evaluation is measured against.
-func RunExhaustive(rd *core.Reader, pred Predicate, level int) (*Result, error) {
+func RunExhaustive(ctx context.Context, rd *core.Reader, pred Predicate, level int) (*Result, error) {
 	if err := pred.Validate(); err != nil {
 		return nil, err
 	}
-	v, err := rd.Retrieve(level)
+	v, err := rd.Retrieve(ctx, level)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -30,10 +31,10 @@ func bumpy() *core.Dataset {
 func writtenReader(t *testing.T, ds *core.Dataset, chunks int) *core.Reader {
 	t.Helper()
 	aio := adios.NewIO(storage.TitanTwoTier(0), nil)
-	if _, err := core.Write(aio, ds, core.Options{Levels: 3, Chunks: chunks, RelTolerance: 1e-6}); err != nil {
+	if _, err := core.Write(context.Background(), aio, ds, core.Options{Levels: 3, Chunks: chunks, RelTolerance: 1e-6}); err != nil {
 		t.Fatal(err)
 	}
-	rd, err := core.OpenReader(aio, ds.Name)
+	rd, err := core.OpenReader(context.Background(), aio, ds.Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +88,11 @@ func TestProgressiveMatchesExhaustive(t *testing.T) {
 	ds := bumpy()
 	rd := writtenReader(t, ds, 6)
 	pred := Predicate{">", 0.8}
-	prog, err := Run(rd, pred, Options{})
+	prog, err := Run(context.Background(), rd, pred, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	exh, err := RunExhaustive(rd, pred, 0)
+	exh, err := RunExhaustive(context.Background(), rd, pred, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,12 +120,12 @@ func TestProgressiveReadsFewerBytes(t *testing.T) {
 	// Separate readers so cache states are comparable (both cold).
 	rdA := writtenReader(t, ds, 8)
 	pred := Predicate{">", 0.9}
-	prog, err := Run(rdA, pred, Options{})
+	prog, err := Run(context.Background(), rdA, pred, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	rdB := writtenReader(t, ds, 8)
-	exh, err := RunExhaustive(rdB, pred, 0)
+	exh, err := RunExhaustive(context.Background(), rdB, pred, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestProgressiveReadsFewerBytes(t *testing.T) {
 func TestQueryNoMatches(t *testing.T) {
 	ds := bumpy()
 	rd := writtenReader(t, ds, 4)
-	res, err := Run(rd, Predicate{">", 100}, Options{})
+	res, err := Run(context.Background(), rd, Predicate{">", 100}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestQueryNoMatches(t *testing.T) {
 func TestQueryLessThan(t *testing.T) {
 	ds := bumpy()
 	rd := writtenReader(t, ds, 4)
-	prog, err := Run(rd, Predicate{"<", -0.5}, Options{})
+	prog, err := Run(context.Background(), rd, Predicate{"<", -0.5}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +163,11 @@ func TestQueryLessThan(t *testing.T) {
 func TestQueryAtBaseLevel(t *testing.T) {
 	ds := bumpy()
 	rd := writtenReader(t, ds, 4)
-	res, err := Run(rd, Predicate{">", 0.5}, Options{Level: rd.Levels() - 1})
+	res, err := Run(context.Background(), rd, Predicate{">", 0.5}, Options{Level: rd.Levels() - 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	exh, err := RunExhaustive(rd, Predicate{">", 0.5}, rd.Levels()-1)
+	exh, err := RunExhaustive(context.Background(), rd, Predicate{">", 0.5}, rd.Levels()-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,11 +179,11 @@ func TestQueryAtBaseLevel(t *testing.T) {
 func TestQueryIntermediateLevel(t *testing.T) {
 	ds := bumpy()
 	rd := writtenReader(t, ds, 4)
-	res, err := Run(rd, Predicate{">", 0.6}, Options{Level: 1})
+	res, err := Run(context.Background(), rd, Predicate{">", 0.6}, Options{Level: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	exh, err := RunExhaustive(rd, Predicate{">", 0.6}, 1)
+	exh, err := RunExhaustive(context.Background(), rd, Predicate{">", 0.6}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,13 +201,13 @@ func TestQueryIntermediateLevel(t *testing.T) {
 func TestQueryErrors(t *testing.T) {
 	ds := bumpy()
 	rd := writtenReader(t, ds, 4)
-	if _, err := Run(rd, Predicate{"!=", 0}, Options{}); err == nil {
+	if _, err := Run(context.Background(), rd, Predicate{"!=", 0}, Options{}); err == nil {
 		t.Error("accepted bad operator")
 	}
-	if _, err := Run(rd, Predicate{">", 0}, Options{Level: 9}); err == nil {
+	if _, err := Run(context.Background(), rd, Predicate{">", 0}, Options{Level: 9}); err == nil {
 		t.Error("accepted bad level")
 	}
-	if _, err := RunExhaustive(rd, Predicate{"!=", 0}, 0); err == nil {
+	if _, err := RunExhaustive(context.Background(), rd, Predicate{"!=", 0}, 0); err == nil {
 		t.Error("exhaustive accepted bad operator")
 	}
 }
@@ -216,11 +217,11 @@ func TestQueryOnXGC1Blobs(t *testing.T) {
 	res := sim.XGC1(sim.XGC1Config{Rings: 16, Segments: 192, Seed: 13})
 	rd := writtenReader(t, res.Dataset, 8)
 	pred := Predicate{">", 0.7}
-	prog, err := Run(rd, pred, Options{})
+	prog, err := Run(context.Background(), rd, pred, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	exh, err := RunExhaustive(rd, pred, 0)
+	exh, err := RunExhaustive(context.Background(), rd, pred, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

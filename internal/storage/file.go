@@ -14,9 +14,15 @@ import (
 // command-line tools use it so refactored products survive across processes;
 // the simulated cost model still supplies timings, keeping experiment output
 // machine-independent.
+//
+// The lock is a reader/writer lock: concurrent analysis clients retrieving
+// different (or the same) products share read access and only writers
+// serialize, so a multi-client read storm is not bottlenecked on one mutex.
+// Reads hold the read lock for the whole file read so they never observe a
+// torn os.WriteFile from a concurrent Put of the same key.
 type FileBackend struct {
 	dir  string
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	used int64
 }
 
@@ -81,6 +87,8 @@ func (b *FileBackend) Put(key string, data []byte) error {
 
 // Get implements Backend.
 func (b *FileBackend) Get(key string) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	data, err := os.ReadFile(filepath.Join(b.dir, encodeKey(key)))
 	if os.IsNotExist(err) {
 		return nil, fmt.Errorf("storage: %w: %q", ErrNotFound, key)
@@ -112,13 +120,15 @@ func (b *FileBackend) Delete(key string) error {
 
 // Used implements Backend.
 func (b *FileBackend) Used() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return b.used
 }
 
 // Keys implements Backend.
 func (b *FileBackend) Keys() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	entries, err := os.ReadDir(b.dir)
 	if err != nil {
 		return nil

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -14,10 +15,10 @@ func TestFileTwoTierPersistsAcrossReopen(t *testing.T) {
 	if h.NumTiers() != 2 {
 		t.Fatalf("NumTiers = %d", h.NumTiers())
 	}
-	if _, err := h.Put("fast-key", payload(64), 0, 1); err != nil {
+	if _, err := h.Put(context.Background(), "fast-key", payload(64), 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Put("slow-key", payload(128), 1, 1); err != nil {
+	if _, err := h.Put(context.Background(), "slow-key", payload(128), 1, 1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -33,7 +34,7 @@ func TestFileTwoTierPersistsAcrossReopen(t *testing.T) {
 	if got := h2.Where("slow-key"); got != 1 {
 		t.Fatalf("slow-key on tier %d after reopen", got)
 	}
-	data, p, err := h2.Get("slow-key", 1)
+	data, p, err := h2.Get(context.Background(), "slow-key", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,10 +56,10 @@ func TestFileTwoTierCapacityRespected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Put("a", payload(80), 0, 1); err != nil {
+	if _, err := h.Put(context.Background(), "a", payload(80), 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	p, err := h.Put("b", payload(80), 0, 1)
+	p, err := h.Put(context.Background(), "b", payload(80), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestFileTwoTierCapacityRespected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := h2.Put("c", payload(80), 0, 1)
+	p2, err := h2.Put(context.Background(), "c", payload(80), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestFileTwoTierMigration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Put("k", payload(32), 1, 1); err != nil {
+	if _, err := h.Put(context.Background(), "k", payload(32), 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := h.Promote("k", 0); err != nil {
@@ -99,7 +100,7 @@ func TestFileTwoTierMigration(t *testing.T) {
 	if got := h2.Where("k"); got != 0 {
 		t.Fatalf("promoted key on tier %d after reopen", got)
 	}
-	data, _, err := h2.Get("k", 1)
+	data, _, err := h2.Get(context.Background(), "k", 1)
 	if err != nil || !bytes.Equal(data, payload(32)) {
 		t.Fatalf("data lost in file-backed migration: %v", err)
 	}

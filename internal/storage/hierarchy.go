@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -54,8 +55,12 @@ type Placement struct {
 
 // Put writes data preferring tier `pref`, falling through to slower tiers
 // when capacity is exhausted. writers models how many clients share the
-// tier's bandwidth for this operation (1 for serial writes).
-func (h *Hierarchy) Put(key string, data []byte, pref int, writers int) (Placement, error) {
+// tier's bandwidth for this operation (1 for serial writes). A cancelled
+// ctx aborts before any byte lands.
+func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, writers int) (Placement, error) {
+	if err := ctx.Err(); err != nil {
+		return Placement{}, err
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if pref < 0 {
@@ -89,28 +94,43 @@ func (h *Hierarchy) Put(key string, data []byte, pref int, writers int) (Placeme
 }
 
 // Get reads a key from whichever tier holds it and records the access for
-// the migration policy's LRU bookkeeping.
-func (h *Hierarchy) Get(key string, readers int) ([]byte, Placement, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	e, ok := h.catalog[key]
-	if !ok {
-		return nil, Placement{}, fmt.Errorf("storage: get %q: %w", key, ErrNotFound)
+// the migration policy's LRU bookkeeping. The catalog lookup happens under
+// the hierarchy lock, but the backend read does not: concurrent retrievals
+// proceed in parallel, serialized only inside the (reader/writer-locked)
+// backend. If a concurrent migration moves the key between the lookup and
+// the read, the read is retried through the refreshed catalog.
+func (h *Hierarchy) Get(ctx context.Context, key string, readers int) ([]byte, Placement, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, Placement{}, err
+		}
+		h.mu.Lock()
+		e, ok := h.catalog[key]
+		if !ok {
+			h.mu.Unlock()
+			return nil, Placement{}, fmt.Errorf("storage: get %q: %w", key, ErrNotFound)
+		}
+		tierIdx := e.tier
+		t := h.tiers[tierIdx]
+		h.clock++
+		e.lastUsed = h.clock
+		e.accesses++
+		h.mu.Unlock()
+
+		data, err := t.backend().Get(key)
+		if err != nil {
+			if attempt < 3 {
+				continue // key may have migrated tiers mid-read
+			}
+			return nil, Placement{}, err
+		}
+		return data, Placement{
+			Key:      key,
+			TierIdx:  tierIdx,
+			TierName: t.Name,
+			Cost:     t.readCost(int64(len(data)), readers),
+		}, nil
 	}
-	t := h.tiers[e.tier]
-	data, err := t.backend().Get(key)
-	if err != nil {
-		return nil, Placement{}, err
-	}
-	h.clock++
-	e.lastUsed = h.clock
-	e.accesses++
-	return data, Placement{
-		Key:      key,
-		TierIdx:  e.tier,
-		TierName: t.Name,
-		Cost:     t.readCost(int64(len(data)), readers),
-	}, nil
 }
 
 // Where reports the tier index holding key, or -1.

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -17,7 +18,7 @@ func migHierarchy(fastCap, midCap int64) *Hierarchy {
 
 func TestPromoteMovesData(t *testing.T) {
 	h := migHierarchy(0, 0)
-	if _, err := h.Put("a", payload(100), 2, 1); err != nil {
+	if _, err := h.Put(context.Background(), "a", payload(100), 2, 1); err != nil {
 		t.Fatal(err)
 	}
 	migs, err := h.Promote("a", 0)
@@ -33,7 +34,7 @@ func TestPromoteMovesData(t *testing.T) {
 	if h.Where("a") != 0 {
 		t.Fatalf("Where = %d, want 0", h.Where("a"))
 	}
-	data, _, err := h.Get("a", 1)
+	data, _, err := h.Get(context.Background(), "a", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestPromoteErrors(t *testing.T) {
 	if _, err := h.Promote("ghost", 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
-	h.Put("a", payload(10), 0, 1)
+	h.Put(context.Background(), "a", payload(10), 0, 1)
 	if _, err := h.Promote("a", 0); err == nil {
 		t.Error("promote to same tier accepted")
 	}
@@ -62,7 +63,7 @@ func TestPromoteErrors(t *testing.T) {
 
 func TestDemote(t *testing.T) {
 	h := migHierarchy(0, 0)
-	h.Put("a", payload(50), 0, 1)
+	h.Put(context.Background(), "a", payload(50), 0, 1)
 	m, err := h.Demote("a", 2)
 	if err != nil {
 		t.Fatal(err)
@@ -83,10 +84,10 @@ func TestDemote(t *testing.T) {
 
 func TestEnsureRoomEvictsLRU(t *testing.T) {
 	h := migHierarchy(250, 0)
-	h.Put("old", payload(100), 0, 1)
-	h.Put("new", payload(100), 0, 1)
+	h.Put(context.Background(), "old", payload(100), 0, 1)
+	h.Put(context.Background(), "new", payload(100), 0, 1)
 	// Touch "old" is NOT done; touch "new" so "old" is colder.
-	if _, _, err := h.Get("new", 1); err != nil {
+	if _, _, err := h.Get(context.Background(), "new", 1); err != nil {
 		t.Fatal(err)
 	}
 	migs, err := h.EnsureRoom(0, 100)
@@ -105,8 +106,8 @@ func TestEnsureRoomCascades(t *testing.T) {
 	// fast fits one item, mid fits one item; inserting a third must
 	// cascade the coldest down two tiers.
 	h := migHierarchy(120, 120)
-	h.Put("a", payload(100), 0, 1)
-	h.Put("b", payload(100), 1, 1)
+	h.Put(context.Background(), "a", payload(100), 0, 1)
+	h.Put(context.Background(), "b", payload(100), 1, 1)
 	migs, err := h.EnsureRoom(0, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +132,7 @@ func TestEnsureRoomBottomTierFull(t *testing.T) {
 	h := NewHierarchy(
 		&Tier{Name: "only", Capacity: 100, ReadBandwidth: 1, WriteBandwidth: 1},
 	)
-	h.Put("a", payload(90), 0, 1)
+	h.Put(context.Background(), "a", payload(90), 0, 1)
 	if _, err := h.EnsureRoom(0, 50); !errors.Is(err, ErrCapacity) {
 		t.Fatalf("err = %v, want ErrCapacity", err)
 	}
@@ -139,7 +140,7 @@ func TestEnsureRoomBottomTierFull(t *testing.T) {
 
 func TestEnsureRoomNoEvictionNeeded(t *testing.T) {
 	h := migHierarchy(1000, 0)
-	h.Put("a", payload(100), 0, 1)
+	h.Put(context.Background(), "a", payload(100), 0, 1)
 	migs, err := h.EnsureRoom(0, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -161,8 +162,8 @@ func TestEnsureRoomBadTier(t *testing.T) {
 
 func TestPromoteEvictsToMakeRoom(t *testing.T) {
 	h := migHierarchy(120, 0)
-	h.Put("cold", payload(100), 0, 1)
-	h.Put("hot", payload(100), 2, 1)
+	h.Put(context.Background(), "cold", payload(100), 0, 1)
+	h.Put(context.Background(), "hot", payload(100), 2, 1)
 	// Promoting hot must first evict cold.
 	migs, err := h.Promote("hot", 0)
 	if err != nil {
@@ -178,11 +179,11 @@ func TestPromoteEvictsToMakeRoom(t *testing.T) {
 
 func TestAccessTrackingDrivesLRU(t *testing.T) {
 	h := migHierarchy(250, 0)
-	h.Put("x", payload(100), 0, 1)
-	h.Put("y", payload(100), 0, 1)
+	h.Put(context.Background(), "x", payload(100), 0, 1)
+	h.Put(context.Background(), "y", payload(100), 0, 1)
 	// Access x repeatedly: y becomes the LRU victim despite being newer.
 	for i := 0; i < 3; i++ {
-		if _, _, err := h.Get("x", 1); err != nil {
+		if _, _, err := h.Get(context.Background(), "x", 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -204,7 +205,7 @@ func TestMigrationDeterministicTieBreak(t *testing.T) {
 	run := func() []string {
 		h := migHierarchy(350, 0)
 		for _, k := range []string{"k1", "k2", "k3"} {
-			h.Put(k, payload(100), 0, 1)
+			h.Put(context.Background(), k, payload(100), 0, 1)
 		}
 		migs, err := h.EnsureRoom(0, 200)
 		if err != nil {

@@ -44,9 +44,10 @@ type Backend interface {
 	Keys() []string
 }
 
-// MemBackend is an in-memory Backend. It is safe for concurrent use.
+// MemBackend is an in-memory Backend. It is safe for concurrent use;
+// readers share an RWMutex so concurrent Gets do not serialize.
 type MemBackend struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	data map[string][]byte
 	used int64
 }
@@ -71,8 +72,8 @@ func (b *MemBackend) Put(key string, data []byte) error {
 
 // Get implements Backend.
 func (b *MemBackend) Get(key string) ([]byte, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	d, ok := b.data[key]
 	if !ok {
 		return nil, fmt.Errorf("storage: %w: %q", ErrNotFound, key)
@@ -93,15 +94,15 @@ func (b *MemBackend) Delete(key string) error {
 
 // Used implements Backend.
 func (b *MemBackend) Used() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return b.used
 }
 
 // Keys implements Backend.
 func (b *MemBackend) Keys() []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	out := make([]string, 0, len(b.data))
 	for k := range b.data {
 		out = append(out, k)

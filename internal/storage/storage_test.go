@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -96,7 +97,7 @@ func TestMemBackendConcurrent(t *testing.T) {
 
 func TestHierarchyPlacementPreferred(t *testing.T) {
 	h := TitanTwoTier(0)
-	p, err := h.Put("base", payload(1000), 0, 1)
+	p, err := h.Put(context.Background(), "base", payload(1000), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,10 +111,10 @@ func TestHierarchyPlacementPreferred(t *testing.T) {
 
 func TestHierarchyBypassOnCapacity(t *testing.T) {
 	h := TitanTwoTier(500) // tmpfs capped at 500 bytes
-	if _, err := h.Put("small", payload(400), 0, 1); err != nil {
+	if _, err := h.Put(context.Background(), "small", payload(400), 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	p, err := h.Put("big", payload(400), 0, 1)
+	p, err := h.Put(context.Background(), "big", payload(400), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,16 +135,16 @@ func TestHierarchyAllTiersFull(t *testing.T) {
 		&Tier{Name: "a", Capacity: 10, ReadBandwidth: 1, WriteBandwidth: 1},
 		&Tier{Name: "b", Capacity: 10, ReadBandwidth: 1, WriteBandwidth: 1},
 	)
-	if _, err := h.Put("x", payload(100), 0, 1); !errors.Is(err, ErrCapacity) {
+	if _, err := h.Put(context.Background(), "x", payload(100), 0, 1); !errors.Is(err, ErrCapacity) {
 		t.Fatalf("err = %v, want ErrCapacity", err)
 	}
 }
 
 func TestHierarchyGetFindsAcrossTiers(t *testing.T) {
 	h := TitanTwoTier(0)
-	h.Put("fast", payload(10), 0, 1)
-	h.Put("slow", payload(10), 1, 1)
-	data, p, err := h.Get("slow", 1)
+	h.Put(context.Background(), "fast", payload(10), 0, 1)
+	h.Put(context.Background(), "slow", payload(10), 1, 1)
+	data, p, err := h.Get(context.Background(), "slow", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,18 +161,18 @@ func TestHierarchyGetFindsAcrossTiers(t *testing.T) {
 
 func TestHierarchyGetMissing(t *testing.T) {
 	h := TitanTwoTier(0)
-	if _, _, err := h.Get("ghost", 1); !errors.Is(err, ErrNotFound) {
+	if _, _, err := h.Get(context.Background(), "ghost", 1); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
 }
 
 func TestHierarchyDelete(t *testing.T) {
 	h := TitanTwoTier(0)
-	h.Put("a", payload(10), 0, 1)
+	h.Put(context.Background(), "a", payload(10), 0, 1)
 	if err := h.Delete("a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := h.Get("a", 1); !errors.Is(err, ErrNotFound) {
+	if _, _, err := h.Get(context.Background(), "a", 1); !errors.Is(err, ErrNotFound) {
 		t.Fatal("key still present after delete")
 	}
 	if err := h.Delete("a"); err != nil {
@@ -181,11 +182,11 @@ func TestHierarchyDelete(t *testing.T) {
 
 func TestHierarchyPrefClamping(t *testing.T) {
 	h := TitanTwoTier(0)
-	p, err := h.Put("neg", payload(1), -5, 1)
+	p, err := h.Put(context.Background(), "neg", payload(1), -5, 1)
 	if err != nil || p.TierIdx != 0 {
 		t.Fatalf("pref=-5: tier %d err %v", p.TierIdx, err)
 	}
-	p, err = h.Put("big", payload(1), 99, 1)
+	p, err = h.Put(context.Background(), "big", payload(1), 99, 1)
 	if err != nil || p.TierIdx != 1 {
 		t.Fatalf("pref=99: tier %d err %v", p.TierIdx, err)
 	}
@@ -256,7 +257,7 @@ func TestQuickCapacityNeverExceeded(t *testing.T) {
 			&Tier{Name: "c", ReadBandwidth: 1e7, WriteBandwidth: 1e7},
 		)
 		for i, s := range sizes {
-			h.Put(fmt.Sprintf("k%d", i), payload(int(s)), 0, 1)
+			h.Put(context.Background(), fmt.Sprintf("k%d", i), payload(int(s)), 0, 1)
 		}
 		for i := 0; i < h.NumTiers(); i++ {
 			tier := h.Tier(i)
