@@ -88,8 +88,8 @@ func run(ctx context.Context, dir, name, where string, level int, exhaustive boo
 	if !exhaustive {
 		fmt.Printf(", %d candidate regions refined", res.ScreenedRegions)
 	}
-	fmt.Printf("\nI/O: %.2f ms simulated, %d bytes; decompress %.2f ms, restore %.2f ms\n",
-		res.Timings.IOSeconds*1e3, res.Timings.IOBytes,
+	fmt.Printf("\nI/O: %.2f ms simulated, %d bytes modeled, %d real; decompress %.2f ms, restore %.2f ms\n",
+		res.Timings.IOSeconds*1e3, res.Timings.IOBytes, res.Timings.IORealBytes,
 		res.Timings.DecompressSeconds*1e3, res.Timings.RestoreSeconds*1e3)
 	for i, m := range res.Matches {
 		if i >= limit {

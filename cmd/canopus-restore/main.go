@@ -32,11 +32,12 @@ func main() {
 	region := flag.String("region", "", "focused retrieval region as minX,minY,maxX,maxY")
 	ascii := flag.Bool("ascii", false, "render the restored field as text art")
 	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
+	cacheMB := flag.Int("cache-mb", 0, "page cache size in MiB shared across reads (0 = no cache)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *dir, *name, *level, *region, *ascii, *workers); err != nil {
+	if err := run(ctx, *dir, *name, *level, *region, *ascii, *workers, *cacheMB); err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-restore: %v\n", err)
 		os.Exit(1)
 	}
@@ -56,12 +57,15 @@ func parseRegion(s string) (minX, minY, maxX, maxY float64, err error) {
 	return vals[0], vals[1], vals[2], vals[3], nil
 }
 
-func run(ctx context.Context, dir, name string, level int, region string, ascii bool, workers int) error {
+func run(ctx context.Context, dir, name string, level int, region string, ascii bool, workers, cacheMB int) error {
 	h, err := storage.FileTwoTier(dir, 0)
 	if err != nil {
 		return err
 	}
 	aio := adios.NewIO(h, nil)
+	if cacheMB > 0 {
+		aio.SetCache(adios.NewPageCache(int64(cacheMB)<<20, 0))
+	}
 	rd, err := core.OpenReader(ctx, aio, name)
 	if err != nil {
 		return err
@@ -77,8 +81,8 @@ func run(ctx context.Context, dir, name string, level int, region string, ascii 
 			return err
 		}
 		fmt.Printf("%s level %d: focused retrieval of [%g,%g]x[%g,%g]\n", name, level, minX, maxX, minY, maxY)
-		fmt.Printf("restored %d of %d vertices, reading %d bytes in %.2f ms simulated I/O\n",
-			rv.CountHave(), rv.Mesh.NumVerts(), rv.Timings.IOBytes, rv.Timings.IOSeconds*1e3)
+		fmt.Printf("restored %d of %d vertices, reading %d bytes modeled (%d real) in %.2f ms simulated I/O\n",
+			rv.CountHave(), rv.Mesh.NumVerts(), rv.Timings.IOBytes, rv.Timings.IORealBytes, rv.Timings.IOSeconds*1e3)
 		return nil
 	}
 	v, err := rd.Retrieve(ctx, level)
@@ -94,8 +98,8 @@ func run(ctx context.Context, dir, name string, level int, region string, ascii 
 	fmt.Printf("mesh: %d vertices, %d triangles\n", v.Mesh.NumVerts(), v.Mesh.NumTris())
 	fmt.Printf("data: range [%.4g, %.4g], stddev %.4g\n", lo, hi, analysis.StdDev(v.Data))
 	fmt.Printf("codec error bound: %.3g per restored level\n", rd.Tolerance())
-	fmt.Printf("cost: I/O %.2f ms (%d bytes), decompress %.2f ms, restore %.2f ms\n",
-		v.Timings.IOSeconds*1e3, v.Timings.IOBytes,
+	fmt.Printf("cost: I/O %.2f ms (%d bytes modeled, %d real), decompress %.2f ms, restore %.2f ms\n",
+		v.Timings.IOSeconds*1e3, v.Timings.IOBytes, v.Timings.IORealBytes,
 		v.Timings.DecompressSeconds*1e3, v.Timings.RestoreSeconds*1e3)
 
 	if ascii {

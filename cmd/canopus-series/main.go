@@ -117,8 +117,8 @@ func runRead(ctx context.Context, dir, name string, step, level, workers int) er
 	fmt.Printf("campaign %q: %d steps, %d levels\n", name, sr.Steps(), sr.Levels())
 	fmt.Printf("step %d at level %d: %d vertices, range [%.4g, %.4g]\n",
 		step, v.Level, v.Mesh.NumVerts(), lo, hi)
-	fmt.Printf("cost: I/O %.2f ms (%d bytes), decompress %.2f ms, restore %.2f ms\n",
-		v.Timings.IOSeconds*1e3, v.Timings.IOBytes,
+	fmt.Printf("cost: I/O %.2f ms (%d bytes modeled, %d real), decompress %.2f ms, restore %.2f ms\n",
+		v.Timings.IOSeconds*1e3, v.Timings.IOBytes, v.Timings.IORealBytes,
 		v.Timings.DecompressSeconds*1e3, v.Timings.RestoreSeconds*1e3)
 	return nil
 }

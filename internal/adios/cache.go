@@ -1,0 +1,175 @@
+package adios
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// PageCache is an optional fixed-size read cache shared by every handle of
+// one IO. Containers are cached as aligned pages keyed by (storage key, page
+// index); concurrent readers missing the same page trigger exactly one
+// backend fetch (single-flight, the internal/engine pattern), so a storm of
+// analysis clients opening the same hot base container does not multiply
+// tier traffic. Eviction is LRU over whole pages.
+//
+// The cache serves *real* bytes only: the simulated cost model still charges
+// each handle for the extents it touches, so experiment timings stay
+// deterministic whether or not a cache is attached; what the cache changes
+// is the actual bytes moved out of the backend (Handle.RealBytes).
+type PageCache struct {
+	pageSize int64
+	maxPages int
+
+	mu    sync.Mutex
+	pages map[string]*list.Element
+	lru   *list.List // front = most recent; values are *cachePage
+	// gens maps a storage key to its invalidation generation. The
+	// generation is part of the page key, so a fill that was already in
+	// flight when Invalidate ran inserts under a dead generation and can
+	// never serve stale bytes to a later reader.
+	gens map[string]uint64
+
+	flight engine.Group
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cachePage struct {
+	key  string
+	data []byte
+}
+
+// DefaultPageSize is the page granularity when NewPageCache is given none.
+const DefaultPageSize = 64 << 10
+
+// NewPageCache builds a cache bounded to capacity bytes with the given page
+// size (<= 0 means DefaultPageSize). It holds at least one page regardless
+// of capacity.
+func NewPageCache(capacity, pageSize int64) *PageCache {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	maxPages := int(capacity / pageSize)
+	if maxPages < 1 {
+		maxPages = 1
+	}
+	return &PageCache{
+		pageSize: pageSize,
+		maxPages: maxPages,
+		pages:    make(map[string]*list.Element),
+		lru:      list.New(),
+		gens:     make(map[string]uint64),
+	}
+}
+
+// Stats reports cache page hits and misses since construction.
+func (c *PageCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+func pageCacheKey(key string, gen uint64, idx int64) string {
+	return fmt.Sprintf("%s\x00%d\x00%d", key, gen, idx)
+}
+
+// generation reads the current invalidation generation of a storage key.
+func (c *PageCache) generation(key string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gens[key]
+}
+
+// lookup returns the cached page and bumps its recency, or nil.
+func (c *PageCache) lookup(pk string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.pages[pk]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cachePage).data
+}
+
+// insert stores a page and evicts LRU pages past capacity.
+func (c *PageCache) insert(pk string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.pages[pk]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cachePage).data = data
+		return
+	}
+	c.pages[pk] = c.lru.PushFront(&cachePage{key: pk, data: data})
+	for c.lru.Len() > c.maxPages {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.pages, last.Value.(*cachePage).key)
+	}
+}
+
+// Invalidate drops every cached page of one storage key and bumps its
+// generation. Writers call it when a key is overwritten so readers never see
+// stale pages; fills already in flight land under the dead generation.
+func (c *PageCache) Invalidate(key string) {
+	prefix := key + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[key]++
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		p := el.Value.(*cachePage)
+		if len(p.key) > len(prefix) && p.key[:len(prefix)] == prefix {
+			c.lru.Remove(el)
+			delete(c.pages, p.key)
+		}
+		el = next
+	}
+}
+
+// readAt copies [off, off+len(p)) of the container `key` (of total length
+// size) into p, filling missing pages through fetch. fetch reads an exact
+// extent from the backing tier and is called at most once per missing page
+// across all concurrent readers.
+func (c *PageCache) readAt(key string, size int64, p []byte, off int64, fetch func(off, n int64) ([]byte, error)) error {
+	gen := c.generation(key)
+	for done := int64(0); done < int64(len(p)); {
+		pos := off + done
+		idx := pos / c.pageSize
+		pk := pageCacheKey(key, gen, idx)
+		page := c.lookup(pk)
+		if page != nil {
+			c.hits.Add(1)
+		} else {
+			c.misses.Add(1)
+			v, err := c.flight.Do(pk, func() (any, error) {
+				if page := c.lookup(pk); page != nil {
+					return page, nil // raced with another fill
+				}
+				pageOff := idx * c.pageSize
+				n := min(c.pageSize, size-pageOff)
+				data, err := fetch(pageOff, n)
+				if err != nil {
+					return nil, err
+				}
+				c.insert(pk, data)
+				return data, nil
+			})
+			if err != nil {
+				return err
+			}
+			page = v.([]byte)
+		}
+		pageOff := idx * c.pageSize
+		n := copy(p[done:], page[pos-pageOff:])
+		if n == 0 {
+			return fmt.Errorf("adios: page cache: empty copy at %d of %q", pos, key)
+		}
+		done += int64(n)
+	}
+	return nil
+}

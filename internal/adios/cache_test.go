@@ -1,0 +1,201 @@
+package adios
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func cachePayload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 3)
+	}
+	return b
+}
+
+// fetchFrom returns a fetch func serving exact extents of data, counting
+// calls.
+func fetchFrom(data []byte, calls *atomic.Int64) func(off, n int64) ([]byte, error) {
+	return func(off, n int64) ([]byte, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		if off < 0 || n < 0 || off+n > int64(len(data)) {
+			return nil, fmt.Errorf("fetch [%d,%d) outside %d bytes", off, off+n, len(data))
+		}
+		return append([]byte(nil), data[off:off+n]...), nil
+	}
+}
+
+func TestPageCacheReadAt(t *testing.T) {
+	data := cachePayload(1000)
+	c := NewPageCache(1<<20, 256)
+	var calls atomic.Int64
+	fetch := fetchFrom(data, &calls)
+
+	// Spanning read across page boundaries, including the short tail page.
+	for _, rg := range []struct{ off, n int64 }{{0, 1000}, {100, 300}, {990, 10}, {0, 1}, {255, 2}} {
+		p := make([]byte, rg.n)
+		if err := c.readAt("k", 1000, p, rg.off, fetch); err != nil {
+			t.Fatalf("readAt(%d,%d): %v", rg.off, rg.n, err)
+		}
+		if !bytes.Equal(p, data[rg.off:rg.off+rg.n]) {
+			t.Fatalf("readAt(%d,%d) returned wrong bytes", rg.off, rg.n)
+		}
+	}
+	// 1000 bytes / 256-byte pages = 4 pages: everything after the first
+	// spanning read is a hit.
+	if calls.Load() != 4 {
+		t.Fatalf("fetch called %d times, want 4 (once per page)", calls.Load())
+	}
+	hits, misses := c.Stats()
+	if misses != 4 || hits == 0 {
+		t.Fatalf("stats hits=%d misses=%d, want 4 misses and some hits", hits, misses)
+	}
+}
+
+func TestPageCacheEvictsLRU(t *testing.T) {
+	data := cachePayload(1024)
+	// Two pages of capacity over a four-page value.
+	c := NewPageCache(512, 256)
+	var calls atomic.Int64
+	fetch := fetchFrom(data, &calls)
+	p := make([]byte, 256)
+	for _, idx := range []int64{0, 1, 2, 0} {
+		if err := c.readAt("k", 1024, p, idx*256, fetch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Page 0 was evicted by page 2, so the last read refetches: 4 fills.
+	if calls.Load() != 4 {
+		t.Fatalf("fetch called %d times, want 4 (page 0 evicted)", calls.Load())
+	}
+}
+
+func TestPageCacheInvalidate(t *testing.T) {
+	old := cachePayload(256)
+	c := NewPageCache(1<<20, 256)
+	p := make([]byte, 256)
+	if err := c.readAt("k", 256, p, 0, fetchFrom(old, nil)); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate("k")
+	fresh := bytes.Repeat([]byte{0xAB}, 256)
+	if err := c.readAt("k", 256, p, 0, fetchFrom(fresh, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, fresh) {
+		t.Fatal("read after Invalidate served stale page")
+	}
+}
+
+// TestPageCacheSingleFlight hammers one cold page from many goroutines; the
+// single-flight group must collapse them into one backend fetch.
+func TestPageCacheSingleFlight(t *testing.T) {
+	data := cachePayload(4096)
+	c := NewPageCache(1<<20, 4096)
+	var calls atomic.Int64
+	fetch := fetchFrom(data, &calls)
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := make([]byte, 4096)
+			if err := c.readAt("k", 4096, p, 0, fetch); err != nil {
+				errs[g] = err
+				return
+			}
+			if !bytes.Equal(p, data) {
+				errs[g] = fmt.Errorf("goroutine %d read wrong bytes", g)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fetch called %d times for one page, want 1", calls.Load())
+	}
+}
+
+// TestCachedHandleReducesRealBytes reads the same variable through two
+// handles sharing a cache: the second handle's real traffic must be zero
+// while its modeled cost stays identical to the first's.
+func TestCachedHandleReducesRealBytes(t *testing.T) {
+	io := NewIO(storage.TitanTwoTier(0), nil).SetCache(NewPageCache(1<<20, 0))
+	if _, err := io.WriteContainer(context.Background(), "c", container(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	read := func() (*Handle, []float64) {
+		h, err := io.Open(context.Background(), "c", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := h.ReadFloats("dpot", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h, vals
+	}
+	h1, v1 := read()
+	h2, v2 := read()
+	if fmt.Sprint(v1) != fmt.Sprint(v2) {
+		t.Fatal("cached read returned different values")
+	}
+	if h1.Cost().Bytes != h2.Cost().Bytes {
+		t.Fatalf("modeled cost changed with cache state: %d vs %d", h1.Cost().Bytes, h2.Cost().Bytes)
+	}
+	if h1.RealBytes() == 0 {
+		t.Fatal("cold handle reports zero real bytes")
+	}
+	if h2.RealBytes() != 0 {
+		t.Fatalf("warm handle moved %d real bytes, want 0 (all cache hits)", h2.RealBytes())
+	}
+}
+
+// TestCacheInvalidateOnOverwrite rewrites a container under the same key and
+// checks readers see the new bytes, not cached pages of the old container.
+func TestCacheInvalidateOnOverwrite(t *testing.T) {
+	io := NewIO(storage.TitanTwoTier(0), nil).SetCache(NewPageCache(1<<20, 0))
+	if _, err := io.WriteContainer(context.Background(), "c", container(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	h, err := io.Open(context.Background(), "c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadFloats("dpot", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	w := container(t)
+	if err := w.PutFloats("extra", 0, []float64{42}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteContainer(context.Background(), "c", w, 0); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := io.Open(context.Background(), "c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := h2.ReadFloats("extra", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != 42 {
+		t.Fatalf("read after overwrite = %v, want [42]", vals)
+	}
+}

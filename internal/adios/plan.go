@@ -1,0 +1,47 @@
+package adios
+
+import "sort"
+
+// Read planning. A retrieval that needs many variables from one container —
+// delta tiles are the common case — should not issue one storage operation
+// per variable when the variables sit next to each other in the payload:
+// adjacent (or nearly adjacent) extents are merged into one ranged read,
+// trading the gap bytes for saved per-operation latency. The gap threshold
+// comes from the tier the container lives on (storage.Tier.CoalesceGap): a
+// high-latency tier merges aggressively, a DRAM-like tier barely at all.
+
+// extent is one [Off, Off+N) byte range inside a container.
+type extent struct {
+	Off, N int64
+}
+
+func (e extent) end() int64 { return e.Off + e.N }
+
+// coalesce merges extents whose inter-extent gap is at most gap bytes,
+// returning the merged ranges in ascending offset order. Overlapping and
+// duplicate extents merge naturally. Empty extents are dropped.
+func coalesce(exts []extent, gap int64) []extent {
+	sorted := make([]extent, 0, len(exts))
+	for _, e := range exts {
+		if e.N > 0 {
+			sorted = append(sorted, e)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Off != sorted[j].Off {
+			return sorted[i].Off < sorted[j].Off
+		}
+		return sorted[i].N > sorted[j].N
+	})
+	var out []extent
+	for _, e := range sorted {
+		if len(out) > 0 && e.Off <= out[len(out)-1].end()+gap {
+			if e.end() > out[len(out)-1].end() {
+				out[len(out)-1].N = e.end() - out[len(out)-1].Off
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package adios
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/bp"
+)
+
+func TestCoalesce(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []extent
+		gap  int64
+		want []extent
+	}{
+		{"empty", nil, 10, nil},
+		{"single", []extent{{0, 5}}, 0, []extent{{0, 5}}},
+		{"adjacent merge at gap 0", []extent{{0, 5}, {5, 5}}, 0, []extent{{0, 10}}},
+		{"gap bridged", []extent{{0, 5}, {8, 2}}, 3, []extent{{0, 10}}},
+		{"gap too wide", []extent{{0, 5}, {9, 2}}, 3, []extent{{0, 5}, {9, 2}}},
+		{"unsorted input", []extent{{20, 4}, {0, 4}, {10, 4}}, 0, []extent{{0, 4}, {10, 4}, {20, 4}}},
+		{"overlap", []extent{{0, 10}, {5, 10}}, 0, []extent{{0, 15}}},
+		{"contained", []extent{{0, 20}, {5, 5}}, 0, []extent{{0, 20}}},
+		{"duplicate", []extent{{3, 7}, {3, 7}}, 0, []extent{{3, 7}}},
+		{"zero-size dropped", []extent{{0, 0}, {5, 5}, {100, 0}}, 0, []extent{{5, 5}}},
+		{"chain collapses", []extent{{0, 2}, {4, 2}, {8, 2}, {12, 2}}, 2, []extent{{0, 14}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := coalesce(c.in, c.gap)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("coalesce(%v, %d) = %v, want %v", c.in, c.gap, got, c.want)
+			}
+		})
+	}
+}
+
+// TestReadManyBytesMatchesPerVarReads checks the planned multi-variable read
+// against the reference path: byte-equal results and a modeled cost charged
+// for exactly the variable extents, however the planner groups them.
+func TestReadManyBytesMatchesPerVarReads(t *testing.T) {
+	io := newIO(t)
+	if _, err := io.WriteContainer(context.Background(), "c", container(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	h, err := io.Open(context.Background(), "c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, _ := h.InqVar("dpot", 2)
+	vm, _ := h.InqVar("mesh", 2)
+	before := h.Cost().Bytes
+	got, err := h.ReadManyBytes([]bp.VarInfo{vm, vd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	charged := h.Cost().Bytes - before
+
+	ref, err := io.Open(context.Background(), "c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []bp.VarInfo{vm, vd} {
+		want, err := ref.ReadBytes(v.Name, v.Level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("planned read of %s differs from ReadBytes", v.Name)
+		}
+	}
+	if want := vd.Size + vm.Size; charged != want {
+		t.Fatalf("planned read charged %d modeled bytes, want exactly the extents (%d)", charged, want)
+	}
+	// Without a cache, real traffic covers at least the charged extents
+	// (plus footer/index and any coalescing gap).
+	if h.RealBytes() < charged {
+		t.Fatalf("real bytes %d below modeled extents %d", h.RealBytes(), charged)
+	}
+}

@@ -1,6 +1,10 @@
 package bp
 
-import "testing"
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
 
 // FuzzOpen hardens the container parser: whatever bytes a storage tier
 // hands back, Open must reject cleanly rather than panic or over-allocate.
@@ -28,6 +32,55 @@ func FuzzOpen(f *testing.F) {
 			}
 			if _, err := r.ReadBytes(v); err != nil {
 				t.Fatalf("indexed variable %s unreadable: %v", v.Name, err)
+			}
+		}
+	})
+}
+
+// FuzzRangedOpenMatchesWholeBlob pins the ranged read path to the reference:
+// for any input, parsing through an io.ReaderAt that serves sub-extents must
+// accept exactly what whole-blob parsing accepts and decode every variable
+// to identical bytes. This is the invariant the storage refactor rests on —
+// a container read extent-by-extent out of a tier is indistinguishable from
+// one held fully in memory.
+func FuzzRangedOpenMatchesWholeBlob(f *testing.F) {
+	w := NewWriter()
+	w.SetAttr("k", "v")
+	_ = w.PutFloats("x", 0, []float64{1, 2, 3}, map[string]string{"a": "b"})
+	_ = w.PutBytes("y", 1, []byte{9, 9}, nil)
+	good := w.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)-1])
+	f.Add(good[:6])
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		whole, wholeErr := OpenBytes(data)
+		ranged, rangedErr := Open(bytes.NewReader(data), int64(len(data)))
+		if (wholeErr == nil) != (rangedErr == nil) {
+			t.Fatalf("whole-blob err = %v, ranged err = %v", wholeErr, rangedErr)
+		}
+		if wholeErr != nil {
+			return
+		}
+		wv, rv := whole.Vars(), ranged.Vars()
+		if len(wv) != len(rv) {
+			t.Fatalf("%d vars whole vs %d ranged", len(wv), len(rv))
+		}
+		for i, v := range wv {
+			if !reflect.DeepEqual(rv[i], v) {
+				t.Fatalf("var %d: %+v whole vs %+v ranged", i, v, rv[i])
+			}
+			want, err := whole.ReadBytes(v)
+			if err != nil {
+				t.Fatalf("whole read %s: %v", v.Name, err)
+			}
+			got, err := ranged.ReadBytes(rv[i])
+			if err != nil {
+				t.Fatalf("ranged read %s: %v", v.Name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("variable %s decodes differently through ranged reads", v.Name)
 			}
 		}
 	})

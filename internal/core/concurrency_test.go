@@ -167,7 +167,7 @@ func TestConcurrentRegionMatchesRetrieve(t *testing.T) {
 	}
 }
 
-// slowBackend delays every Get so a cancellation lands mid-retrieval.
+// slowBackend delays every read so a cancellation lands mid-retrieval.
 type slowBackend struct {
 	storage.Backend
 	delay time.Duration
@@ -176,6 +176,11 @@ type slowBackend struct {
 func (b slowBackend) Get(key string) ([]byte, error) {
 	time.Sleep(b.delay)
 	return b.Backend.Get(key)
+}
+
+func (b slowBackend) GetRange(key string, off, n int64) ([]byte, error) {
+	time.Sleep(b.delay)
+	return b.Backend.GetRange(key, off, n)
 }
 
 // TestRetrieveCancellation checks both halves of the cancellation contract:

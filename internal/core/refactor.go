@@ -38,9 +38,16 @@ type PhaseTimings struct {
 	DecompressSeconds float64
 	// RestoreSeconds covers Algorithm 3 restoration (read path).
 	RestoreSeconds float64
-	// IOSeconds is simulated storage time; IOBytes the bytes moved.
+	// IOSeconds is simulated storage time; IOBytes the modeled bytes the
+	// cost model charged (the container extents touched).
 	IOSeconds float64
 	IOBytes   int64
+	// IORealBytes is the bytes actually moved out of the storage backend
+	// on the read path: modeled extents plus coalescing gaps and page-fill
+	// rounding, minus page-cache hits. Before the ranged-read refactor
+	// every open moved the whole container regardless of IOBytes; now the
+	// two track each other within footer/index overhead.
+	IORealBytes int64
 }
 
 // Add accumulates another timing set.
@@ -52,6 +59,16 @@ func (t *PhaseTimings) Add(o PhaseTimings) {
 	t.RestoreSeconds += o.RestoreSeconds
 	t.IOSeconds += o.IOSeconds
 	t.IOBytes += o.IOBytes
+	t.IORealBytes += o.IORealBytes
+}
+
+// addHandleIO folds an open handle's accumulated I/O (simulated cost plus
+// real backend traffic) into the read-path timings.
+func (t *PhaseTimings) addHandleIO(h *adios.Handle) {
+	c := h.Cost()
+	t.IOSeconds += c.Seconds
+	t.IOBytes += c.Bytes
+	t.IORealBytes += h.RealBytes()
 }
 
 // TotalSeconds sums every phase.

@@ -181,9 +181,7 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 
 	// Accumulate I/O from every handle touched.
 	for l := targetLevel; l <= base; l++ {
-		c := handles[l].h.Cost()
-		out.Timings.IOSeconds += c.Seconds
-		out.Timings.IOBytes += c.Bytes
+		out.Timings.addHandleIO(handles[l].h)
 	}
 	out.Mesh = handles[targetLevel].mesh
 	out.Data = data

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/adios"
+	"repro/internal/bp"
 	"repro/internal/compress"
 	"repro/internal/delta"
 	"repro/internal/engine"
@@ -176,8 +177,7 @@ func (r *Reader) Base(ctx context.Context) (*View, error) {
 		return nil, err
 	}
 	v := &View{Level: l, Mesh: m}
-	v.Timings.IOSeconds = h.Cost().Seconds
-	v.Timings.IOBytes = h.Cost().Bytes
+	v.Timings.addHandleIO(h)
 
 	t0 := time.Now()
 	v.Data, err = r.codec.Decode(p.Payload)
@@ -226,8 +226,7 @@ func (r *Reader) Augment(ctx context.Context, v *View) error {
 	if err := r.readDeltaChunks(ctx, h, fineLevel, nil, d, nil, &decompress); err != nil {
 		return err
 	}
-	v.Timings.IOSeconds += h.Cost().Seconds
-	v.Timings.IOBytes += h.Cost().Bytes
+	v.Timings.addHandleIO(h)
 	v.Timings.DecompressSeconds += decompress.Value()
 
 	t0 := time.Now()
@@ -280,8 +279,7 @@ func (r *Reader) retrieveDirect(ctx context.Context, l int) (*View, error) {
 		return nil, err
 	}
 	v := &View{Level: l, Mesh: m}
-	v.Timings.IOSeconds = h.Cost().Seconds
-	v.Timings.IOBytes = h.Cost().Bytes
+	v.Timings.addHandleIO(h)
 	t0 := time.Now()
 	v.Data, err = r.codec.Decode(p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
@@ -372,10 +370,13 @@ func (r *Reader) readDeltaChunks(ctx context.Context, h *adios.Handle, level int
 }
 
 // readDeltaChunksFrom is the container-agnostic tile reader shared by the
-// single-variable Reader and the SeriesReader. Tiles are independent units
-// on the pool: they cover disjoint vertex id sets, so concurrent scatters
-// into out and have are race-free, and the restored field does not depend on
-// the worker count.
+// single-variable Reader and the SeriesReader. The I/O happens first, as one
+// planned pass: the wanted tiles' extents are coalesced per the tier's gap
+// threshold and fetched as a few ranged reads (Handle.ReadManyBytes), so the
+// storage layer sees contiguous range requests instead of one operation per
+// tile. Decoding then fans out on the pool: tiles cover disjoint vertex id
+// sets, so concurrent scatters into out and have are race-free, and the
+// restored field does not depend on the worker count.
 func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle, codec compress.Codec, tb tileBox, level int, wantChunks []int, out []float64, have []bool, decompress *engine.Counter) error {
 	chunks := wantChunks
 	if chunks == nil {
@@ -387,21 +388,28 @@ func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle
 	if pool == nil {
 		pool = engine.NewPool(1)
 	}
-	units := make([]engine.Unit, 0, len(chunks))
+	var vars []bp.VarInfo
+	var present []int
 	for _, ci := range chunks {
-		ci := ci
+		v, ok := h.InqVar(chunkVarName(ci), level)
+		if !ok {
+			if wantChunks != nil {
+				return fmt.Errorf("canopus: level %d missing delta chunk %d", level, ci)
+			}
+			continue // empty tile
+		}
+		vars = append(vars, v)
+		present = append(present, ci)
+	}
+	payloads, err := h.ReadManyBytes(vars)
+	if err != nil {
+		return err
+	}
+	units := make([]engine.Unit, 0, len(present))
+	for i, ci := range present {
+		i, ci := i, ci
 		units = append(units, func(ctx context.Context) error {
-			if _, ok := h.InqVar(chunkVarName(ci), level); !ok {
-				if wantChunks != nil {
-					return fmt.Errorf("canopus: level %d missing delta chunk %d", level, ci)
-				}
-				return nil // empty tile
-			}
-			p, err := fetchProduct(h, level, engine.KindDelta, ci)
-			if err != nil {
-				return err
-			}
-			ids, enc, err := decodeChunkPayload(p.Payload)
+			ids, enc, err := decodeChunkPayload(payloads[i])
 			if err != nil {
 				return fmt.Errorf("canopus: level %d chunk %d: %w", level, ci, err)
 			}
@@ -489,8 +497,7 @@ func (r *RawReader) Retrieve(ctx context.Context) (*View, error) {
 		return nil, err
 	}
 	v := &View{Level: 0, Mesh: m, Data: data}
-	v.Timings.IOSeconds = h.Cost().Seconds
-	v.Timings.IOBytes = h.Cost().Bytes
+	v.Timings.addHandleIO(h)
 	return v, nil
 }
 

@@ -507,8 +507,7 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 		return nil, err
 	}
 	v := &View{Level: base, Mesh: baseMesh}
-	v.Timings.IOSeconds = h.Cost().Seconds
-	v.Timings.IOBytes = h.Cost().Bytes
+	v.Timings.addHandleIO(h)
 	t0 := time.Now()
 	v.Data, err = sr.codec.Decode(p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
@@ -534,8 +533,7 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 		if err := readDeltaChunksFrom(ctx, sr.pool, hs, sr.codec, tb, l, nil, d, nil, &decompress); err != nil {
 			return nil, err
 		}
-		v.Timings.IOSeconds += hs.Cost().Seconds
-		v.Timings.IOBytes += hs.Cost().Bytes
+		v.Timings.addHandleIO(hs)
 		v.Timings.DecompressSeconds += decompress.Value()
 
 		t0 = time.Now()

@@ -99,6 +99,49 @@ func (b *FileBackend) Get(key string) ([]byte, error) {
 	return data, nil
 }
 
+// GetRange implements Backend: the extent is served with one os.File.ReadAt,
+// so reading a footer or a delta tile out of a multi-gigabyte container never
+// pages the rest of the file through memory. The read lock spans the open and
+// the ReadAt, so a concurrent Put of the same key cannot interleave.
+func (b *FileBackend) GetRange(key string, off, n int64) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	f, err := os.Open(filepath.Join(b.dir, encodeKey(key)))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("storage: %w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read %q: %w", key, err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: read %q: %w", key, err)
+	}
+	if err := checkRange(key, off, n, info.Size()); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("storage: read %q at %d: %w", key, off, err)
+	}
+	return buf, nil
+}
+
+// Size implements Backend.
+func (b *FileBackend) Size(key string) (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	info, err := os.Stat(filepath.Join(b.dir, encodeKey(key)))
+	if os.IsNotExist(err) {
+		return 0, fmt.Errorf("storage: %w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storage: stat %q: %w", key, err)
+	}
+	return info.Size(), nil
+}
+
 // Delete implements Backend.
 func (b *FileBackend) Delete(key string) error {
 	b.mu.Lock()

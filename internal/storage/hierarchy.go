@@ -98,39 +98,35 @@ func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, 
 // the hierarchy lock, but the backend read does not: concurrent retrievals
 // proceed in parallel, serialized only inside the (reader/writer-locked)
 // backend. If a concurrent migration moves the key between the lookup and
-// the read, the read is retried through the refreshed catalog.
+// the read, the read is retried through the refreshed catalog (see
+// readRetrying in migrate.go).
 func (h *Hierarchy) Get(ctx context.Context, key string, readers int) ([]byte, Placement, error) {
-	for attempt := 0; ; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, Placement{}, err
-		}
-		h.mu.Lock()
-		e, ok := h.catalog[key]
-		if !ok {
-			h.mu.Unlock()
-			return nil, Placement{}, fmt.Errorf("storage: get %q: %w", key, ErrNotFound)
-		}
-		tierIdx := e.tier
-		t := h.tiers[tierIdx]
-		h.clock++
-		e.lastUsed = h.clock
-		e.accesses++
-		h.mu.Unlock()
+	return h.readRetrying(ctx, key, readers, func(t *Tier) ([]byte, error) {
+		return t.backend().Get(key)
+	})
+}
 
-		data, err := t.backend().Get(key)
-		if err != nil {
-			if attempt < 3 {
-				continue // key may have migrated tiers mid-read
-			}
-			return nil, Placement{}, err
-		}
-		return data, Placement{
-			Key:      key,
-			TierIdx:  tierIdx,
-			TierName: t.Name,
-			Cost:     t.readCost(int64(len(data)), readers),
-		}, nil
+// GetRange reads exactly n bytes of key starting at off — the true ranged
+// read the retrieval path issues for footers, indexes, and delta tiles. It
+// shares Get's migration-retry contract: racing a Promote/Demote of the same
+// key, it returns either the correct bytes or ErrNotFound, never torn data.
+// The simulated cost charges only the extent moved.
+func (h *Hierarchy) GetRange(ctx context.Context, key string, off, n int64, readers int) ([]byte, Placement, error) {
+	return h.readRetrying(ctx, key, readers, func(t *Tier) ([]byte, error) {
+		return t.backend().GetRange(key, off, n)
+	})
+}
+
+// Size reports the stored byte length of key from the catalog, without
+// touching the backend or the LRU clock.
+func (h *Hierarchy) Size(key string) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.catalog[key]
+	if !ok {
+		return 0, fmt.Errorf("storage: size %q: %w", key, ErrNotFound)
 	}
+	return e.size, nil
 }
 
 // Where reports the tier index holding key, or -1.
@@ -220,11 +216,13 @@ func FileTwoTier(dir string, tmpfsCapacity int64) (*Hierarchy, error) {
 		t.Backend = b
 	}
 	// Rebuild the catalog from what is on disk: fastest tier wins ties.
+	// Sizes come from stat, not from reading the files — opening a large
+	// persisted hierarchy stays O(keys), not O(bytes).
 	for i := h.NumTiers() - 1; i >= 0; i-- {
 		for _, k := range h.Tier(i).Backend.Keys() {
 			var size int64
-			if data, err := h.Tier(i).Backend.Get(k); err == nil {
-				size = int64(len(data))
+			if n, err := h.Tier(i).Backend.Size(k); err == nil {
+				size = n
 			}
 			h.catalog[k] = &entry{tier: i, size: size}
 		}

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -20,6 +22,55 @@ type Migration struct {
 	ToTier   string
 	// Cost is the read-from-source plus write-to-destination expense.
 	Cost Cost
+}
+
+// readRetrying is the read-vs-migration race protocol shared by Get and
+// GetRange. The catalog lookup happens under the hierarchy lock; the backend
+// read does not, so a concurrent move can delete the key from the looked-up
+// tier mid-read. Because move copies to the destination *before* deleting
+// from the source, and every backend serves reads atomically under its own
+// reader/writer lock, a racing read observes exactly one of three states:
+// the full bytes on the source, the full bytes on the destination (after the
+// retried lookup sees the updated catalog), or a transient not-found on the
+// source that the retry resolves. Torn data is impossible; after the retry
+// budget the last backend error (ErrNotFound for a truly deleted key)
+// surfaces. Ranged reads need the same protocol: a Promote/Demote racing a
+// GetRange must never serve a range from a half-moved value, which holds
+// because backends never expose partially written keys.
+func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, read func(t *Tier) ([]byte, error)) ([]byte, Placement, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, Placement{}, err
+		}
+		h.mu.Lock()
+		e, ok := h.catalog[key]
+		if !ok {
+			h.mu.Unlock()
+			return nil, Placement{}, fmt.Errorf("storage: get %q: %w", key, ErrNotFound)
+		}
+		tierIdx := e.tier
+		t := h.tiers[tierIdx]
+		h.clock++
+		e.lastUsed = h.clock
+		e.accesses++
+		h.mu.Unlock()
+
+		data, err := read(t)
+		if err != nil {
+			// Only a vanished key can be a migration artifact; a range
+			// error against a present key is the caller's bug.
+			if attempt < 3 && errors.Is(err, ErrNotFound) {
+				continue // key may have migrated tiers mid-read
+			}
+			return nil, Placement{}, err
+		}
+		return data, Placement{
+			Key:      key,
+			TierIdx:  tierIdx,
+			TierName: t.Name,
+			Cost:     t.readCost(int64(len(data)), readers),
+		}, nil
+	}
 }
 
 // move relocates key to tier `to` without policy checks. Caller holds the

@@ -37,11 +37,28 @@ func (c *Cost) Add(o Cost) {
 type Backend interface {
 	Put(key string, data []byte) error
 	Get(key string) ([]byte, error)
+	// GetRange reads exactly n bytes starting at off. The extent must lie
+	// fully inside the stored value: reads past the end fail with
+	// ErrOutOfRange rather than returning short data. Backends serve the
+	// range without materializing the rest of the value where the medium
+	// allows (files use ReadAt), so a ranged read of a large container
+	// moves only the requested bytes.
+	GetRange(key string, off, n int64) ([]byte, error)
+	// Size reports the stored byte length of key without reading it.
+	Size(key string) (int64, error)
 	Delete(key string) error
 	// Used reports the bytes currently stored.
 	Used() int64
 	// Keys lists stored keys in sorted order.
 	Keys() []string
+}
+
+// checkRange validates a [off, off+n) extent against a value of length size.
+func checkRange(key string, off, n, size int64) error {
+	if off < 0 || n < 0 || off+n > size {
+		return fmt.Errorf("storage: %w: %q [%d,%d) of %d bytes", ErrOutOfRange, key, off, off+n, size)
+	}
+	return nil
 }
 
 // MemBackend is an in-memory Backend. It is safe for concurrent use;
@@ -81,6 +98,33 @@ func (b *MemBackend) Get(key string) ([]byte, error) {
 	return append([]byte(nil), d...), nil
 }
 
+// GetRange implements Backend: the extent is copied out of the stored slice
+// under the read lock, so concurrent writers never hand back torn bytes and
+// the allocation is bounded by n, not the value size.
+func (b *MemBackend) GetRange(key string, off, n int64) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	d, ok := b.data[key]
+	if !ok {
+		return nil, fmt.Errorf("storage: %w: %q", ErrNotFound, key)
+	}
+	if err := checkRange(key, off, n, int64(len(d))); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), d[off:off+n]...), nil
+}
+
+// Size implements Backend.
+func (b *MemBackend) Size(key string) (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	d, ok := b.data[key]
+	if !ok {
+		return 0, fmt.Errorf("storage: %w: %q", ErrNotFound, key)
+	}
+	return int64(len(d)), nil
+}
+
 // Delete implements Backend.
 func (b *MemBackend) Delete(key string) error {
 	b.mu.Lock()
@@ -113,8 +157,9 @@ func (b *MemBackend) Keys() []string {
 
 // Errors returned by the hierarchy.
 var (
-	ErrNotFound = errors.New("key not found")
-	ErrCapacity = errors.New("insufficient capacity")
+	ErrNotFound   = errors.New("key not found")
+	ErrCapacity   = errors.New("insufficient capacity")
+	ErrOutOfRange = errors.New("range outside stored value")
 )
 
 // Tier is one level of the hierarchy with its performance envelope.
@@ -154,6 +199,23 @@ func (t *Tier) writeCost(n int64, writers int) Cost {
 		Seconds: t.LatencySeconds + float64(n)*float64(writers)/t.WriteBandwidth,
 		Bytes:   n,
 	}
+}
+
+// CoalesceGap is the break-even gap for merging two ranged reads on this
+// tier: the bytes the tier streams in one operation latency. Two extents
+// closer than this are cheaper to fetch as one range (paying the gap bytes)
+// than as two operations (paying another latency), which is how read
+// planners decide to coalesce. Clamped to [512 B, 4 MiB] so degenerate tier
+// parameters cannot disable or explode coalescing.
+func (t *Tier) CoalesceGap() int64 {
+	g := int64(t.LatencySeconds * t.ReadBandwidth)
+	if g < 512 {
+		g = 512
+	}
+	if g > 4<<20 {
+		g = 4 << 20
+	}
+	return g
 }
 
 func (t *Tier) readCost(n int64, readers int) Cost {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench.sh — run the end-to-end pipeline benchmark and the ranged-read
+# benchmark, and emit the ranged-read results as BENCH_ranged.json.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime  value for go test -benchtime (default 1x for a quick sweep;
+#              use e.g. 2s for stable numbers)
+#
+# The JSON carries, per benchmark case: ns/op, the bytes the retrieval
+# fetched (modeled extents and real backend traffic), and the allocation
+# footprint (peak working set scales with extents fetched, not container
+# size — see DESIGN.md "Read path").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1x}"
+OUT="BENCH_ranged.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkPipelineWriteRead|BenchmarkRangedRead' \
+	-benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+
+awk '
+/^BenchmarkRangedRead\// {
+	name = $1
+	ns = ""; modeled = ""; real = ""; bytes = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op") ns = $(i-1)
+		if ($(i) == "modeled-bytes/op") modeled = $(i-1)
+		if ($(i) == "real-bytes/op") real = $(i-1)
+		if ($(i) == "B/op") bytes = $(i-1)
+		if ($(i) == "allocs/op") allocs = $(i-1)
+	}
+	printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"modeled_bytes_per_op\":%s,\"real_bytes_per_op\":%s,\"alloc_bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, ns, modeled, real, bytes, allocs
+	sep = ",\n "
+}
+BEGIN { printf "[" }
+END { print "]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
