@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,6 +28,9 @@ func main() {
 	scale := flag.String("scale", "paper", "dataset scale: paper or quick")
 	ascii := flag.Bool("ascii", false, "render text-art galleries for Figs. 4 and 7")
 	workers := flag.Int("workers", 0, "concurrent pipeline workers (0 = NumCPU, 1 = serial)")
+	obsJSON := flag.String("obs-json", "", "run the fixed observability workload and write span-phase medians to this file")
+	var ocli obs.CLI
+	ocli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	var s bench.Scale
@@ -37,10 +43,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "canopus-bench: unknown scale %q (want paper or quick)\n", *scale)
 		os.Exit(2)
 	}
-	r := bench.New(os.Stdout, s)
-	r.ASCII = *ascii
-	r.Workers = *workers
-	if err := r.Run(*fig); err != nil {
+	// -obs-json alone runs just the fixed observability workload; an
+	// explicit -fig alongside it runs both.
+	figSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fig" {
+			figSet = true
+		}
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx, finish, err := ocli.Start(ctx, "canopus-bench")
+	if err == nil {
+		r := bench.New(os.Stdout, s)
+		r.ASCII = *ascii
+		r.Workers = *workers
+		if *obsJSON == "" || figSet {
+			err = r.Run(*fig)
+		}
+		if err == nil && *obsJSON != "" {
+			err = r.ObsBench(ctx, *obsJSON)
+		}
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-bench: %v\n", err)
 		os.Exit(1)
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/adios"
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -32,11 +33,20 @@ func main() {
 	raster := flag.Int("raster", 256, "raster resolution (pixels per side)")
 	compare := flag.Bool("compare", false, "also detect at full accuracy and report the overlap ratio")
 	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
+	var ocli obs.CLI
+	ocli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *dir, *name, *level, *cfg, *raster, *compare, *workers); err != nil {
+	ctx, finish, err := ocli.Start(ctx, "canopus-blob")
+	if err == nil {
+		err = run(ctx, *dir, *name, *level, *cfg, *raster, *compare, *workers)
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-blob: %v\n", err)
 		os.Exit(1)
 	}

@@ -17,28 +17,38 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/adios"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
 func main() {
 	dir := flag.String("dir", "canopus-data", "storage hierarchy directory")
 	key := flag.String("key", "", "inspect one container in detail (default: list everything)")
+	var ocli obs.CLI
+	ocli.Bind(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*dir, *key); err != nil {
+	ctx, finish, err := ocli.Start(context.Background(), "canopus-inspect")
+	if err == nil {
+		err = run(ctx, *dir, *key)
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-inspect: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, key string) error {
+func run(ctx context.Context, dir, key string) error {
 	h, err := storage.FileTwoTier(dir, 0)
 	if err != nil {
 		return err
 	}
 	aio := adios.NewIO(h, nil)
 	if key != "" {
-		return dump(aio, key)
+		return dump(ctx, aio, key)
 	}
 	keys := h.Keys()
 	if len(keys) == 0 {
@@ -46,15 +56,15 @@ func run(dir, key string) error {
 		return nil
 	}
 	for _, k := range keys {
-		if err := dump(aio, k); err != nil {
+		if err := dump(ctx, aio, k); err != nil {
 			return fmt.Errorf("%s: %w", k, err)
 		}
 	}
 	return nil
 }
 
-func dump(aio *adios.IO, key string) error {
-	hd, err := aio.Open(context.Background(), key, 1)
+func dump(ctx context.Context, aio *adios.IO, key string) error {
+	hd, err := aio.Open(ctx, key, 1)
 	if err != nil {
 		return err
 	}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/adios"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -33,11 +34,20 @@ func main() {
 	exhaustive := flag.Bool("exhaustive", false, "answer by full retrieval instead of progressive screening")
 	limit := flag.Int("limit", 20, "max matches to print")
 	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
+	var ocli obs.CLI
+	ocli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *dir, *name, *where, *level, *exhaustive, *limit, *workers); err != nil {
+	ctx, finish, err := ocli.Start(ctx, "canopus-query")
+	if err == nil {
+		err = run(ctx, *dir, *name, *where, *level, *exhaustive, *limit, *workers)
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-query: %v\n", err)
 		os.Exit(1)
 	}

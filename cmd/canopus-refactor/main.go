@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/adios"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -37,11 +38,20 @@ func main() {
 	chunks := flag.Int("chunks", 1, "spatial delta tiles per axis (enables focused regional reads)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent pipeline workers (0 = NumCPU, 1 = serial)")
+	var ocli obs.CLI
+	ocli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *app, *dir, *levels, *ratio, *codec, *tol, *mode, *estimator, *transport, *chunks, *seed, *workers); err != nil {
+	ctx, finish, err := ocli.Start(ctx, "canopus-refactor")
+	if err == nil {
+		err = run(ctx, *app, *dir, *levels, *ratio, *codec, *tol, *mode, *estimator, *transport, *chunks, *seed, *workers)
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-refactor: %v\n", err)
 		os.Exit(1)
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/adios"
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -33,11 +34,20 @@ func main() {
 	ascii := flag.Bool("ascii", false, "render the restored field as text art")
 	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
 	cacheMB := flag.Int("cache-mb", 0, "page cache size in MiB shared across reads (0 = no cache)")
+	var ocli obs.CLI
+	ocli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *dir, *name, *level, *region, *ascii, *workers, *cacheMB); err != nil {
+	ctx, finish, err := ocli.Start(ctx, "canopus-restore")
+	if err == nil {
+		err = run(ctx, *dir, *name, *level, *region, *ascii, *workers, *cacheMB)
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-restore: %v\n", err)
 		os.Exit(1)
 	}

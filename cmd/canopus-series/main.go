@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/adios"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -36,15 +37,22 @@ func main() {
 	step := flag.Int("step", 0, "timestep to retrieve")
 	level := flag.Int("level", 0, "accuracy level to retrieve")
 	workers := flag.Int("workers", 0, "concurrent pipeline workers (0 = NumCPU, 1 = serial)")
+	var ocli obs.CLI
+	ocli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	var err error
-	if *write {
-		err = runWrite(ctx, *dir, *name, *steps, *levels, *tol, *seed, *workers)
-	} else {
-		err = runRead(ctx, *dir, *name, *step, *level, *workers)
+	ctx, finish, err := ocli.Start(ctx, "canopus-series")
+	if err == nil {
+		if *write {
+			err = runWrite(ctx, *dir, *name, *steps, *levels, *tol, *seed, *workers)
+		} else {
+			err = runRead(ctx, *dir, *name, *step, *level, *workers)
+		}
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-series: %v\n", err)

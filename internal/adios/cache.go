@@ -7,6 +7,21 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Process-wide cache metrics, aggregated across every PageCache instance
+// (per-cache numbers stay available through Stats). Merges count readers
+// that piggybacked on another reader's in-flight fill instead of fetching;
+// fills count actual backend fetches, so misses = fills + merges once all
+// in-flight reads settle.
+var (
+	metricCacheHits          = obs.NewCounter("canopus_adios_cache_hits_total")
+	metricCacheMisses        = obs.NewCounter("canopus_adios_cache_misses_total")
+	metricCacheMerges        = obs.NewCounter("canopus_adios_cache_merges_total")
+	metricCacheFills         = obs.NewCounter("canopus_adios_cache_fills_total")
+	metricCacheEvictions     = obs.NewCounter("canopus_adios_cache_evictions_total")
+	metricCacheInvalidations = obs.NewCounter("canopus_adios_cache_invalidations_total")
 )
 
 // PageCache is an optional fixed-size read cache shared by every handle of
@@ -109,6 +124,7 @@ func (c *PageCache) insert(pk string, data []byte) {
 		last := c.lru.Back()
 		c.lru.Remove(last)
 		delete(c.pages, last.Value.(*cachePage).key)
+		metricCacheEvictions.Inc()
 	}
 }
 
@@ -117,6 +133,7 @@ func (c *PageCache) insert(pk string, data []byte) {
 // stale pages; fills already in flight land under the dead generation.
 func (c *PageCache) Invalidate(key string) {
 	prefix := key + "\x00"
+	metricCacheInvalidations.Inc()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gens[key]++
@@ -144,8 +161,11 @@ func (c *PageCache) readAt(key string, size int64, p []byte, off int64, fetch fu
 		page := c.lookup(pk)
 		if page != nil {
 			c.hits.Add(1)
+			metricCacheHits.Inc()
 		} else {
 			c.misses.Add(1)
+			metricCacheMisses.Inc()
+			fetched := false
 			v, err := c.flight.Do(pk, func() (any, error) {
 				if page := c.lookup(pk); page != nil {
 					return page, nil // raced with another fill
@@ -156,11 +176,18 @@ func (c *PageCache) readAt(key string, size int64, p []byte, off int64, fetch fu
 				if err != nil {
 					return nil, err
 				}
+				fetched = true
+				metricCacheFills.Inc()
 				c.insert(pk, data)
 				return data, nil
 			})
 			if err != nil {
 				return err
+			}
+			if !fetched {
+				// This miss rode another reader's in-flight fill (or a fill
+				// that landed between lookup and Do) — a single-flight merge.
+				metricCacheMerges.Inc()
 			}
 			page = v.([]byte)
 		}

@@ -6,7 +6,19 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bp"
+	"repro/internal/obs"
 	"repro/internal/storage"
+)
+
+// Transport-level metrics: container opens, and the modeled-vs-real byte
+// split across every handle. Modeled bytes are the container extents the
+// cost model charged; real bytes are what actually left a backend
+// (coalescing gaps and page fills included, cache hits excluded) — the pair
+// the ranged-read refactor exists to keep close.
+var (
+	metricOpens        = obs.NewCounter("canopus_adios_opens_total")
+	metricModeledBytes = obs.NewCounter("canopus_adios_modeled_bytes_total")
+	metricRealBytes    = obs.NewCounter("canopus_adios_real_bytes_total")
 )
 
 // IO binds a storage hierarchy to a transport. It is the write/query/read
@@ -105,6 +117,7 @@ func (c *costTracker) fetch(off, n int64) ([]byte, error) {
 		return nil, err
 	}
 	c.real.Add(int64(len(data)))
+	metricRealBytes.Add(int64(len(data)))
 	return data, nil
 }
 
@@ -137,6 +150,7 @@ func (c *costTracker) ReadAt(p []byte, off int64) (int, error) {
 	// once per Open so that parsing a fragmented index does not overcount
 	// round trips.
 	c.bytes.Add(int64(len(p)))
+	metricModeledBytes.Add(int64(len(p)))
 	return len(p), nil
 }
 
@@ -175,7 +189,18 @@ func (io *IO) Open(ctx context.Context, key string, readers int) (*Handle, error
 		tier:    tier,
 		readers: readers,
 	}
+	// The footer/index parse traces as an adios.open span; the ranged reads
+	// it issues nest inside it. After Open returns, the tracker reverts to
+	// the caller's context so payload fetches attach to the phase span
+	// active at fetch time (base, augment, region), not to the open.
+	spanCtx, span := obs.StartSpan(ctx, "adios.open")
+	span.SetAttr("key", key)
+	span.SetAttr("tier", tier.Name)
+	tr.ctx = spanCtx
 	r, err := bp.Open(tr, size)
+	span.End()
+	tr.ctx = ctx
+	metricOpens.Inc()
 	if err != nil {
 		return nil, fmt.Errorf("adios: open %q: %w", key, err)
 	}
@@ -239,6 +264,7 @@ func (h *Handle) ReadManyBytes(vars []bp.VarInfo) ([][]byte, error) {
 			if out[i] == nil && v.Offset >= rg.Off && v.Offset+v.Size <= rg.end() {
 				out[i] = buf[v.Offset-rg.Off : v.Offset-rg.Off+v.Size : v.Offset-rg.Off+v.Size]
 				h.tracker.bytes.Add(v.Size)
+				metricModeledBytes.Add(v.Size)
 			}
 		}
 	}

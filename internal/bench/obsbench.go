@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// ObsPhase is one row of the observability benchmark output: every span
+// name seen across the workload's traces with its occurrence count and
+// duration statistics.
+type ObsPhase struct {
+	Name          string  `json:"name"`
+	Count         int     `json:"count"`
+	MedianSeconds float64 `json:"median_seconds"`
+	TotalSeconds  float64 `json:"total_seconds"`
+}
+
+// ObsReport is the document ObsBench writes (BENCH_obs.json in CI).
+type ObsReport struct {
+	Workload string     `json:"workload"`
+	Phases   []ObsPhase `json:"phases"`
+}
+
+// ObsBench runs a fixed traced workload — refactor an XGC1 field into four
+// levels with 4x4 delta tiles, then retrieve every accuracy level three
+// times plus one focused regional read — and writes the span-derived
+// per-phase medians to path as JSON. Compute phases are host wall time;
+// the fixed shape makes the phase *structure* (which spans appear, how
+// many) deterministic, so the report doubles as a coverage check on the
+// instrumentation.
+func (r *Runner) ObsBench(ctx context.Context, path string) error {
+	aio := newIO()
+	ds := r.xgc1().Dataset
+	if _, err := core.Write(ctx, aio, ds, core.Options{
+		Levels: 4, Chunks: 4, RelTolerance: 1e-6, Workers: r.Workers,
+	}); err != nil {
+		return err
+	}
+	rd, err := core.OpenReader(ctx, aio, ds.Name)
+	if err != nil {
+		return err
+	}
+	rd.SetWorkers(r.Workers)
+
+	durs := map[string][]float64{}
+	collect := func(d obs.SpanDump) {
+		d.Walk(func(s obs.SpanDump) {
+			durs[s.Name] = append(durs[s.Name], s.DurationSeconds)
+		})
+	}
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		for lvl := 0; lvl < rd.Levels(); lvl++ {
+			tctx, root := obs.Trace(ctx, "bench.retrieve")
+			if _, err := rd.Retrieve(tctx, lvl); err != nil {
+				return err
+			}
+			root.End()
+			collect(root.Dump())
+		}
+	}
+	// One focused read over the middle quarter of the domain, so the
+	// regional phases appear in the report too.
+	minX, minY, maxX, maxY := math.Inf(1), math.Inf(1), math.Inf(-1), math.Inf(-1)
+	for _, v := range ds.Mesh.Verts {
+		minX, maxX = math.Min(minX, v.X), math.Max(maxX, v.X)
+		minY, maxY = math.Min(minY, v.Y), math.Max(maxY, v.Y)
+	}
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	qx, qy := (maxX-minX)/4, (maxY-minY)/4
+	tctx, root := obs.Trace(ctx, "bench.region")
+	if _, err := rd.RetrieveRegion(tctx, 0, cx-qx, cy-qy, cx+qx, cy+qy); err != nil {
+		return err
+	}
+	root.End()
+	collect(root.Dump())
+
+	rep := ObsReport{Workload: fmt.Sprintf(
+		"xgc1 %d verts, 4 levels, 4x4 tiles, %d retrieval rounds + 1 region", ds.Mesh.NumVerts(), rounds)}
+	names := make([]string, 0, len(durs))
+	for name := range durs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ds := durs[name]
+		sort.Float64s(ds)
+		var total float64
+		for _, d := range ds {
+			total += d
+		}
+		rep.Phases = append(rep.Phases, ObsPhase{
+			Name:          name,
+			Count:         len(ds),
+			MedianSeconds: ds[len(ds)/2],
+			TotalSeconds:  total,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Out, "wrote span-phase report (%d phases) to %s\n", len(rep.Phases), path)
+	return nil
+}

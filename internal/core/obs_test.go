@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestConcurrentTimingRace exercises the invariant documented on
+// addHandleIO: per-view PhaseTimings fields are plain and owned by one
+// goroutine, while cross-retrieval accumulation happens in the atomic obs
+// counters. Concurrent retrievals under -race must neither trip the
+// detector nor lose bytes: the process-wide real-byte counter advances by
+// exactly the sum of the per-view totals.
+func TestConcurrentTimingRace(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 24)
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, RelTolerance: 1e-9, Chunks: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	realBefore := obs.NewCounter("canopus_core_io_real_bytes_total").Value()
+	modeledBefore := obs.NewCounter("canopus_core_io_modeled_bytes_total").Value()
+
+	const workers = 8
+	views := make([]*View, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			views[i], errs[i] = r.Retrieve(context.Background(), 0)
+		}(i)
+	}
+	wg.Wait()
+
+	var sumReal, sumModeled int64
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("retrieve %d: %v", i, errs[i])
+		}
+		sumReal += views[i].Timings.IORealBytes
+		sumModeled += views[i].Timings.IOBytes
+	}
+	if sumReal == 0 || sumModeled == 0 {
+		t.Fatal("retrievals moved no bytes")
+	}
+	realDelta := obs.NewCounter("canopus_core_io_real_bytes_total").Value() - realBefore
+	modeledDelta := obs.NewCounter("canopus_core_io_modeled_bytes_total").Value() - modeledBefore
+	if realDelta != sumReal {
+		t.Errorf("process-wide real bytes advanced %d, per-view sum %d", realDelta, sumReal)
+	}
+	if modeledDelta != sumModeled {
+		t.Errorf("process-wide modeled bytes advanced %d, per-view sum %d", modeledDelta, sumModeled)
+	}
+}
+
+// TestBaseRetrieveTouchesNoDeltaTier is the paper's core I/O claim stated as
+// a span-tree assertion: a base-only retrieve fetches from the fast tier
+// only. The trace of Base must contain storage fetch spans (the metadata
+// and base containers) and none of them may carry the slow-tier attribute —
+// the delta containers beside the base are never touched.
+func TestBaseRetrieveTouchesNoDeltaTier(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 24)
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, RelTolerance: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, root := obs.Trace(context.Background(), "test.base_only")
+	r, err := OpenReader(ctx, aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Base(ctx); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	dump := root.Dump()
+	fetches, slow := 0, 0
+	var sawBase, sawDecompress bool
+	dump.Walk(func(s obs.SpanDump) {
+		switch s.Name {
+		case "core.base":
+			sawBase = true
+		case "core.decompress":
+			sawDecompress = true
+		case "storage.get", "storage.get_range":
+			fetches++
+			if s.Attrs["tier"] == "lustre" {
+				slow++
+			}
+		}
+	})
+	if !sawBase || !sawDecompress {
+		t.Fatalf("span tree missing phases: base=%v decompress=%v", sawBase, sawDecompress)
+	}
+	if fetches == 0 {
+		t.Fatal("span tree recorded no storage fetches")
+	}
+	if slow != 0 {
+		t.Errorf("base-only retrieve issued %d slow-tier fetches, want 0", slow)
+	}
+}
+
+// TestRetrieveSpanTree checks the shape of a full retrieval's trace: the
+// root covers core.retrieve, which nests core.base plus one core.augment
+// per refined level, each augment carrying a core.restore child.
+func TestRetrieveSpanTree(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 24)
+	if _, err := Write(context.Background(), aio, ds, Options{Levels: 3, RelTolerance: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, root := obs.Trace(context.Background(), "test.retrieve")
+	r, err := OpenReader(ctx, aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Retrieve(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	counts := map[string]int{}
+	root.Dump().Walk(func(s obs.SpanDump) { counts[s.Name]++ })
+	if counts["core.retrieve"] != 1 {
+		t.Errorf("core.retrieve spans = %d, want 1", counts["core.retrieve"])
+	}
+	if counts["core.base"] != 1 {
+		t.Errorf("core.base spans = %d, want 1", counts["core.base"])
+	}
+	if counts["core.augment"] != 2 {
+		t.Errorf("core.augment spans = %d, want 2", counts["core.augment"])
+	}
+	if counts["core.restore"] != 2 {
+		t.Errorf("core.restore spans = %d, want 2", counts["core.restore"])
+	}
+	if counts["adios.open"] == 0 {
+		t.Error("no adios.open spans in retrieval trace")
+	}
+}

@@ -12,7 +12,27 @@ import (
 	"repro/internal/delta"
 	"repro/internal/engine"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/storage"
+)
+
+// Core-phase metrics — the process-wide, race-safe (atomic) successors of
+// the per-view PhaseTimings fields. Every accumulation into a PhaseTimings
+// also feeds these, so a metrics snapshot carries the paper's per-phase
+// decomposition without threading structs through callers. PhaseTimings
+// keeps its public shape for per-retrieval reporting; these counters are the
+// aggregate view.
+var (
+	metricWrites            = obs.NewCounter("canopus_core_writes_total")
+	metricRetrievals        = obs.NewCounter("canopus_core_retrievals_total")
+	metricAugments          = obs.NewCounter("canopus_core_augments_total")
+	metricRegionRetrievals  = obs.NewCounter("canopus_core_region_retrievals_total")
+	metricSeriesSteps       = obs.NewCounter("canopus_core_series_steps_total")
+	metricDecompressSeconds = obs.NewFloatCounter("canopus_core_decompress_seconds_total")
+	metricRestoreSeconds    = obs.NewFloatCounter("canopus_core_restore_seconds_total")
+	metricIOSeconds         = obs.NewFloatCounter("canopus_core_io_seconds_total")
+	metricIOModeledBytes    = obs.NewCounter("canopus_core_io_modeled_bytes_total")
+	metricIORealBytes       = obs.NewCounter("canopus_core_io_real_bytes_total")
 )
 
 // PhaseTimings breaks the write (or read) path into the phases the paper's
@@ -63,12 +83,20 @@ func (t *PhaseTimings) Add(o PhaseTimings) {
 }
 
 // addHandleIO folds an open handle's accumulated I/O (simulated cost plus
-// real backend traffic) into the read-path timings.
+// real backend traffic) into the read-path timings, and mirrors the totals
+// into the process-wide obs counters. Each handle must be folded exactly
+// once, by the goroutine that owns the view: PhaseTimings fields are plain
+// (its public shape predates the obs layer), so cross-goroutine accumulation
+// belongs in the atomic counters, not here — see TestConcurrentTimingRace.
 func (t *PhaseTimings) addHandleIO(h *adios.Handle) {
 	c := h.Cost()
+	real := h.RealBytes()
 	t.IOSeconds += c.Seconds
 	t.IOBytes += c.Bytes
-	t.IORealBytes += h.RealBytes()
+	t.IORealBytes += real
+	metricIOSeconds.Add(c.Seconds)
+	metricIOModeledBytes.Add(c.Bytes)
+	metricIORealBytes.Add(real)
 }
 
 // TotalSeconds sums every phase.
@@ -201,6 +229,12 @@ func Write(ctx context.Context, aio *adios.IO, ds *Dataset, opts Options) (*Writ
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "core.write")
+	span.SetAttr("name", ds.Name)
+	span.SetAttr("mode", opts.Mode.String())
+	span.SetAttrInt("levels", opts.Levels)
+	defer span.End()
+	metricWrites.Inc()
 	est, err := delta.EstimatorByName(opts.Estimator)
 	if err != nil {
 		return nil, err

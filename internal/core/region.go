@@ -9,6 +9,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/engine"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 )
 
 // RegionView is a partially restored level: only the vertices inside the
@@ -65,6 +66,11 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	if r.mode != ModeDelta {
 		return nil, fmt.Errorf("canopus: regional retrieval requires delta mode, have %s", r.mode)
 	}
+	ctx, span := obs.StartSpan(ctx, "core.retrieve_region")
+	span.SetAttr("name", r.name)
+	span.SetAttrInt("target_level", targetLevel)
+	defer span.End()
+	metricRegionRetrievals.Inc()
 
 	out := &RegionView{Level: targetLevel}
 
@@ -122,9 +128,13 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	if err != nil {
 		return nil, err
 	}
+	dspan := span.Child("core.decompress")
 	t0 := time.Now()
 	baseData, err := r.codec.Decode(pBase.Payload)
-	out.Timings.DecompressSeconds += time.Since(t0).Seconds()
+	baseDecSecs := time.Since(t0).Seconds()
+	dspan.End()
+	out.Timings.DecompressSeconds += baseDecSecs
+	metricDecompressSeconds.Add(baseDecSecs)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: decompress base: %w", err)
 	}
@@ -162,6 +172,8 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 		}
 		out.Timings.DecompressSeconds += decompress.Value()
 
+		rspan := span.Child("core.restore")
+		rspan.SetAttrInt("level", l)
 		t0 = time.Now()
 		fineData := make([]float64, fine.mesh.NumVerts())
 		coarseMesh := handles[l+1].mesh
@@ -175,7 +187,10 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 			fineData[vi] = deltas[vi] + delta.EstimateVertex(
 				fine.mesh, coarseMesh, data, fine.mapping, r.estimator, int32(vi))
 		}
-		out.Timings.RestoreSeconds += time.Since(t0).Seconds()
+		restoreSecs := time.Since(t0).Seconds()
+		rspan.End()
+		out.Timings.RestoreSeconds += restoreSecs
+		metricRestoreSeconds.Add(restoreSecs)
 		data = fineData
 	}
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/engine"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -164,10 +165,15 @@ func (r *Reader) Base(ctx context.Context) (*View, error) {
 	if r.mode == ModeDirect {
 		return r.retrieveDirect(ctx, l)
 	}
+	ctx, span := obs.StartSpan(ctx, "core.base")
+	span.SetAttr("name", r.name)
+	span.SetAttrInt("level", l)
+	defer span.End()
 	h, err := r.aio.Open(ctx, levelKey(r.name, l), 1)
 	if err != nil {
 		return nil, err
 	}
+	span.SetAttr("tier", h.TierName)
 	p, err := fetchProduct(h, l, engine.KindData, 0)
 	if err != nil {
 		return nil, err
@@ -179,9 +185,12 @@ func (r *Reader) Base(ctx context.Context) (*View, error) {
 	v := &View{Level: l, Mesh: m}
 	v.Timings.addHandleIO(h)
 
+	dspan := span.Child("core.decompress")
 	t0 := time.Now()
 	v.Data, err = r.codec.Decode(p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
+	dspan.End()
+	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: decompress base: %w", err)
 	}
@@ -209,10 +218,16 @@ func (r *Reader) Augment(ctx context.Context, v *View) error {
 		*v = *nv
 		return nil
 	}
+	ctx, span := obs.StartSpan(ctx, "core.augment")
+	span.SetAttr("name", r.name)
+	span.SetAttrInt("level", fineLevel)
+	defer span.End()
+	metricAugments.Inc()
 	h, err := r.aio.Open(ctx, levelKey(r.name, fineLevel), 1)
 	if err != nil {
 		return err
 	}
+	span.SetAttr("tier", h.TierName)
 	mp, err := r.readMapping(h, fineLevel)
 	if err != nil {
 		return err
@@ -229,9 +244,13 @@ func (r *Reader) Augment(ctx context.Context, v *View) error {
 	v.Timings.addHandleIO(h)
 	v.Timings.DecompressSeconds += decompress.Value()
 
+	rspan := span.Child("core.restore")
 	t0 := time.Now()
 	fineData, err := delta.Restore(fineMesh, v.Mesh, v.Data, mp, d, r.estimator)
-	v.Timings.RestoreSeconds += time.Since(t0).Seconds()
+	restoreSecs := time.Since(t0).Seconds()
+	rspan.End()
+	v.Timings.RestoreSeconds += restoreSecs
+	metricRestoreSeconds.Add(restoreSecs)
 	if err != nil {
 		return fmt.Errorf("canopus: restore level %d: %w", fineLevel, err)
 	}
@@ -249,6 +268,11 @@ func (r *Reader) Retrieve(ctx context.Context, targetLevel int) (*View, error) {
 	if targetLevel < 0 || targetLevel >= r.levels {
 		return nil, fmt.Errorf("canopus: level %d out of range [0,%d)", targetLevel, r.levels)
 	}
+	ctx, span := obs.StartSpan(ctx, "core.retrieve")
+	span.SetAttr("name", r.name)
+	span.SetAttrInt("target_level", targetLevel)
+	defer span.End()
+	metricRetrievals.Inc()
 	if r.mode == ModeDirect {
 		return r.retrieveDirect(ctx, targetLevel)
 	}
@@ -266,10 +290,15 @@ func (r *Reader) Retrieve(ctx context.Context, targetLevel int) (*View, error) {
 
 // retrieveDirect reads level l compressed directly (the §II-B baseline).
 func (r *Reader) retrieveDirect(ctx context.Context, l int) (*View, error) {
+	ctx, span := obs.StartSpan(ctx, "core.direct")
+	span.SetAttr("name", r.name)
+	span.SetAttrInt("level", l)
+	defer span.End()
 	h, err := r.aio.Open(ctx, levelKey(r.name, l), 1)
 	if err != nil {
 		return nil, err
 	}
+	span.SetAttr("tier", h.TierName)
 	p, err := fetchProduct(h, l, engine.KindData, 0)
 	if err != nil {
 		return nil, err
@@ -280,9 +309,12 @@ func (r *Reader) retrieveDirect(ctx context.Context, l int) (*View, error) {
 	}
 	v := &View{Level: l, Mesh: m}
 	v.Timings.addHandleIO(h)
+	dspan := span.Child("core.decompress")
 	t0 := time.Now()
 	v.Data, err = r.codec.Decode(p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
+	dspan.End()
+	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: decompress level %d: %w", l, err)
 	}
@@ -413,9 +445,14 @@ func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle
 			if err != nil {
 				return fmt.Errorf("canopus: level %d chunk %d: %w", level, ci, err)
 			}
+			_, dspan := obs.StartSpan(ctx, "core.decompress")
+			dspan.SetAttrInt("chunk", ci)
 			t0 := time.Now()
 			vals, err := codec.Decode(enc)
-			decompress.Add(time.Since(t0).Seconds())
+			elapsed := time.Since(t0).Seconds()
+			dspan.End()
+			decompress.Add(elapsed)
+			metricDecompressSeconds.Add(elapsed)
 			if err != nil {
 				return fmt.Errorf("canopus: decompress delta %d chunk %d: %w", level, ci, err)
 			}

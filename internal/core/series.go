@@ -14,6 +14,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/engine"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -493,6 +494,12 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 	if targetLevel < 0 || targetLevel >= sr.levels {
 		return nil, fmt.Errorf("canopus: level %d out of range [0,%d)", targetLevel, sr.levels)
 	}
+	ctx, span := obs.StartSpan(ctx, "core.retrieve_step")
+	span.SetAttr("name", sr.name)
+	span.SetAttrInt("step", step)
+	span.SetAttrInt("target_level", targetLevel)
+	defer span.End()
+	metricSeriesSteps.Inc()
 	base := sr.levels - 1
 	baseMesh, _, _, err := sr.hier(ctx, base)
 	if err != nil {
@@ -508,9 +515,12 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 	}
 	v := &View{Level: base, Mesh: baseMesh}
 	v.Timings.addHandleIO(h)
+	dspan := span.Child("core.decompress")
 	t0 := time.Now()
 	v.Data, err = sr.codec.Decode(p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
+	dspan.End()
+	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: step %d decompress base: %w", step, err)
 	}
@@ -536,9 +546,14 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 		v.Timings.addHandleIO(hs)
 		v.Timings.DecompressSeconds += decompress.Value()
 
+		rspan := span.Child("core.restore")
+		rspan.SetAttrInt("level", l)
 		t0 = time.Now()
 		fineData, err := delta.Restore(fineMesh, v.Mesh, v.Data, mp, d, sr.estimator)
-		v.Timings.RestoreSeconds += time.Since(t0).Seconds()
+		restoreSecs := time.Since(t0).Seconds()
+		rspan.End()
+		v.Timings.RestoreSeconds += restoreSecs
+		metricRestoreSeconds.Add(restoreSecs)
 		if err != nil {
 			return nil, fmt.Errorf("canopus: step %d restore level %d: %w", step, l, err)
 		}

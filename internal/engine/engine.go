@@ -28,8 +28,25 @@ package engine
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Worker-pool metrics: how much work the engine is moving and how saturated
+// the pool is. Queue depth counts units accepted but not yet started;
+// in-flight counts units executing right now. Both are process-wide across
+// every pool, matching the one-process-per-analysis deployment model.
+var (
+	metricUnitsTotal  = obs.NewCounter("canopus_engine_units_total")
+	metricUnitErrors  = obs.NewCounter("canopus_engine_unit_errors_total")
+	metricQueueDepth  = obs.NewGauge("canopus_engine_queue_depth")
+	metricInflight    = obs.NewGauge("canopus_engine_inflight")
+	metricUnitSeconds = obs.NewHistogram("canopus_engine_unit_seconds", nil)
 )
 
 // DefaultWorkers is the pool width used when a caller passes workers <= 0.
@@ -66,12 +83,22 @@ func (p *Pool) Run(ctx context.Context, units ...Unit) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// Queued units are visible as queue depth until they start executing;
+	// units skipped by cancellation or an early failure drain the gauge in
+	// the deferred settle-up.
+	queued := int64(len(units))
+	metricQueueDepth.Add(queued)
+	started := atomic.Int64{}
+	defer func() { metricQueueDepth.Add(started.Load() - queued) }()
+
 	if p.workers == 1 || len(units) == 1 {
 		for _, u := range units {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := u(ctx); err != nil {
+			started.Add(1)
+			metricQueueDepth.Add(-1)
+			if err := runUnit(ctx, u); err != nil {
 				return err
 			}
 		}
@@ -95,13 +122,15 @@ func (p *Pool) Run(ctx context.Context, units ...Unit) error {
 		go func(i int, u Unit) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			started.Add(1)
+			metricQueueDepth.Add(-1)
 			if err := runCtx.Err(); err != nil {
 				mu.Lock()
 				errs[i] = err
 				mu.Unlock()
 				return
 			}
-			if err := u(runCtx); err != nil {
+			if err := runUnit(runCtx, u); err != nil {
 				mu.Lock()
 				errs[i] = err
 				mu.Unlock()
@@ -131,25 +160,42 @@ func (p *Pool) Run(ctx context.Context, units ...Unit) error {
 	return firstCancel
 }
 
+// runUnit executes one unit with the pool's per-unit accounting: in-flight
+// gauge, unit counter/histogram, and error counter.
+func runUnit(ctx context.Context, u Unit) error {
+	metricInflight.Add(1)
+	t0 := time.Now()
+	err := u(ctx)
+	metricUnitSeconds.Observe(time.Since(t0).Seconds())
+	metricInflight.Add(-1)
+	metricUnitsTotal.Inc()
+	if err != nil && err != context.Canceled && err != context.DeadlineExceeded {
+		metricUnitErrors.Inc()
+	}
+	return err
+}
+
 // Counter is a float64 accumulator safe for concurrent adds. It exists so
 // PhaseTimings contributions from units running on different goroutines can
 // be collected without racing; at one worker its value is identical to a
-// plain `+=` accumulation.
+// plain `+=` accumulation. The accumulation is a lock-free compare-and-swap
+// on the float's bit pattern, so hot decode loops pay no mutex.
 type Counter struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Add accumulates s.
 func (c *Counter) Add(s float64) {
-	c.mu.Lock()
-	c.v += s
-	c.mu.Unlock()
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + s)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Value reports the accumulated total.
 func (c *Counter) Value() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
+	return math.Float64frombits(c.bits.Load())
 }

@@ -4,7 +4,14 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// Stage wall times aggregate into one histogram plus a per-stage-name float
+// total (canopus_engine_stage_<name>_seconds_total), so the write path's
+// phase breakdown is readable off a metrics snapshot without parsing spans.
+var metricStageSeconds = obs.NewHistogram("canopus_engine_stage_seconds", nil)
 
 // Stage is one phase of a Pipeline: a name (matching the paper's phase
 // vocabulary: decimate, delta, compress, store, fetch, decompress, restore)
@@ -56,14 +63,20 @@ func (p *Pipeline) AddSerialStage(name string, units ...Unit) {
 // stops at the first failing stage.
 func (p *Pipeline) Run(ctx context.Context) error {
 	for _, s := range p.stages {
+		sctx, span := obs.StartSpan(ctx, "engine.stage")
+		span.SetAttr("stage", s.Name)
 		t0 := time.Now()
 		var err error
 		if s.Serial {
-			err = serialPool.Run(ctx, s.Units...)
+			err = serialPool.Run(sctx, s.Units...)
 		} else {
-			err = p.pool.Run(ctx, s.Units...)
+			err = p.pool.Run(sctx, s.Units...)
 		}
-		p.seconds[s.Name] += time.Since(t0).Seconds()
+		elapsed := time.Since(t0).Seconds()
+		span.End()
+		p.seconds[s.Name] += elapsed
+		metricStageSeconds.Observe(elapsed)
+		obs.NewFloatCounter("canopus_engine_stage_" + obs.SanitizeSegment(s.Name) + "_seconds_total").Add(elapsed)
 		if err != nil {
 			if err == context.Canceled || err == context.DeadlineExceeded {
 				return err

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLI is the standard observability wiring shared by the canopus command
+// line tools: an optional live debug listener and an optional metrics
+// snapshot written on exit. Tools bind the flags, then bracket their run
+// with Start and the returned finish function.
+type CLI struct {
+	// DebugAddr, when non-empty, serves net/http/pprof, /debug/vars,
+	// /debug/metrics and /debug/trace/last on this address for the life of
+	// the process.
+	DebugAddr string
+	// MetricsJSON, when non-empty, is a path that receives a JSON snapshot
+	// of every registered metric plus the recent span trees when the tool
+	// finishes.
+	MetricsJSON string
+}
+
+// Bind registers the -debug-addr and -metrics-json flags on fs.
+func (c *CLI) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&c.DebugAddr, "debug-addr", "",
+		"serve pprof, /debug/vars, /debug/metrics and /debug/trace/last on this address (empty = off)")
+	fs.StringVar(&c.MetricsJSON, "metrics-json", "",
+		"write a metrics + trace snapshot to this file on exit (empty = off)")
+}
+
+// Start brings up the debug listener (if configured), announcing the bound
+// address on stderr, and opens a root trace span named after the tool so
+// the whole run produces one span tree. The returned finish function ends
+// the root span and writes the metrics snapshot; call it exactly once,
+// after the tool's work completes (including on the error path, so partial
+// runs still leave a snapshot behind).
+func (c *CLI) Start(ctx context.Context, tool string) (context.Context, func() error, error) {
+	if c.DebugAddr != "" {
+		addr, err := ServeDebug(c.DebugAddr)
+		if err != nil {
+			return ctx, nil, fmt.Errorf("%s: debug listener: %w", tool, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug listener on http://%s/debug/\n", tool, addr)
+	}
+	ctx, root := Trace(ctx, tool)
+	return ctx, func() error {
+		root.End()
+		if err := WriteMetricsJSON(c.MetricsJSON); err != nil {
+			return fmt.Errorf("%s: write metrics snapshot: %w", tool, err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// ServeDebug starts the live introspection listener the CLI tools expose
+// behind -debug-addr. It serves:
+//
+//	/debug/pprof/...   the standard net/http/pprof surface
+//	/debug/vars        expvar (includes the "canopus" metric snapshot)
+//	/debug/metrics     the typed metric snapshot plus recent traces as JSON
+//	/debug/trace/last  the most recent completed span trees (?n=K limits)
+//
+// It returns the bound address (useful with ":0") and never blocks; the
+// listener lives until the process exits.
+func ServeDebug(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listener on %q: %w", addr, err)
+	}
+	srv := &http.Server{Handler: DebugHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// DebugHandler returns the debug mux ServeDebug serves, so embedding servers
+// can mount it themselves.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, TakeSnapshot(0))
+	})
+	mux.HandleFunc("/debug/trace/last", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		writeJSON(w, LastTraces(n))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestDebugHandlerEndpoints(t *testing.T) {
+	NewCounter("canopus_obs_debug_test_total").Add(7)
+	_, root := Trace(context.Background(), "debug.test")
+	root.Child("debug.child").End()
+	root.End()
+
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return resp
+	}
+
+	resp := get("/debug/pprof/")
+	resp.Body.Close()
+
+	resp = get("/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decode /debug/vars: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := vars["canopus"]; !ok {
+		t.Error("/debug/vars missing the canopus expvar")
+	}
+
+	resp = get("/debug/metrics")
+	var snap SnapshotDoc
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode /debug/metrics: %v", err)
+	}
+	resp.Body.Close()
+	if v, ok := snap.Metrics["canopus_obs_debug_test_total"]; !ok || v != float64(7) {
+		t.Errorf("snapshot counter = %v (present %v), want 7", v, ok)
+	}
+
+	resp = get("/debug/trace/last?n=5")
+	var traces []SpanDump
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatalf("decode /debug/trace/last: %v", err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, tr := range traces {
+		if tr.Name == "debug.test" {
+			found = true
+			if len(tr.Children) != 1 || tr.Children[0].Name != "debug.child" {
+				t.Errorf("trace children = %+v, want one debug.child", tr.Children)
+			}
+		}
+	}
+	if !found {
+		t.Error("/debug/trace/last missing the debug.test root")
+	}
+}
+
+func TestServeDebugEmptyAddr(t *testing.T) {
+	addr, err := ServeDebug("")
+	if err != nil || addr != "" {
+		t.Fatalf("ServeDebug(\"\") = %q, %v; want no-op", addr, err)
+	}
+}
+
+func TestServeDebugLive(t *testing.T) {
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

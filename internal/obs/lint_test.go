@@ -1,0 +1,64 @@
+package obs_test
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+
+	// Import every instrumented package so its metric registrations run;
+	// the lint below then covers the real process-wide metric set.
+	_ "repro/internal/adios"
+	_ "repro/internal/bench"
+	_ "repro/internal/core"
+	_ "repro/internal/engine"
+	_ "repro/internal/storage"
+)
+
+// Metric names follow canopus_<subsystem>_<name>, where subsystem is the
+// internal package that owns the instrument. DESIGN.md §8 documents the
+// convention; this test enforces it for every registered metric.
+var (
+	namePattern = regexp.MustCompile(`^canopus_[a-z0-9]+(_[a-z0-9]+)+$`)
+	subsystems  = map[string]bool{
+		"engine":  true,
+		"storage": true,
+		"adios":   true,
+		"core":    true,
+		"obs":     true, // obs's own tests register under this subsystem
+	}
+)
+
+func TestMetricNamingConvention(t *testing.T) {
+	names := obs.Default.Names()
+	if len(names) == 0 {
+		t.Fatal("no metrics registered")
+	}
+	for _, name := range names {
+		if !namePattern.MatchString(name) {
+			t.Errorf("metric %q does not match %s", name, namePattern)
+			continue
+		}
+		sub := strings.SplitN(name, "_", 3)[1]
+		if !subsystems[sub] {
+			t.Errorf("metric %q: unknown subsystem %q (want one of engine, storage, adios, core, obs)", name, sub)
+		}
+	}
+}
+
+// Counters and histograms are totals/distributions and end in _total or
+// _seconds; gauges are instantaneous levels and must not claim to be
+// totals. The seconds histograms keep a bare _seconds suffix.
+func TestMetricSuffixConvention(t *testing.T) {
+	for _, name := range obs.Default.Names() {
+		ok := strings.HasSuffix(name, "_total") ||
+			strings.HasSuffix(name, "_seconds") ||
+			strings.HasSuffix(name, "_depth") ||
+			strings.HasSuffix(name, "_inflight") ||
+			strings.HasSuffix(name, "_bytes")
+		if !ok {
+			t.Errorf("metric %q has no conventional suffix (_total, _seconds, _bytes, _depth, _inflight)", name)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one node of a trace tree: a named, timed section of work with
+// string attributes and concurrently-appendable children. Spans are created
+// by Trace (roots) and Span.Child / StartSpan (descendants); End closes a
+// span and, for roots, records the completed tree into the process-wide
+// ring buffer that /debug/trace/last and -metrics-json expose.
+//
+// The nil *Span is a valid no-op: every method tolerates a nil receiver, so
+// instrumented code calls Child/SetAttr/End unconditionally and tracing
+// costs almost nothing when no root span is active in the context — the
+// single pattern that keeps hot-path overhead inside the <5% budget.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    map[string]string
+	children []*Span
+	root     *Span // self for roots; the tree's root otherwise
+}
+
+// ctxKey carries the active span through context.Context.
+type ctxKey struct{}
+
+// Trace starts a new root span and returns a context carrying it. The
+// returned span must be End()ed to publish the tree.
+func Trace(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, start: time.Now()}
+	s.root = s
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's active span and returns a context
+// carrying the child. With no active span it returns ctx unchanged and a nil
+// span — tracing disabled, all downstream span calls become no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.Child(name)
+	return context.WithValue(ctx, ctxKey{}, c), c
+}
+
+// Child opens and returns a sub-span. Safe to call from concurrent
+// goroutines working under one parent (delta tiles decode in parallel).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now(), root: s.root}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches a key=value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetAttrInt attaches an integer attribute. Unlike SetAttr with a
+// pre-formatted value, the formatting happens only when the span is live,
+// so hot paths carry no strconv cost while tracing is off.
+func (s *Span) SetAttrInt(key string, value int) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.Itoa(value))
+}
+
+// End closes the span. Ending a root publishes its dump to the trace ring;
+// ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+	if s.root == s {
+		recordTrace(s.dump())
+	}
+}
+
+// Duration reports end-start for a closed span, or the running duration of
+// an open one.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// SpanDump is the immutable JSON form of a span tree.
+type SpanDump struct {
+	Name            string            `json:"name"`
+	StartUnixNano   int64             `json:"start_unix_nano"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+	Children        []SpanDump        `json:"children,omitempty"`
+}
+
+// Walk visits the dump and every descendant, depth first.
+func (d SpanDump) Walk(visit func(SpanDump)) {
+	visit(d)
+	for _, c := range d.Children {
+		c.Walk(visit)
+	}
+}
+
+// Dump deep-copies the span tree into its JSON form. Open descendants report
+// their running duration.
+func (s *Span) Dump() SpanDump {
+	if s == nil {
+		return SpanDump{}
+	}
+	return s.dump()
+}
+
+func (s *Span) dump() SpanDump {
+	s.mu.Lock()
+	d := SpanDump{
+		Name:            s.name,
+		StartUnixNano:   s.start.UnixNano(),
+		DurationSeconds: s.durationLocked().Seconds(),
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			d.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.dump())
+	}
+	return d
+}
+
+func (s *Span) durationLocked() time.Duration {
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// traceRing retains the most recent completed root traces.
+const traceRingSize = 32
+
+var (
+	traceMu   sync.Mutex
+	traceRing []SpanDump // oldest first, bounded by traceRingSize
+)
+
+func recordTrace(d SpanDump) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	traceRing = append(traceRing, d)
+	if len(traceRing) > traceRingSize {
+		traceRing = traceRing[len(traceRing)-traceRingSize:]
+	}
+}
+
+// LastTraces returns up to n most recent completed root traces, newest
+// first. n <= 0 returns all retained traces.
+func LastTraces(n int) []SpanDump {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if n <= 0 || n > len(traceRing) {
+		n = len(traceRing)
+	}
+	out := make([]SpanDump, 0, n)
+	for i := len(traceRing) - 1; i >= len(traceRing)-n; i-- {
+		out = append(out, traceRing[i])
+	}
+	return out
+}
+
+// ResetTraces clears the retained traces (tests and fixed benchmark
+// workloads use it to isolate runs).
+func ResetTraces() {
+	traceMu.Lock()
+	traceRing = nil
+	traceMu.Unlock()
+}

@@ -4,7 +4,34 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
+
+// Hierarchy-wide metrics. Per-tier traffic gets its own counters, named
+// canopus_storage_<tier>_{read,write}_{bytes,ops}_total, built once at
+// hierarchy construction; hierarchies sharing tier names (every test builds
+// its own TitanTwoTier) share the process-wide counters.
+var (
+	metricPutBypass   = obs.NewCounter("canopus_storage_put_bypass_total")
+	metricReadRetries = obs.NewCounter("canopus_storage_read_retries_total")
+)
+
+// tierMetrics caches one tier's counters so the read path pays map lookups
+// only at construction, not per operation.
+type tierMetrics struct {
+	readBytes, readOps, writeBytes, writeOps *obs.Counter
+}
+
+func newTierMetrics(tierName string) tierMetrics {
+	s := obs.SanitizeSegment(tierName)
+	return tierMetrics{
+		readBytes:  obs.NewCounter("canopus_storage_" + s + "_read_bytes_total"),
+		readOps:    obs.NewCounter("canopus_storage_" + s + "_read_ops_total"),
+		writeBytes: obs.NewCounter("canopus_storage_" + s + "_write_bytes_total"),
+		writeOps:   obs.NewCounter("canopus_storage_" + s + "_write_ops_total"),
+	}
+}
 
 // Hierarchy is an ordered stack of tiers, fastest first. It implements the
 // Canopus placement policy (§III-D): a data product asks for a preferred
@@ -14,6 +41,7 @@ import (
 type Hierarchy struct {
 	mu      sync.Mutex
 	tiers   []*Tier
+	tm      []tierMetrics // parallel to tiers
 	catalog map[string]*entry
 	// clock is a logical access clock driving LRU migration decisions;
 	// logical time keeps experiments deterministic.
@@ -33,6 +61,7 @@ func NewHierarchy(tiers ...*Tier) *Hierarchy {
 	h := &Hierarchy{tiers: tiers, catalog: make(map[string]*entry)}
 	for _, t := range tiers {
 		t.backend() // materialize backends up front
+		h.tm = append(h.tm, newTierMetrics(t.Name))
 	}
 	return h
 }
@@ -74,11 +103,14 @@ func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, 
 		t := h.tiers[i]
 		if !t.fits(int64(len(data))) {
 			bypassed = append(bypassed, t.Name)
+			metricPutBypass.Inc()
 			continue
 		}
 		if err := t.backend().Put(key, data); err != nil {
 			return Placement{}, fmt.Errorf("storage: put %q on %s: %w", key, t.Name, err)
 		}
+		h.tm[i].writeBytes.Add(int64(len(data)))
+		h.tm[i].writeOps.Inc()
 		h.clock++
 		h.catalog[key] = &entry{tier: i, size: int64(len(data)), lastUsed: h.clock}
 		return Placement{
@@ -101,7 +133,7 @@ func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, 
 // the read, the read is retried through the refreshed catalog (see
 // readRetrying in migrate.go).
 func (h *Hierarchy) Get(ctx context.Context, key string, readers int) ([]byte, Placement, error) {
-	return h.readRetrying(ctx, key, readers, func(t *Tier) ([]byte, error) {
+	return h.readRetrying(ctx, key, readers, "storage.get", func(t *Tier) ([]byte, error) {
 		return t.backend().Get(key)
 	})
 }
@@ -112,7 +144,7 @@ func (h *Hierarchy) Get(ctx context.Context, key string, readers int) ([]byte, P
 // key, it returns either the correct bytes or ErrNotFound, never torn data.
 // The simulated cost charges only the extent moved.
 func (h *Hierarchy) GetRange(ctx context.Context, key string, off, n int64, readers int) ([]byte, Placement, error) {
-	return h.readRetrying(ctx, key, readers, func(t *Tier) ([]byte, error) {
+	return h.readRetrying(ctx, key, readers, "storage.get_range", func(t *Tier) ([]byte, error) {
 		return t.backend().GetRange(key, off, n)
 	})
 }

@@ -5,6 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
+)
+
+// Migration metrics: completed moves (promotions, demotions, evictions all
+// route through move) and the bytes they shuttled between tiers.
+var (
+	metricMigrations     = obs.NewCounter("canopus_storage_migrations_total")
+	metricMigrationBytes = obs.NewCounter("canopus_storage_migration_bytes_total")
 )
 
 // Data migration and eviction. §IV-B of the paper notes its testbed assumed
@@ -37,7 +46,10 @@ type Migration struct {
 // surfaces. Ranged reads need the same protocol: a Promote/Demote racing a
 // GetRange must never serve a range from a half-moved value, which holds
 // because backends never expose partially written keys.
-func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, read func(t *Tier) ([]byte, error)) ([]byte, Placement, error) {
+func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, op string, read func(t *Tier) ([]byte, error)) ([]byte, Placement, error) {
+	_, span := obs.StartSpan(ctx, op)
+	span.SetAttr("key", key)
+	defer span.End()
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, Placement{}, err
@@ -54,16 +66,22 @@ func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, r
 		e.lastUsed = h.clock
 		e.accesses++
 		h.mu.Unlock()
+		span.SetAttr("tier", t.Name)
 
 		data, err := read(t)
 		if err != nil {
 			// Only a vanished key can be a migration artifact; a range
 			// error against a present key is the caller's bug.
 			if attempt < 3 && errors.Is(err, ErrNotFound) {
+				metricReadRetries.Inc()
+				span.SetAttrInt("retries", attempt+1)
 				continue // key may have migrated tiers mid-read
 			}
 			return nil, Placement{}, err
 		}
+		h.tm[tierIdx].readBytes.Add(int64(len(data)))
+		h.tm[tierIdx].readOps.Inc()
+		span.SetAttrInt("bytes", len(data))
 		return data, Placement{
 			Key:      key,
 			TierIdx:  tierIdx,
@@ -107,6 +125,8 @@ func (h *Hierarchy) move(key string, to int) (Migration, error) {
 	m.Cost.Add(src.readCost(int64(len(data)), 1))
 	m.Cost.Add(dst.writeCost(int64(len(data)), 1))
 	e.tier = to
+	metricMigrations.Inc()
+	metricMigrationBytes.Add(int64(len(data)))
 	return m, nil
 }
 

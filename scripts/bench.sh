@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # bench.sh — run the end-to-end pipeline benchmark and the ranged-read
-# benchmark, and emit the ranged-read results as BENCH_ranged.json.
+# benchmark, emit the ranged-read results as BENCH_ranged.json, and emit
+# span-derived per-phase medians of the fixed observability workload as
+# BENCH_obs.json.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  value for go test -benchtime (default 1x for a quick sweep;
 #              use e.g. 2s for stable numbers)
 #
-# The JSON carries, per benchmark case: ns/op, the bytes the retrieval
-# fetched (modeled extents and real backend traffic), and the allocation
-# footprint (peak working set scales with extents fetched, not container
-# size — see DESIGN.md "Read path").
+# BENCH_ranged.json carries, per benchmark case: ns/op, the bytes the
+# retrieval fetched (modeled extents and real backend traffic), and the
+# allocation footprint (peak working set scales with extents fetched, not
+# container size — see DESIGN.md "Read path"). BENCH_obs.json carries, per
+# trace span name, the occurrence count and median/total durations of a
+# fixed refactor-and-retrieve workload (see DESIGN.md §8 "Observability").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,3 +44,5 @@ END { print "]" }
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+go run ./cmd/canopus-bench -obs-json BENCH_obs.json -scale quick
