@@ -38,6 +38,7 @@ func main() {
 	chunks := flag.Int("chunks", 1, "spatial delta tiles per axis (enables focused regional reads)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent pipeline workers (0 = NumCPU, 1 = serial)")
+	codecChunk := flag.Int("codec-chunk", 0, "values per chunk of the chunked codec container (0 = default, negative = plain v1 streams)")
 	var ocli obs.CLI
 	ocli.Bind(flag.CommandLine)
 	flag.Parse()
@@ -46,7 +47,7 @@ func main() {
 	defer stop()
 	ctx, finish, err := ocli.Start(ctx, "canopus-refactor")
 	if err == nil {
-		err = run(ctx, *app, *dir, *levels, *ratio, *codec, *tol, *mode, *estimator, *transport, *chunks, *seed, *workers)
+		err = run(ctx, *app, *dir, *levels, *ratio, *codec, *tol, *mode, *estimator, *transport, *chunks, *seed, *workers, *codecChunk)
 		if ferr := finish(); err == nil {
 			err = ferr
 		}
@@ -57,7 +58,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, app, dir string, levels int, ratio float64, codec string, tol float64, modeStr, estimator, transport string, chunks int, seed int64, workers int) error {
+func run(ctx context.Context, app, dir string, levels int, ratio float64, codec string, tol float64, modeStr, estimator, transport string, chunks int, seed int64, workers, codecChunk int) error {
 	ds, err := makeDataset(app, seed)
 	if err != nil {
 		return err
@@ -84,6 +85,7 @@ func run(ctx context.Context, app, dir string, levels int, ratio float64, codec 
 		Mode:          mode,
 		Chunks:        chunks,
 		Workers:       workers,
+		CodecChunk:    codecChunk,
 	})
 	if err != nil {
 		return err

@@ -37,6 +37,7 @@ func main() {
 	step := flag.Int("step", 0, "timestep to retrieve")
 	level := flag.Int("level", 0, "accuracy level to retrieve")
 	workers := flag.Int("workers", 0, "concurrent pipeline workers (0 = NumCPU, 1 = serial)")
+	codecChunk := flag.Int("codec-chunk", 0, "values per chunk of the chunked codec container (0 = default, negative = plain v1 streams)")
 	var ocli obs.CLI
 	ocli.Bind(flag.CommandLine)
 	flag.Parse()
@@ -46,7 +47,7 @@ func main() {
 	ctx, finish, err := ocli.Start(ctx, "canopus-series")
 	if err == nil {
 		if *write {
-			err = runWrite(ctx, *dir, *name, *steps, *levels, *tol, *seed, *workers)
+			err = runWrite(ctx, *dir, *name, *steps, *levels, *tol, *seed, *workers, *codecChunk)
 		} else {
 			err = runRead(ctx, *dir, *name, *step, *level, *workers)
 		}
@@ -60,7 +61,7 @@ func main() {
 	}
 }
 
-func runWrite(ctx context.Context, dir, name string, steps, levels int, tol float64, seed int64, workers int) error {
+func runWrite(ctx context.Context, dir, name string, steps, levels int, tol float64, seed int64, workers, codecChunk int) error {
 	h, err := storage.FileTwoTier(dir, 0)
 	if err != nil {
 		return err
@@ -77,6 +78,7 @@ func runWrite(ctx context.Context, dir, name string, steps, levels int, tol floa
 	}
 	sw, err := core.NewSeriesWriter(ctx, aio, name, seq[0].Dataset.Mesh, hi-lo, core.Options{
 		Levels: levels, RelTolerance: tol, Workers: workers,
+		CodecChunk: codecChunk,
 	})
 	if err != nil {
 		return err

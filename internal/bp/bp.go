@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 )
 
 // DataType tags a variable's element type.
@@ -391,13 +392,34 @@ func (r *Reader) Attr(key string) (string, bool) {
 func (r *Reader) Vars() []VarInfo { return append([]VarInfo(nil), r.vars...) }
 
 // Inq looks up a variable by name and level — the ADIOS adios_inq_var
-// analogue. It touches only the in-memory index.
+// analogue. It touches only the in-memory index and allocates nothing: the
+// key is assembled on the stack and the map lookup goes through the
+// compiler's string(bytes) fast path. Retrieval paths call Inq once per
+// delta tile, so this must stay off the heap.
 func (r *Reader) Inq(name string, level int) (VarInfo, bool) {
-	i, ok := r.byKey[varKey(name, level)]
+	var a [64]byte
+	key := append(a[:0], name...)
+	key = append(key, '@')
+	key = strconv.AppendInt(key, int64(level), 10)
+	i, ok := r.byKey[string(key)]
 	if !ok {
 		return VarInfo{}, false
 	}
 	return r.vars[i], true
+}
+
+// WithReaderAt returns a reader that shares this reader's parsed index but
+// fetches payloads through ra. It is the re-open fast path: a container's
+// index is parsed once, then every subsequent open of the unchanged
+// container binds the cached index to a fresh cost-tracking ReaderAt
+// without touching storage. size must match the size the index was parsed
+// against — a mismatch means the container was rewritten and the index is
+// stale.
+func (r *Reader) WithReaderAt(ra io.ReaderAt, size int64) (*Reader, error) {
+	if size != r.size {
+		return nil, fmt.Errorf("bp: cached index is for a %d-byte container, have %d bytes", r.size, size)
+	}
+	return &Reader{ra: ra, size: size, attrs: r.attrs, vars: r.vars, byKey: r.byKey}, nil
 }
 
 // ReadBytes fetches a variable's raw payload (the selective read).

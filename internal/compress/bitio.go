@@ -1,6 +1,9 @@
 package compress
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // bitWriter packs bits LSB-first into a byte slice. The zfp-like codec's
 // embedded bit-plane coder emits streams of single bits and short bit
@@ -64,6 +67,10 @@ func (w *bitWriter) bytes() []byte {
 	return w.buf
 }
 
+// errBitUnderflow is the sentinel for truncated bit streams. Call sites
+// receive it wrapped with the reader's bit offset (underflowErr), so a
+// corrupt container names the exact position that ran dry; errors.Is against
+// this sentinel still matches.
 var errBitUnderflow = errors.New("compress: bit stream underflow")
 
 // bitReader mirrors bitWriter.
@@ -75,6 +82,18 @@ type bitReader struct {
 }
 
 func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+// bitOffset reports how many bits have been consumed so far — the position a
+// truncation error points at.
+func (r *bitReader) bitOffset() int64 {
+	return int64(r.pos)*8 - int64(r.n)
+}
+
+// underflowErr builds the offset-carrying truncation error. It is only on
+// the error path, so the allocation never taxes a healthy decode.
+func (r *bitReader) underflowErr() error {
+	return fmt.Errorf("%w at bit %d of %d-byte stream", errBitUnderflow, r.bitOffset(), len(r.buf))
+}
 
 func (r *bitReader) fill() {
 	for r.n <= 56 && r.pos < len(r.buf) {
@@ -88,7 +107,7 @@ func (r *bitReader) readBit() (uint64, error) {
 	if r.n == 0 {
 		r.fill()
 		if r.n == 0 {
-			return 0, errBitUnderflow
+			return 0, r.underflowErr()
 		}
 	}
 	b := r.cur & 1
@@ -108,7 +127,7 @@ func (r *bitReader) readBits(n uint) (uint64, error) {
 		if r.n == 0 {
 			r.fill()
 			if r.n == 0 {
-				return 0, errBitUnderflow
+				return 0, r.underflowErr()
 			}
 		}
 		take := n - got

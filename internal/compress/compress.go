@@ -18,6 +18,15 @@
 //
 // All codecs serialize to self-describing byte slices: Decode never needs
 // out-of-band parameters.
+//
+// Two layers serve the hot read path on top of the plain codecs:
+//
+//   - DecodeInto on every codec reuses a caller-provided destination slice,
+//     so steady-state retrieval loops decode without per-call output
+//     allocations; and
+//   - the chunked container (chunked.go) frames a product's values as
+//     independent per-chunk bitstreams so decode fans out across a worker
+//     pool.
 package compress
 
 import (
@@ -25,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Codec compresses and decompresses []float64 payloads.
@@ -35,6 +45,12 @@ type Codec interface {
 	Encode(vals []float64) ([]byte, error)
 	// Decode reverses Encode.
 	Decode(data []byte) ([]float64, error)
+	// DecodeInto reverses Encode like Decode, but reuses dst's backing
+	// array when its capacity suffices, allocating only when the stored
+	// value count needs more room. It returns the decoded values
+	// (len == stored count); the contents of dst beyond that length are
+	// unspecified. DecodeInto(nil, data) is equivalent to Decode(data).
+	DecodeInto(dst []float64, data []byte) ([]float64, error)
 	// Lossless reports whether Decode(Encode(x)) == x bit-for-bit.
 	Lossless() bool
 	// ErrorBound returns the maximum absolute per-sample error a lossy
@@ -79,21 +95,62 @@ func New(name string, tol float64) (Codec, error) {
 // Names lists the registered codec names.
 func Names() []string { return []string{"zfp", "sz", "fpc", "flate", "raw"} }
 
+// sizeFloats returns dst resized to n values, reusing its backing array when
+// possible. It is the single growth policy behind every DecodeInto.
+func sizeFloats(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+// byteScratchPool recycles the transient byte buffers the codecs burn
+// through on every call: serialized IEEE-754 images on the flate encode
+// path and inflated payloads on the sz/flate decode paths. Buffers are
+// pooled as pointers to avoid an allocation per Put.
+var byteScratchPool = sync.Pool{
+	New: func() any {
+		s := make([]byte, 0, 64<<10)
+		return &s
+	},
+}
+
+func getByteScratch() *[]byte  { return byteScratchPool.Get().(*[]byte) }
+func putByteScratch(s *[]byte) { *s = (*s)[:0]; byteScratchPool.Put(s) }
+
 // floatsToBytes serializes vals as little-endian IEEE-754 doubles.
 func floatsToBytes(vals []float64) []byte {
-	out := make([]byte, 8*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	return floatsToBytesInto(nil, vals)
+}
+
+// floatsToBytesInto serializes vals into dst's backing array when it has
+// room, so encode paths that only need the bytes transiently (flate) can
+// feed it a pooled scratch buffer.
+func floatsToBytesInto(dst []byte, vals []float64) []byte {
+	n := 8 * len(vals)
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]byte, n)
 	}
-	return out
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+	return dst
 }
 
 // bytesToFloats reverses floatsToBytes.
 func bytesToFloats(data []byte) ([]float64, error) {
+	return bytesToFloatsInto(nil, data)
+}
+
+// bytesToFloatsInto reverses floatsToBytes into dst's backing array when its
+// capacity suffices — the allocation-free half of every lossless DecodeInto.
+func bytesToFloatsInto(dst []float64, data []byte) ([]float64, error) {
 	if len(data)%8 != 0 {
 		return nil, fmt.Errorf("compress: byte length %d not a multiple of 8", len(data))
 	}
-	out := make([]float64, len(data)/8)
+	out := sizeFloats(dst, len(data)/8)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
 	}
@@ -121,4 +178,9 @@ func (Raw) Encode(vals []float64) ([]byte, error) {
 // Decode implements Codec.
 func (Raw) Decode(data []byte) ([]float64, error) {
 	return bytesToFloats(data)
+}
+
+// DecodeInto implements Codec.
+func (Raw) DecodeInto(dst []float64, data []byte) ([]float64, error) {
+	return bytesToFloatsInto(dst, data)
 }

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Flate compresses the raw IEEE-754 bytes with DEFLATE. It is the
@@ -30,6 +31,72 @@ func (*Flate) ErrorBound() float64 { return 0 }
 
 const flateMagic = 0x31464c43 // "CLF1"
 
+// inflater pairs a reusable bytes.Reader with a flate reader reset onto it,
+// so the sz and flate decode paths inflate without rebuilding DEFLATE state
+// (the dominant allocation in a cold flate.NewReader) on every call.
+type inflater struct {
+	br bytes.Reader
+	fr io.ReadCloser
+}
+
+var inflaterPool = sync.Pool{
+	New: func() any {
+		inf := &inflater{}
+		inf.fr = flate.NewReader(&inf.br)
+		return inf
+	},
+}
+
+// inflateAppend decompresses src and appends the result to dst, growing it
+// as needed. Callers typically pass a pooled scratch buffer as dst.
+func inflateAppend(dst, src []byte) ([]byte, error) {
+	inf := inflaterPool.Get().(*inflater)
+	defer inflaterPool.Put(inf)
+	inf.br.Reset(src)
+	if err := inf.fr.(flate.Resetter).Reset(&inf.br, nil); err != nil {
+		return nil, err
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := inf.fr.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// flateWriterPool recycles DEFLATE encoder state (window, hash chains)
+// across Encode calls; a Reset-ed writer produces output identical to a
+// fresh one.
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		fw, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			// Only reachable on an invalid level constant.
+			panic(err)
+		}
+		return fw
+	},
+}
+
+// deflateTo compresses src at BestSpeed and writes the stream to out using a
+// pooled encoder.
+func deflateTo(out io.Writer, src []byte) error {
+	fw := flateWriterPool.Get().(*flate.Writer)
+	defer flateWriterPool.Put(fw)
+	fw.Reset(out)
+	if _, err := fw.Write(src); err != nil {
+		return err
+	}
+	return fw.Close()
+}
+
 // Encode implements Codec.
 func (*Flate) Encode(vals []float64) ([]byte, error) {
 	var out bytes.Buffer
@@ -37,21 +104,25 @@ func (*Flate) Encode(vals []float64) ([]byte, error) {
 	hdr = binary.LittleEndian.AppendUint32(hdr, flateMagic)
 	hdr = binary.AppendUvarint(hdr, uint64(len(vals)))
 	out.Write(hdr)
-	fw, err := flate.NewWriter(&out, flate.BestSpeed)
-	if err != nil {
-		return nil, fmt.Errorf("compress: flate init: %w", err)
-	}
-	if _, err := fw.Write(floatsToBytes(vals)); err != nil {
-		return nil, fmt.Errorf("compress: flate write: %w", err)
-	}
-	if err := fw.Close(); err != nil {
-		return nil, fmt.Errorf("compress: flate close: %w", err)
+	scratch := getByteScratch()
+	defer putByteScratch(scratch)
+	raw := floatsToBytesInto((*scratch)[:0], vals)
+	*scratch = raw
+	if err := deflateTo(&out, raw); err != nil {
+		return nil, fmt.Errorf("compress: flate: %w", err)
 	}
 	return out.Bytes(), nil
 }
 
 // Decode implements Codec.
-func (*Flate) Decode(data []byte) ([]float64, error) {
+func (f *Flate) Decode(data []byte) ([]float64, error) {
+	return f.DecodeInto(nil, data)
+}
+
+// DecodeInto implements Codec. The inflated byte image lives in a pooled
+// scratch buffer; only the float output (and only when dst is too small)
+// allocates.
+func (*Flate) DecodeInto(dst []float64, data []byte) ([]float64, error) {
 	if len(data) < 4 || binary.LittleEndian.Uint32(data) != flateMagic {
 		return nil, errors.New("compress: bad flate magic")
 	}
@@ -61,11 +132,14 @@ func (*Flate) Decode(data []byte) ([]float64, error) {
 		return nil, errors.New("compress: truncated flate header")
 	}
 	off += n
-	raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(data[off:])))
+	scratch := getByteScratch()
+	defer putByteScratch(scratch)
+	raw, err := inflateAppend((*scratch)[:0], data[off:])
 	if err != nil {
 		return nil, fmt.Errorf("compress: inflate: %w", err)
 	}
-	vals, err := bytesToFloats(raw)
+	*scratch = raw
+	vals, err := bytesToFloatsInto(dst, raw)
 	if err != nil {
 		return nil, err
 	}

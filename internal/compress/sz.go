@@ -2,11 +2,9 @@ package compress
 
 import (
 	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"math"
 )
 
@@ -105,21 +103,20 @@ func (s *SZ) Encode(vals []float64) ([]byte, error) {
 	hdr = binary.AppendUvarint(hdr, uint64(len(vals)))
 	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(s.eb))
 	out.Write(hdr)
-	fw, err := flate.NewWriter(&out, flate.BestSpeed)
-	if err != nil {
-		return nil, fmt.Errorf("compress: sz flate init: %w", err)
-	}
-	if _, err := fw.Write(payload); err != nil {
-		return nil, fmt.Errorf("compress: sz flate write: %w", err)
-	}
-	if err := fw.Close(); err != nil {
-		return nil, fmt.Errorf("compress: sz flate close: %w", err)
+	if err := deflateTo(&out, payload); err != nil {
+		return nil, fmt.Errorf("compress: sz flate: %w", err)
 	}
 	return out.Bytes(), nil
 }
 
 // Decode implements Codec.
 func (s *SZ) Decode(data []byte) ([]float64, error) {
+	return s.DecodeInto(nil, data)
+}
+
+// DecodeInto implements Codec. The inflated payload lives in a pooled
+// scratch buffer for the duration of the call.
+func (s *SZ) DecodeInto(dst []float64, data []byte) ([]float64, error) {
 	if len(data) < 4 || binary.LittleEndian.Uint32(data) != szMagic {
 		return nil, errors.New("compress: bad sz magic")
 	}
@@ -134,10 +131,13 @@ func (s *SZ) Decode(data []byte) ([]float64, error) {
 	}
 	eb := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 	off += 8
-	payload, err := io.ReadAll(flate.NewReader(bytes.NewReader(data[off:])))
+	scratch := getByteScratch()
+	defer putByteScratch(scratch)
+	payload, err := inflateAppend((*scratch)[:0], data[off:])
 	if err != nil {
 		return nil, fmt.Errorf("compress: sz inflate: %w", err)
 	}
+	*scratch = payload
 	p := 0
 	codeLen, n := binary.Uvarint(payload[p:])
 	if n <= 0 {
@@ -156,10 +156,10 @@ func (s *SZ) Decode(data []byte) ([]float64, error) {
 	lits := payload[p+int(codeLen) : p+int(codeLen)+int(litLen)]
 
 	step := 2 * eb
-	out := make([]float64, 0, count)
+	out := sizeFloats(dst, int(count))
 	var r0, r1 float64
 	cp, lp := 0, 0
-	for uint64(len(out)) < count {
+	for i := range out {
 		code, n := binary.Varint(codes[cp:])
 		if n <= 0 {
 			return nil, errors.New("compress: truncated sz code stream")
@@ -174,7 +174,7 @@ func (s *SZ) Decode(data []byte) ([]float64, error) {
 			lp += 8
 		} else {
 			var pred float64
-			switch len(out) {
+			switch i {
 			case 0:
 				return nil, errors.New("compress: sz stream must start with a literal")
 			case 1:
@@ -184,7 +184,7 @@ func (s *SZ) Decode(data []byte) ([]float64, error) {
 			}
 			v = pred + float64(code)*step
 		}
-		out = append(out, v)
+		out[i] = v
 		r0, r1 = r1, v
 	}
 	return out, nil

@@ -220,6 +220,13 @@ func decodePlane(r *bitReader, n *uint) (uint64, error) {
 
 // Decode implements Codec.
 func (z *ZFP) Decode(data []byte) ([]float64, error) {
+	return z.DecodeInto(nil, data)
+}
+
+// DecodeInto implements Codec. The bit reader lives on the stack and the
+// output goes straight into dst when it has capacity, so a warm decode loop
+// performs no allocations.
+func (z *ZFP) DecodeInto(dst []float64, data []byte) ([]float64, error) {
 	if len(data) < 4 || binary.LittleEndian.Uint32(data) != zfpMagic {
 		return nil, errors.New("compress: bad zfp magic")
 	}
@@ -237,18 +244,14 @@ func (z *ZFP) Decode(data []byte) ([]float64, error) {
 	if count > uint64(len(data))*64 {
 		return nil, fmt.Errorf("compress: implausible zfp count %d", count)
 	}
-	out := make([]float64, 0, count)
-	r := newBitReader(data[off:])
-	for uint64(len(out)) < count {
-		blk, err := decodeZFPBlock(r, tol)
+	out := sizeFloats(dst, int(count))
+	r := bitReader{buf: data[off:]}
+	for i := 0; i < len(out); i += 4 {
+		blk, err := decodeZFPBlock(&r, tol)
 		if err != nil {
 			return nil, err
 		}
-		k := int(count) - len(out)
-		if k > 4 {
-			k = 4
-		}
-		out = append(out, blk[:k]...)
+		copy(out[i:], blk[:])
 	}
 	return out, nil
 }

@@ -113,6 +113,13 @@ type Options struct {
 	// 0 means runtime.NumCPU(); 1 forces the exact serial execution order.
 	// Stored products are byte-identical at every worker count.
 	Workers int
+	// CodecChunk sets the values-per-chunk of the chunked codec container
+	// (compress.ChunkedEncode): products larger than one chunk are framed
+	// as independent per-chunk bitstreams so decompression fans out across
+	// the worker pool. 0 selects compress.DefaultChunkSize; negative
+	// disables framing and stores plain v1 codec streams. Readers sniff the
+	// frame magic, so either setting reads archives written with the other.
+	CodecChunk int
 }
 
 func (o Options) withDefaults() Options {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/mesh"
 )
@@ -146,14 +148,48 @@ func encodeChunkPayload(ids []int32, enc []byte) []byte {
 
 var errChunkTrunc = errors.New("canopus: truncated delta chunk")
 
-func decodeChunkPayload(data []byte) (ids []int32, enc []byte, err error) {
+// chunkRuns is a validated, zero-allocation view of a chunk payload's id-run
+// region. parseChunkPayload builds it; forEachRun re-walks the runs without
+// ever materializing the id list — the hot read path scatters decoded values
+// straight through the runs, which eliminated the dominant per-retrieval
+// allocation (one append per covered vertex id).
+type chunkRuns struct {
+	region []byte
+	nRuns  uint64
+	total  int
+}
+
+// count reports the number of vertex ids the runs cover.
+func (cr chunkRuns) count() int { return cr.total }
+
+// forEachRun calls fn for every (start, length) run in order. The payload was
+// validated by parseChunkPayload, so decoding cannot fail here.
+func (cr chunkRuns) forEachRun(fn func(start, length int64)) {
+	off := 0
+	prev := int64(0)
+	for i := uint64(0); i < cr.nRuns; i++ {
+		d, n := binary.Varint(cr.region[off:])
+		off += n
+		start := prev + d
+		length, n := binary.Uvarint(cr.region[off:])
+		off += n
+		fn(start, int64(length))
+		prev = start
+	}
+}
+
+// parseChunkPayload validates a chunk payload and returns the id runs plus
+// the codec-encoded value bytes. It allocates nothing: runs stay in their
+// serialized form behind a chunkRuns view.
+func parseChunkPayload(data []byte) (chunkRuns, []byte, error) {
 	nRuns, off := binary.Uvarint(data)
 	if off <= 0 {
-		return nil, nil, errChunkTrunc
+		return chunkRuns{}, nil, errChunkTrunc
 	}
 	if nRuns > uint64(len(data)) {
-		return nil, nil, fmt.Errorf("canopus: implausible chunk run count %d", nRuns)
+		return chunkRuns{}, nil, fmt.Errorf("canopus: implausible chunk run count %d", nRuns)
 	}
+	runStart := off
 	prev := int64(0)
 	// Cap the total decoded ids against what the value payload could
 	// plausibly cover; otherwise a corrupt run list is a memory DoS.
@@ -162,33 +198,81 @@ func decodeChunkPayload(data []byte) (ids []int32, enc []byte, err error) {
 	for i := uint64(0); i < nRuns; i++ {
 		d, n := binary.Varint(data[off:])
 		if n <= 0 {
-			return nil, nil, errChunkTrunc
+			return chunkRuns{}, nil, errChunkTrunc
 		}
 		off += n
 		start := prev + d
 		length, n := binary.Uvarint(data[off:])
 		if n <= 0 {
-			return nil, nil, errChunkTrunc
+			return chunkRuns{}, nil, errChunkTrunc
 		}
 		off += n
 		total += length
 		if start < 0 || total > maxIDs {
-			return nil, nil, fmt.Errorf("canopus: invalid chunk run (%d, %d)", start, length)
-		}
-		for j := int64(0); j < int64(length); j++ {
-			ids = append(ids, int32(start+j))
+			return chunkRuns{}, nil, fmt.Errorf("canopus: invalid chunk run (%d, %d)", start, length)
 		}
 		prev = start
 	}
+	cr := chunkRuns{region: data[runStart:off], nRuns: nRuns, total: int(total)}
 	encLen, n := binary.Uvarint(data[off:])
 	if n <= 0 {
-		return nil, nil, errChunkTrunc
+		return chunkRuns{}, nil, errChunkTrunc
 	}
 	off += n
 	if uint64(len(data)-off) < encLen {
-		return nil, nil, errChunkTrunc
+		return chunkRuns{}, nil, errChunkTrunc
 	}
-	return ids, data[off : off+int(encLen)], nil
+	return cr, data[off : off+int(encLen)], nil
 }
 
-func chunkVarName(ci int) string { return fmt.Sprintf("delta.c%d", ci) }
+// decodeChunkPayload materializes the id list of a chunk payload. The hot
+// path uses parseChunkPayload directly; this form serves callers that want
+// the ids as a slice.
+func decodeChunkPayload(data []byte) (ids []int32, enc []byte, err error) {
+	cr, enc, err := parseChunkPayload(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids = make([]int32, 0, cr.count())
+	cr.forEachRun(func(start, length int64) {
+		for j := int64(0); j < length; j++ {
+			ids = append(ids, int32(start+j))
+		}
+	})
+	return ids, enc, nil
+}
+
+// chunkVarNames caches the "delta.c<i>" variable names: retrieval paths
+// rebuild the name of every needed tile on every call, and the Sprintf per
+// tile was a measurable slice of the read path's allocations. The cache
+// grows monotonically to the largest tile count seen.
+var chunkVarNames atomic.Pointer[[]string]
+
+var chunkVarNamesMu sync.Mutex
+
+func chunkVarName(ci int) string {
+	if names := chunkVarNames.Load(); names != nil && ci < len(*names) {
+		return (*names)[ci]
+	}
+	chunkVarNamesMu.Lock()
+	defer chunkVarNamesMu.Unlock()
+	names := chunkVarNames.Load()
+	if names != nil && ci < len(*names) {
+		return (*names)[ci]
+	}
+	n := ci + 1
+	if names != nil && 2*len(*names) > n {
+		n = 2 * len(*names)
+	}
+	grown := make([]string, n)
+	if names != nil {
+		copy(grown, *names)
+	}
+	for i := range grown {
+		if grown[i] == "" {
+			grown[i] = fmt.Sprintf("delta.c%d", i)
+		}
+	}
+	chunkVarNames.Store(&grown)
+	return grown[ci]
+}

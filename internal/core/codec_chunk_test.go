@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// Tests for Options.CodecChunk, the v2 chunked codec container on the core
+// write/read path. Most datasets in this package are smaller than the
+// default chunk size, so these tests force a tiny CodecChunk to make every
+// payload — base, full deltas, and spatial tiles — take the framed path.
+
+// writeAndRetrieveAll writes ds under opts into a fresh hierarchy and
+// retrieves every level with the given reader worker count.
+func writeAndRetrieveAll(t *testing.T, name string, opts Options, workers int) [][]float64 {
+	t.Helper()
+	aio := newIO()
+	ds := testDataset(name, 32)
+	if _, err := Write(context.Background(), aio, ds, opts); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(context.Background(), aio, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetWorkers(workers)
+	out := make([][]float64, opts.Levels)
+	for lvl := 0; lvl < opts.Levels; lvl++ {
+		v, err := r.Retrieve(context.Background(), lvl)
+		if err != nil {
+			t.Fatalf("retrieve level %d: %v", lvl, err)
+		}
+		out[lvl] = v.Data
+	}
+	return out
+}
+
+// TestCodecChunkLosslessInterop: with a lossless codec, containers written
+// with plain v1 streams (CodecChunk < 0), default framing, and an
+// aggressively small chunk size must all restore bit-identically, at any
+// reader worker count — the frame is pure transport, never semantics.
+func TestCodecChunkLosslessInterop(t *testing.T) {
+	base := Options{Levels: 3, Chunks: 2, Codec: "fpc"}
+	v1 := base
+	v1.CodecChunk = -1
+	framedSmall := base
+	framedSmall.CodecChunk = 64
+	framedDefault := base // CodecChunk 0: default chunk size
+
+	want := writeAndRetrieveAll(t, "cc", v1, 1)
+	for name, opts := range map[string]Options{
+		"default frame": framedDefault,
+		"small frame":   framedSmall,
+	} {
+		for _, workers := range []int{1, 4} {
+			got := writeAndRetrieveAll(t, "cc", opts, workers)
+			for lvl := range want {
+				for i := range want[lvl] {
+					if math.Float64bits(got[lvl][i]) != math.Float64bits(want[lvl][i]) {
+						t.Fatalf("%s workers=%d level %d vertex %d: %g != v1 %g",
+							name, workers, lvl, i, got[lvl][i], want[lvl][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCodecChunkLossyWithinBound: chunking regroups values into codec blocks,
+// so a lossy codec's output may differ across chunk sizes — but every layout
+// honors the same error bound.
+func TestCodecChunkLossyWithinBound(t *testing.T) {
+	base := Options{Levels: 3, Chunks: 2, RelTolerance: 1e-6}
+	v1 := base
+	v1.CodecChunk = -1
+	framed := base
+	framed.CodecChunk = 64
+
+	a := writeAndRetrieveAll(t, "cc", v1, 1)
+	b := writeAndRetrieveAll(t, "cc", framed, 4)
+	aio := newIO()
+	if _, err := Write(context.Background(), aio, testDataset("cc", 32), v1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(context.Background(), aio, "cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 2 * r.Tolerance() * float64(r.Levels())
+	for lvl := range a {
+		for i := range a[lvl] {
+			if math.Abs(a[lvl][i]-b[lvl][i]) > bound {
+				t.Fatalf("level %d vertex %d: v1 %g and framed %g diverge beyond %g",
+					lvl, i, a[lvl][i], b[lvl][i], bound)
+			}
+		}
+	}
+}
+
+// TestCodecChunkRegionalRetrieval: regional retrieval must read framed tile
+// payloads correctly and still match the full retrieve bit-for-bit.
+func TestCodecChunkRegionalRetrieval(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("cc", 32)
+	opts := Options{Levels: 3, Chunks: 4, Codec: "fpc", CodecChunk: 16}
+	if _, err := Write(context.Background(), aio, ds, opts); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(context.Background(), aio, "cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Retrieve(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := r.RetrieveRegion(context.Background(), 0, 0.2, 0.2, 0.8, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i, ok := range region.Have {
+		if !ok {
+			continue
+		}
+		n++
+		if math.Float64bits(region.Data[i]) != math.Float64bits(full.Data[i]) {
+			t.Fatalf("vertex %d: regional %g != full %g", i, region.Data[i], full.Data[i])
+		}
+	}
+	if n == 0 {
+		t.Fatal("region covered no vertices")
+	}
+}
+
+// TestCodecChunkSeries: series campaigns must honor CodecChunk on write and
+// sniff it transparently on read.
+func TestCodecChunkSeries(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("ts", 24)
+	opts := Options{Levels: 2, Codec: "fpc", CodecChunk: 32}
+	sw, err := NewSeriesWriter(context.Background(), aio, "ts", ds.Mesh, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 3
+	for s := 0; s < steps; s++ {
+		data := make([]float64, len(ds.Data))
+		for i, v := range ds.Data {
+			data[i] = v * float64(s+1)
+		}
+		if _, err := sw.WriteStep(context.Background(), data); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+	}
+	sr, err := OpenSeriesReader(context.Background(), aio, "ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		v, err := sr.RetrieveStep(context.Background(), s, 0)
+		if err != nil {
+			t.Fatalf("retrieve step %d: %v", s, err)
+		}
+		// Lossless codec: the only deviation is (a-e)+e rounding.
+		for i, x := range v.Data {
+			want := ds.Data[i] * float64(s+1)
+			if math.Abs(x-want) > 1e-13 {
+				t.Fatalf("step %d vertex %d: %g, want %g", s, i, x, want)
+			}
+		}
+	}
+}

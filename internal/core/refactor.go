@@ -155,11 +155,23 @@ type level struct {
 	mapping delta.Mapping
 }
 
+// encodeChunked routes a product payload through the chunked container
+// (compress.ChunkedEncode) unless codecChunk is negative, which selects a
+// plain v1 codec stream. Values that fit in a single chunk come out as v1
+// either way, so the setting only matters for large products.
+func encodeChunked(ctx context.Context, pool *engine.Pool, c compress.Codec, vals []float64, codecChunk int) ([]byte, error) {
+	if codecChunk < 0 {
+		return c.Encode(vals)
+	}
+	return compress.ChunkedEncode(ctx, pool, c, vals, codecChunk)
+}
+
 // compressLevel encodes one level's artifacts into products: mesh geometry,
 // plus either a whole-level data payload (base level, or every level in
 // direct mode) or per-tile delta payloads and the vertex mapping. It is one
-// compress-stage unit; levels compress independently and concurrently.
-func compressLevel(lv *level, l int, isBase bool, mode Mode, codec compress.Codec, chunks int) ([]engine.Product, string, int64, error) {
+// compress-stage unit; levels compress independently and concurrently, and
+// large payloads additionally fan out chunk-wise inside encodeChunked.
+func compressLevel(ctx context.Context, pool *engine.Pool, lv *level, l int, isBase bool, mode Mode, codec compress.Codec, chunks, codecChunk int) ([]engine.Product, string, int64, error) {
 	var products []engine.Product
 	mp, err := meshProduct(l, lv.mesh)
 	if err != nil {
@@ -171,7 +183,7 @@ func compressLevel(lv *level, l int, isBase bool, mode Mode, codec compress.Code
 	var tileFrame string
 	switch {
 	case mode == ModeDirect, isBase:
-		enc, err := codec.Encode(lv.data)
+		enc, err := encodeChunked(ctx, pool, codec, lv.data, codecChunk)
 		if err != nil {
 			return nil, "", 0, fmt.Errorf("canopus: compress level %d: %w", l, err)
 		}
@@ -193,7 +205,7 @@ func compressLevel(lv *level, l int, isBase bool, mode Mode, codec compress.Code
 			for j, id := range ids {
 				sub[j] = lv.deltaTo[id]
 			}
-			enc, err := codec.Encode(sub)
+			enc, err := encodeChunked(ctx, pool, codec, sub, codecChunk)
 			if err != nil {
 				return nil, "", 0, fmt.Errorf("canopus: compress delta %d chunk %d: %w", l, ci, err)
 			}
@@ -253,7 +265,8 @@ func Write(ctx context.Context, aio *adios.IO, ds *Dataset, opts Options) (*Writ
 		RawBytes:  ds.RawBytes(),
 	}
 
-	pipe := engine.NewPipeline(engine.NewPool(opts.Workers))
+	pool := engine.NewPool(opts.Workers)
+	pipe := engine.NewPipeline(pool)
 	levels := make([]*level, opts.Levels)
 	levels[0] = &level{mesh: ds.Mesh, data: ds.Data}
 
@@ -288,7 +301,7 @@ func Write(ctx context.Context, aio *adios.IO, ds *Dataset, opts Options) (*Writ
 				if err != nil {
 					return fmt.Errorf("canopus: mapping level %d: %w", l, err)
 				}
-				d, err := delta.Compute(fine.mesh, fine.data, coarse.mesh, coarse.data, mp, est)
+				d, err := delta.ComputeInto(ctx, pool, fine.mesh, fine.data, coarse.mesh, coarse.data, mp, est, nil)
 				if err != nil {
 					return fmt.Errorf("canopus: delta level %d: %w", l, err)
 				}
@@ -310,7 +323,7 @@ func Write(ctx context.Context, aio *adios.IO, ds *Dataset, opts Options) (*Writ
 		l := l
 		compressUnits = append(compressUnits, func(ctx context.Context) error {
 			products, tileFrame, payloadBytes, err := compressLevel(
-				levels[l], l, l == opts.Levels-1, opts.Mode, codec, opts.Chunks)
+				ctx, pool, levels[l], l, l == opts.Levels-1, opts.Mode, codec, opts.Chunks, opts.CodecChunk)
 			if err != nil {
 				return err
 			}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/adios"
+	"repro/internal/compress"
 	"repro/internal/delta"
 	"repro/internal/engine"
 	"repro/internal/mesh"
@@ -130,7 +131,7 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	}
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
-	baseData, err := r.codec.Decode(pBase.Payload)
+	baseData, err := compress.ChunkedDecode(ctx, r.pool, r.codec, pBase.Payload)
 	baseDecSecs := time.Since(t0).Seconds()
 	dspan.End()
 	out.Timings.DecompressSeconds += baseDecSecs
@@ -177,18 +178,29 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 		t0 = time.Now()
 		fineData := make([]float64, fine.mesh.NumVerts())
 		coarseMesh := handles[l+1].mesh
-		for vi, want := range needed[l] {
-			if !want {
-				continue
+		// Needed vertices are restored independently, so the sparse loop
+		// shards over the pool like the full restore; writes target
+		// disjoint indices and the result is identical at every worker
+		// count (the first missing-delta error, by index, wins).
+		want := needed[l]
+		err = r.pool.RunRange(ctx, len(want), func(start, end int) error {
+			for vi := start; vi < end; vi++ {
+				if !want[vi] {
+					continue
+				}
+				if !haveDelta[vi] {
+					return fmt.Errorf("canopus: level %d vertex %d missing from fetched chunks", l, vi)
+				}
+				fineData[vi] = deltas[vi] + delta.EstimateVertex(
+					fine.mesh, coarseMesh, data, fine.mapping, r.estimator, int32(vi))
 			}
-			if !haveDelta[vi] {
-				return nil, fmt.Errorf("canopus: level %d vertex %d missing from fetched chunks", l, vi)
-			}
-			fineData[vi] = deltas[vi] + delta.EstimateVertex(
-				fine.mesh, coarseMesh, data, fine.mapping, r.estimator, int32(vi))
-		}
+			return nil
+		})
 		restoreSecs := time.Since(t0).Seconds()
 		rspan.End()
+		if err != nil {
+			return nil, err
+		}
 		out.Timings.RestoreSeconds += restoreSecs
 		metricRestoreSeconds.Add(restoreSecs)
 		data = fineData

@@ -187,7 +187,7 @@ func (r *Reader) Base(ctx context.Context) (*View, error) {
 
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
-	v.Data, err = r.codec.Decode(p.Payload)
+	v.Data, err = compress.ChunkedDecode(ctx, r.pool, r.codec, p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	dspan.End()
 	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
@@ -246,7 +246,9 @@ func (r *Reader) Augment(ctx context.Context, v *View) error {
 
 	rspan := span.Child("core.restore")
 	t0 := time.Now()
-	fineData, err := delta.Restore(fineMesh, v.Mesh, v.Data, mp, d, r.estimator)
+	// In-place restore: the delta buffer becomes the fine data, and the
+	// per-vertex loop shards over the reader's pool.
+	fineData, err := delta.RestoreInto(ctx, r.pool, fineMesh, v.Mesh, v.Data, mp, d, r.estimator, d)
 	restoreSecs := time.Since(t0).Seconds()
 	rspan.End()
 	v.Timings.RestoreSeconds += restoreSecs
@@ -311,7 +313,7 @@ func (r *Reader) retrieveDirect(ctx context.Context, l int) (*View, error) {
 	v.Timings.addHandleIO(h)
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
-	v.Data, err = r.codec.Decode(p.Payload)
+	v.Data, err = compress.ChunkedDecode(ctx, r.pool, r.codec, p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	dspan.End()
 	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
@@ -401,14 +403,27 @@ func (r *Reader) readDeltaChunks(ctx context.Context, h *adios.Handle, level int
 	return readDeltaChunksFrom(ctx, r.pool, h, r.codec, tb, level, wantChunks, out, have, decompress)
 }
 
+// floatScratchPool recycles the per-shard decode buffers of the tile reader:
+// every shard of the fan-out decodes its tiles into one reused []float64
+// instead of allocating a fresh output per tile.
+var floatScratchPool = sync.Pool{
+	New: func() any {
+		s := make([]float64, 0, 4096)
+		return &s
+	},
+}
+
 // readDeltaChunksFrom is the container-agnostic tile reader shared by the
 // single-variable Reader and the SeriesReader. The I/O happens first, as one
 // planned pass: the wanted tiles' extents are coalesced per the tier's gap
 // threshold and fetched as a few ranged reads (Handle.ReadManyBytes), so the
 // storage layer sees contiguous range requests instead of one operation per
-// tile. Decoding then fans out on the pool: tiles cover disjoint vertex id
-// sets, so concurrent scatters into out and have are race-free, and the
-// restored field does not depend on the worker count.
+// tile. Decoding then fans out on the pool, sharded over tiles: tiles cover
+// disjoint vertex id sets, so concurrent scatters into out and have are
+// race-free, and the restored field does not depend on the worker count.
+// When the container holds fewer tiles than the pool has workers (the
+// Chunks=1 layout), the chunked codec container supplies the parallelism
+// instead: each tile's frame fans out chunk-wise on the same pool.
 func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle, codec compress.Codec, tb tileBox, level int, wantChunks []int, out []float64, have []bool, decompress *engine.Counter) error {
 	chunks := wantChunks
 	if chunks == nil {
@@ -416,9 +431,6 @@ func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle
 		for i := range chunks {
 			chunks[i] = i
 		}
-	}
-	if pool == nil {
-		pool = engine.NewPool(1)
 	}
 	var vars []bp.VarInfo
 	var present []int
@@ -437,41 +449,66 @@ func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle
 	if err != nil {
 		return err
 	}
-	units := make([]engine.Unit, 0, len(present))
-	for i, ci := range present {
-		i, ci := i, ci
-		units = append(units, func(ctx context.Context) error {
-			ids, enc, err := decodeChunkPayload(payloads[i])
+	_, dspan := obs.StartSpan(ctx, "core.decompress")
+	dspan.SetAttrInt("tiles", len(present))
+	defer dspan.End()
+	// Tile-level and chunk-level parallelism compete for the same pool;
+	// route the pool to whichever axis has the fan-out.
+	var innerPool *engine.Pool
+	workers := 1
+	if pool != nil {
+		workers = pool.Workers()
+	}
+	if len(present) < workers {
+		innerPool = pool
+	}
+	t0 := time.Now()
+	err = pool.RunRange(ctx, len(present), func(start, end int) error {
+		scratch := floatScratchPool.Get().(*[]float64)
+		defer floatScratchPool.Put(scratch)
+		for i := start; i < end; i++ {
+			ci := present[i]
+			runs, enc, err := parseChunkPayload(payloads[i])
 			if err != nil {
 				return fmt.Errorf("canopus: level %d chunk %d: %w", level, ci, err)
 			}
-			_, dspan := obs.StartSpan(ctx, "core.decompress")
-			dspan.SetAttrInt("chunk", ci)
-			t0 := time.Now()
-			vals, err := codec.Decode(enc)
-			elapsed := time.Since(t0).Seconds()
-			dspan.End()
-			decompress.Add(elapsed)
-			metricDecompressSeconds.Add(elapsed)
+			vals, err := compress.ChunkedDecodeInto(ctx, innerPool, codec, (*scratch)[:0], enc)
 			if err != nil {
 				return fmt.Errorf("canopus: decompress delta %d chunk %d: %w", level, ci, err)
 			}
-			if len(vals) != len(ids) {
-				return fmt.Errorf("canopus: level %d chunk %d: %d values for %d ids", level, ci, len(vals), len(ids))
+			if cap(vals) > cap(*scratch) {
+				*scratch = vals[:0]
 			}
-			for j, id := range ids {
-				if int(id) >= len(out) {
-					return fmt.Errorf("canopus: level %d chunk %d: vertex id %d out of range", level, ci, id)
+			if len(vals) != runs.count() {
+				return fmt.Errorf("canopus: level %d chunk %d: %d values for %d ids", level, ci, len(vals), runs.count())
+			}
+			var bad int64 = -1
+			j := 0
+			runs.forEachRun(func(rstart, rlen int64) {
+				if rstart+rlen > int64(len(out)) {
+					if bad < 0 {
+						bad = rstart + rlen - 1
+					}
+					return
 				}
-				out[id] = vals[j]
+				copy(out[rstart:rstart+rlen], vals[j:j+int(rlen)])
+				j += int(rlen)
 				if have != nil {
-					have[id] = true
+					for k := rstart; k < rstart+rlen; k++ {
+						have[k] = true
+					}
 				}
+			})
+			if bad >= 0 {
+				return fmt.Errorf("canopus: level %d chunk %d: vertex id %d out of range", level, ci, bad)
 			}
-			return nil
-		})
-	}
-	return pool.Run(ctx, units...)
+		}
+		return nil
+	})
+	elapsed := time.Since(t0).Seconds()
+	decompress.Add(elapsed)
+	metricDecompressSeconds.Add(elapsed)
+	return err
 }
 
 // tileFrame parses the tiling frame recorded in a level container.

@@ -225,7 +225,11 @@ func (sw *SeriesWriter) WriteStep(ctx context.Context, data []float64) (*SeriesR
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		levelData[l+1] = sw.restrictions[l].Apply(levelData[l])
+		ld, err := sw.restrictions[l].ApplyParallel(ctx, sw.pool, levelData[l], nil)
+		if err != nil {
+			return nil, err
+		}
+		levelData[l+1] = ld
 	}
 	rep.Timings.DecimateSeconds = time.Since(t0).Seconds()
 
@@ -236,7 +240,7 @@ func (sw *SeriesWriter) WriteStep(ctx context.Context, data []float64) (*SeriesR
 	for l := 0; l < sw.opts.Levels-1; l++ {
 		l := l
 		deltaUnits = append(deltaUnits, func(ctx context.Context) error {
-			d, err := delta.Compute(sw.meshes[l], levelData[l], sw.meshes[l+1], levelData[l+1], sw.mappings[l], sw.est)
+			d, err := delta.ComputeInto(ctx, sw.pool, sw.meshes[l], levelData[l], sw.meshes[l+1], levelData[l+1], sw.mappings[l], sw.est, nil)
 			if err != nil {
 				return fmt.Errorf("canopus: step %d delta %d: %w", sw.steps, l, err)
 			}
@@ -260,7 +264,7 @@ func (sw *SeriesWriter) WriteStep(ctx context.Context, data []float64) (*SeriesR
 		compressUnits = append(compressUnits, func(ctx context.Context) error {
 			var products []engine.Product
 			if l == sw.opts.Levels-1 {
-				enc, err := sw.codec.Encode(levelData[l])
+				enc, err := encodeChunked(ctx, sw.pool, sw.codec, levelData[l], sw.opts.CodecChunk)
 				if err != nil {
 					return fmt.Errorf("canopus: step %d compress base: %w", sw.steps, err)
 				}
@@ -276,7 +280,7 @@ func (sw *SeriesWriter) WriteStep(ctx context.Context, data []float64) (*SeriesR
 					for j, id := range ids {
 						sub[j] = deltas[l][id]
 					}
-					enc, err := sw.codec.Encode(sub)
+					enc, err := encodeChunked(ctx, sw.pool, sw.codec, sub, sw.opts.CodecChunk)
 					if err != nil {
 						return fmt.Errorf("canopus: step %d compress delta %d: %w", sw.steps, l, err)
 					}
@@ -517,7 +521,7 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 	v.Timings.addHandleIO(h)
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
-	v.Data, err = sr.codec.Decode(p.Payload)
+	v.Data, err = compress.ChunkedDecode(ctx, sr.pool, sr.codec, p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	dspan.End()
 	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
@@ -549,7 +553,8 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 		rspan := span.Child("core.restore")
 		rspan.SetAttrInt("level", l)
 		t0 = time.Now()
-		fineData, err := delta.Restore(fineMesh, v.Mesh, v.Data, mp, d, sr.estimator)
+		// In-place parallel restore: the delta buffer becomes the step data.
+		fineData, err := delta.RestoreInto(ctx, sr.pool, fineMesh, v.Mesh, v.Data, mp, d, sr.estimator, d)
 		restoreSecs := time.Since(t0).Seconds()
 		rspan.End()
 		v.Timings.RestoreSeconds += restoreSecs

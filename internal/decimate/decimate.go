@@ -13,10 +13,12 @@
 package decimate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/mesh"
 	"repro/internal/pq"
 )
@@ -87,15 +89,51 @@ type Restriction [][]Weight
 
 // Apply computes the coarse data for a new field on the same input mesh.
 func (r Restriction) Apply(fine []float64) []float64 {
-	out := make([]float64, len(r))
-	for j, row := range r {
+	return r.ApplyInto(fine, nil)
+}
+
+// ApplyInto is Apply with dst reuse: the coarse values land in dst's backing
+// array when it has capacity, so a time-series writer restricting every step
+// allocates once.
+func (r Restriction) ApplyInto(fine, dst []float64) []float64 {
+	out := dst
+	if cap(out) >= len(r) {
+		out = out[:len(r)]
+	} else {
+		out = make([]float64, len(r))
+	}
+	r.applyRange(fine, out, 0, len(r))
+	return out
+}
+
+// ApplyParallel is ApplyInto with the per-row loop sharded over pool. Rows
+// are independent (each writes only out[j] from its own weight list), so the
+// result is bit-identical at every worker count.
+func (r Restriction) ApplyParallel(ctx context.Context, pool *engine.Pool, fine, dst []float64) ([]float64, error) {
+	out := dst
+	if cap(out) >= len(r) {
+		out = out[:len(r)]
+	} else {
+		out = make([]float64, len(r))
+	}
+	err := pool.RunRange(ctx, len(r), func(start, end int) error {
+		r.applyRange(fine, out, start, end)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (r Restriction) applyRange(fine, out []float64, start, end int) {
+	for j := start; j < end; j++ {
 		var s float64
-		for _, w := range row {
+		for _, w := range r[j] {
 			s += w.W * fine[w.Vertex]
 		}
 		out[j] = s
 	}
-	return out
 }
 
 // Result is the output of one decimation pass: level l+1 derived from

@@ -19,10 +19,12 @@
 package delta
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/mesh"
 )
 
@@ -127,35 +129,52 @@ func EstimateVertex(fine, coarse *mesh.Mesh, coarseData []float64, mp Mapping, e
 	return est.Estimate(li, lj, lk, u, v, w)
 }
 
-// estimates computes the per-fine-vertex estimate values shared by Compute
-// and Restore.
-func estimates(fine *mesh.Mesh, coarse *mesh.Mesh, coarseData []float64, mp Mapping, est Estimator) ([]float64, error) {
+// validateInputs is the shared precondition check for Compute and Restore.
+func validateInputs(fine, coarse *mesh.Mesh, coarseData []float64, mp Mapping) error {
 	if err := mp.Validate(fine, coarse); err != nil {
-		return nil, err
+		return err
 	}
 	if len(coarseData) != coarse.NumVerts() {
-		return nil, fmt.Errorf("delta: coarse data length %d != coarse vertex count %d", len(coarseData), coarse.NumVerts())
+		return fmt.Errorf("delta: coarse data length %d != coarse vertex count %d", len(coarseData), coarse.NumVerts())
 	}
-	out := make([]float64, fine.NumVerts())
-	for vi := range fine.Verts {
-		out[vi] = EstimateVertex(fine, coarse, coarseData, mp, est, int32(vi))
+	return nil
+}
+
+// sizeOut returns dst resized to n values, reusing its backing array when it
+// has room.
+func sizeOut(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
 	}
-	return out, nil
+	return make([]float64, n)
 }
 
 // Compute is Algorithm 2: it returns delta^(l−(l+1)), one value per fine
 // vertex.
 func Compute(fine *mesh.Mesh, fineData []float64, coarse *mesh.Mesh, coarseData []float64, mp Mapping, est Estimator) ([]float64, error) {
+	return ComputeInto(context.Background(), nil, fine, fineData, coarse, coarseData, mp, est, nil)
+}
+
+// ComputeInto is Compute with dst reuse and the per-vertex loop sharded over
+// pool (nil pool runs serially). dst may alias fineData for an in-place delta
+// calculation: each index is read before it is written and shards are
+// disjoint, so the result is bit-identical at every worker count.
+func ComputeInto(ctx context.Context, pool *engine.Pool, fine *mesh.Mesh, fineData []float64, coarse *mesh.Mesh, coarseData []float64, mp Mapping, est Estimator, dst []float64) ([]float64, error) {
 	if len(fineData) != fine.NumVerts() {
 		return nil, fmt.Errorf("delta: fine data length %d != fine vertex count %d", len(fineData), fine.NumVerts())
 	}
-	ests, err := estimates(fine, coarse, coarseData, mp, est)
-	if err != nil {
+	if err := validateInputs(fine, coarse, coarseData, mp); err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(fineData))
-	for i := range out {
-		out[i] = fineData[i] - ests[i]
+	out := sizeOut(dst, len(fineData))
+	err := pool.RunRange(ctx, len(out), func(start, end int) error {
+		for vi := start; vi < end; vi++ {
+			out[vi] = fineData[vi] - EstimateVertex(fine, coarse, coarseData, mp, est, int32(vi))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -166,16 +185,32 @@ func Compute(fine *mesh.Mesh, fineData []float64, coarse *mesh.Mesh, coarseData 
 // exactly a in IEEE-754); with an error-bounded codec the deviation adds the
 // codec's bound.
 func Restore(fine *mesh.Mesh, coarse *mesh.Mesh, coarseData []float64, mp Mapping, deltas []float64, est Estimator) ([]float64, error) {
+	return RestoreInto(context.Background(), nil, fine, coarse, coarseData, mp, deltas, est, nil)
+}
+
+// RestoreInto is Restore with dst reuse and the per-vertex loop sharded over
+// pool (nil pool runs serially). dst may alias deltas, turning restoration
+// in-place: the read of deltas[vi] happens before the write of out[vi] and
+// shards cover disjoint index ranges, so results are bit-identical at every
+// worker count. This is the hot half of the paper's read path — the restore
+// phase of Base/Augment — and the in-place form lets the caller reuse the
+// freshly decoded delta buffer as the output level.
+func RestoreInto(ctx context.Context, pool *engine.Pool, fine *mesh.Mesh, coarse *mesh.Mesh, coarseData []float64, mp Mapping, deltas []float64, est Estimator, dst []float64) ([]float64, error) {
 	if len(deltas) != fine.NumVerts() {
 		return nil, fmt.Errorf("delta: delta length %d != fine vertex count %d", len(deltas), fine.NumVerts())
 	}
-	ests, err := estimates(fine, coarse, coarseData, mp, est)
-	if err != nil {
+	if err := validateInputs(fine, coarse, coarseData, mp); err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(deltas))
-	for i := range out {
-		out[i] = deltas[i] + ests[i]
+	out := sizeOut(dst, len(deltas))
+	err := pool.RunRange(ctx, len(out), func(start, end int) error {
+		for vi := start; vi < end; vi++ {
+			out[vi] = deltas[vi] + EstimateVertex(fine, coarse, coarseData, mp, est, int32(vi))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -175,6 +175,49 @@ func runUnit(ctx context.Context, u Unit) error {
 	return err
 }
 
+// RunRange executes fn over the index range [0, n), sharded into contiguous
+// sub-ranges that run concurrently on the pool. It is the bulk-parallel
+// primitive for per-vertex and per-chunk loops on the hot read path: instead
+// of one closure (and one pool-accounting round) per element, the range is
+// split into at most a few shards per worker, so the allocation cost of the
+// fan-out is O(workers), not O(n). fn must be safe to call concurrently on
+// disjoint ranges; when every fn write targets its own indices the result is
+// bit-identical at every worker count. A nil or one-worker pool, or a small
+// n, degrades to a single inline call fn(0, n) with zero goroutines.
+func (p *Pool) RunRange(ctx context.Context, n int, fn func(start, end int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := 1
+	if p != nil {
+		workers = p.workers
+	}
+	// Two shards per worker evens out ragged per-element costs without
+	// shrinking shards below a useful grain.
+	shards := workers * 2
+	const minShard = 1024
+	if shards > (n+minShard-1)/minShard {
+		shards = (n + minShard - 1) / minShard
+	}
+	if workers == 1 || shards <= 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(0, n)
+	}
+	units := make([]Unit, shards)
+	per := (n + shards - 1) / shards
+	for i := range units {
+		start := i * per
+		end := start + per
+		if end > n {
+			end = n
+		}
+		units[i] = func(context.Context) error { return fn(start, end) }
+	}
+	return p.Run(ctx, units...)
+}
+
 // Counter is a float64 accumulator safe for concurrent adds. It exists so
 // PhaseTimings contributions from units running on different goroutines can
 // be collected without racing; at one worker its value is identical to a

@@ -1,12 +1,14 @@
 package grid
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/compress"
+	"repro/internal/engine"
 )
 
 // Compressed pyramid serialization: the structured-grid counterpart of the
@@ -30,13 +32,49 @@ const pyramidMagic = 0x31504743 // "CGP1"
 // plane. Restoring level l from the decoded pyramid deviates from the
 // original by at most (levels-l) * tol.
 func EncodePyramid(p *Pyramid, tol float64) ([]byte, error) {
+	return EncodePyramidParallel(context.Background(), nil, p, tol)
+}
+
+// EncodePyramidParallel is EncodePyramid with the per-plane zfp2d encodes
+// fanned out over pool (nil pool runs serially). Every plane is an
+// independent bitstream; planes are assembled in stream order regardless of
+// which worker encoded them, so the output is byte-identical at every worker
+// count.
+func EncodePyramidParallel(ctx context.Context, pool *engine.Pool, p *Pyramid, tol float64) ([]byte, error) {
 	z, err := compress.NewZFP2D(tol)
 	if err != nil {
 		return nil, err
 	}
+	// Plane order in the stream: base, then delta planes coarse to fine.
+	levels := p.Levels()
+	encs := make([][]byte, levels)
+	err = pool.RunRange(ctx, levels, func(start, end int) error {
+		for pi := start; pi < end; pi++ {
+			if pi == 0 {
+				enc, err := z.Encode(p.Base.Data, p.Base.NX, p.Base.NY)
+				if err != nil {
+					return fmt.Errorf("grid: encode base: %w", err)
+				}
+				encs[0] = enc
+				continue
+			}
+			l := levels - 1 - pi // coarse to fine: levels-2 down to 0
+			nx, ny := p.Dims[l][0], p.Dims[l][1]
+			enc, err := z.Encode(p.Deltas[l], nx, ny)
+			if err != nil {
+				return fmt.Errorf("grid: encode delta %d: %w", l, err)
+			}
+			encs[pi] = enc
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	out := make([]byte, 0, 1024)
 	out = binary.LittleEndian.AppendUint32(out, pyramidMagic)
-	out = binary.AppendUvarint(out, uint64(p.Levels()))
+	out = binary.AppendUvarint(out, uint64(levels))
 	for _, d := range p.Dims {
 		out = binary.AppendUvarint(out, uint64(d[0]))
 		out = binary.AppendUvarint(out, uint64(d[1]))
@@ -44,20 +82,7 @@ func EncodePyramid(p *Pyramid, tol float64) ([]byte, error) {
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Base.W))
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Base.H))
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(tol))
-
-	enc, err := z.Encode(p.Base.Data, p.Base.NX, p.Base.NY)
-	if err != nil {
-		return nil, fmt.Errorf("grid: encode base: %w", err)
-	}
-	out = binary.AppendUvarint(out, uint64(len(enc)))
-	out = append(out, enc...)
-
-	for l := p.Levels() - 2; l >= 0; l-- {
-		nx, ny := p.Dims[l][0], p.Dims[l][1]
-		enc, err := z.Encode(p.Deltas[l], nx, ny)
-		if err != nil {
-			return nil, fmt.Errorf("grid: encode delta %d: %w", l, err)
-		}
+	for _, enc := range encs {
 		out = binary.AppendUvarint(out, uint64(len(enc)))
 		out = append(out, enc...)
 	}

@@ -22,11 +22,12 @@ import (
 var (
 	namePattern = regexp.MustCompile(`^canopus_[a-z0-9]+(_[a-z0-9]+)+$`)
 	subsystems  = map[string]bool{
-		"engine":  true,
-		"storage": true,
-		"adios":   true,
-		"core":    true,
-		"obs":     true, // obs's own tests register under this subsystem
+		"engine":   true,
+		"storage":  true,
+		"adios":    true,
+		"core":     true,
+		"compress": true,
+		"obs":      true, // obs's own tests register under this subsystem
 	}
 )
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench.sh — run the end-to-end pipeline benchmark and the ranged-read
-# benchmark, emit the ranged-read results as BENCH_ranged.json, and emit
-# span-derived per-phase medians of the fixed observability workload as
-# BENCH_obs.json.
+# benchmark, emit the ranged-read results as BENCH_ranged.json, emit the
+# chunked-codec results (intra-product parallel decode plus the ranged-read
+# numbers they move) as BENCH_codec.json, and emit span-derived per-phase
+# medians of the fixed observability workload as BENCH_obs.json.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  value for go test -benchtime (default 1x for a quick sweep;
@@ -44,5 +45,41 @@ END { print "]" }
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# BENCH_codec.json: the chunked-codec micro-benchmarks (encode/decode of one
+# large product through the v2 frame, per codec and worker count, against
+# the unframed v1 baseline) plus the ranged-read cases re-used from the run
+# above — the end-to-end numbers the codec path is accountable for.
+CODEC_OUT="BENCH_codec.json"
+CODEC_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$CODEC_RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkChunked|BenchmarkV1Decode' \
+	-benchtime "$BENCHTIME" -benchmem ./internal/compress | tee "$CODEC_RAW"
+
+{
+	printf '{"codec":'
+	awk '
+	/^Benchmark(Chunked|V1Decode)/ {
+		name = $1
+		ns = ""; mbs = ""; bytes = ""; allocs = ""
+		for (i = 2; i <= NF; i++) {
+			if ($(i) == "ns/op") ns = $(i-1)
+			if ($(i) == "MB/s") mbs = $(i-1)
+			if ($(i) == "B/op") bytes = $(i-1)
+			if ($(i) == "allocs/op") allocs = $(i-1)
+		}
+		printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"mb_per_s\":%s,\"alloc_bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, ns, mbs == "" ? "null" : mbs, bytes, allocs
+		sep = ",\n  "
+	}
+	BEGIN { printf "[" }
+	END { printf "]" }
+	' "$CODEC_RAW"
+	printf ',\n "ranged_read":'
+	cat "$OUT"
+	printf '}\n'
+} > "$CODEC_OUT"
+
+echo "wrote $CODEC_OUT"
 
 go run ./cmd/canopus-bench -obs-json BENCH_obs.json -scale quick
