@@ -29,6 +29,7 @@ func main() {
 	ascii := flag.Bool("ascii", false, "render text-art galleries for Figs. 4 and 7")
 	workers := flag.Int("workers", 0, "concurrent pipeline workers (0 = NumCPU, 1 = serial)")
 	obsJSON := flag.String("obs-json", "", "run the fixed observability workload and write span-phase medians to this file")
+	faultSpec := flag.String("fault-spec", "", "run the fault-injection demo under this spec (e.g. seed=1,tier=lustre,read.err=1)")
 	var ocli obs.CLI
 	ocli.Bind(flag.CommandLine)
 	flag.Parse()
@@ -43,8 +44,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "canopus-bench: unknown scale %q (want paper or quick)\n", *scale)
 		os.Exit(2)
 	}
-	// -obs-json alone runs just the fixed observability workload; an
-	// explicit -fig alongside it runs both.
+	// -obs-json or -fault-spec alone run just their own workload; an
+	// explicit -fig alongside either runs the figures too.
 	figSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "fig" {
@@ -59,8 +60,11 @@ func main() {
 		r := bench.New(os.Stdout, s)
 		r.ASCII = *ascii
 		r.Workers = *workers
-		if *obsJSON == "" || figSet {
+		if (*obsJSON == "" && *faultSpec == "") || figSet {
 			err = r.Run(*fig)
+		}
+		if err == nil && *faultSpec != "" {
+			err = r.FaultDemo(ctx, *faultSpec)
 		}
 		if err == nil && *obsJSON != "" {
 			err = r.ObsBench(ctx, *obsJSON)

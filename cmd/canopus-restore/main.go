@@ -34,6 +34,7 @@ func main() {
 	ascii := flag.Bool("ascii", false, "render the restored field as text art")
 	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
 	cacheMB := flag.Int("cache-mb", 0, "page cache size in MiB shared across reads (0 = no cache)")
+	degrade := flag.Bool("degrade", false, "return the best accuracy achieved when a delta level is corrupt or unreachable, instead of failing")
 	var ocli obs.CLI
 	ocli.Bind(flag.CommandLine)
 	flag.Parse()
@@ -42,7 +43,7 @@ func main() {
 	defer stop()
 	ctx, finish, err := ocli.Start(ctx, "canopus-restore")
 	if err == nil {
-		err = run(ctx, *dir, *name, *level, *region, *ascii, *workers, *cacheMB)
+		err = run(ctx, *dir, *name, *level, *region, *ascii, *workers, *cacheMB, *degrade)
 		if ferr := finish(); err == nil {
 			err = ferr
 		}
@@ -50,6 +51,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "canopus-restore: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// printDegradation reports a degraded retrieval on stderr so scripted
+// consumers of stdout notice without having to parse the data lines.
+func printDegradation(d *core.Degradation) {
+	if d == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "canopus-restore: DEGRADED: wanted level %d, achieved level %d (%d level(s) lost): %s\n",
+		d.RequestedLevel, d.AchievedLevel, d.LevelsLost, d.Reason)
+	if d.ErrorBound >= 0 {
+		fmt.Fprintf(os.Stderr, "canopus-restore: achieved error bound %.3g\n", d.ErrorBound)
 	}
 }
 
@@ -67,7 +81,7 @@ func parseRegion(s string) (minX, minY, maxX, maxY float64, err error) {
 	return vals[0], vals[1], vals[2], vals[3], nil
 }
 
-func run(ctx context.Context, dir, name string, level int, region string, ascii bool, workers, cacheMB int) error {
+func run(ctx context.Context, dir, name string, level int, region string, ascii bool, workers, cacheMB int, degrade bool) error {
 	h, err := storage.FileTwoTier(dir, 0)
 	if err != nil {
 		return err
@@ -81,6 +95,7 @@ func run(ctx context.Context, dir, name string, level int, region string, ascii 
 		return err
 	}
 	rd.SetWorkers(workers)
+	rd.SetDegrade(degrade)
 	if region != "" {
 		minX, minY, maxX, maxY, err := parseRegion(region)
 		if err != nil {
@@ -93,6 +108,7 @@ func run(ctx context.Context, dir, name string, level int, region string, ascii 
 		fmt.Printf("%s level %d: focused retrieval of [%g,%g]x[%g,%g]\n", name, level, minX, maxX, minY, maxY)
 		fmt.Printf("restored %d of %d vertices, reading %d bytes modeled (%d real) in %.2f ms simulated I/O\n",
 			rv.CountHave(), rv.Mesh.NumVerts(), rv.Timings.IOBytes, rv.Timings.IORealBytes, rv.Timings.IOSeconds*1e3)
+		printDegradation(rv.Degradation)
 		return nil
 	}
 	v, err := rd.Retrieve(ctx, level)
@@ -105,6 +121,7 @@ func run(ctx context.Context, dir, name string, level int, region string, ascii 
 		hi = math.Max(hi, x)
 	}
 	fmt.Printf("%s restored to level %d of %d (mode %s)\n", name, v.Level, rd.Levels(), rd.Mode())
+	printDegradation(v.Degradation)
 	fmt.Printf("mesh: %d vertices, %d triangles\n", v.Mesh.NumVerts(), v.Mesh.NumTris())
 	fmt.Printf("data: range [%.4g, %.4g], stddev %.4g\n", lo, hi, analysis.StdDev(v.Data))
 	fmt.Printf("codec error bound: %.3g per restored level\n", rd.Tolerance())

@@ -2,6 +2,7 @@ package adios
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -90,6 +91,20 @@ func (io *IO) WriteContainer(ctx context.Context, key string, w *bp.Writer, pref
 	return io.Transport.Write(ctx, io.H, key, w.Bytes(), pref)
 }
 
+// dropCaches forgets everything this IO cached for key. Readers call it when
+// a fetch reports storage.ErrCorrupt: the parsed index and any cached pages
+// were derived from bytes that can no longer be trusted, and keeping them
+// would let a later open serve a stale-but-plausible view of a container the
+// operator has since repaired or rewritten.
+func (io *IO) dropCaches(key string) {
+	if io.Cache != nil {
+		io.Cache.Invalidate(key)
+	}
+	io.idxMu.Lock()
+	delete(io.idxCache, key)
+	io.idxMu.Unlock()
+}
+
 // Handle is an open container. Reads through it are genuinely ranged: every
 // fetch — footer, index, variable payloads — moves only the requested byte
 // extents out of the storage backend, so opening a container and retrieving
@@ -125,8 +140,11 @@ type Handle struct {
 // Before this refactor the handle held the whole container in memory and
 // only *charged* for extents; now the extents are what actually moves.
 type costTracker struct {
-	ctx   context.Context
-	h     *storage.Hierarchy
+	ctx context.Context
+	h   *storage.Hierarchy
+	// owner is the IO this tracker reads for; a corrupt fetch drops the
+	// owner's caches for the key.
+	owner *IO
 	cache *PageCache
 	key   string
 	size  int64
@@ -144,6 +162,9 @@ type costTracker struct {
 func (c *costTracker) fetch(off, n int64) ([]byte, error) {
 	data, _, err := c.h.GetRange(c.ctx, c.key, off, n, c.readers)
 	if err != nil {
+		if c.owner != nil && errors.Is(err, storage.ErrCorrupt) {
+			c.owner.dropCaches(c.key)
+		}
 		return nil, err
 	}
 	c.real.Add(int64(len(data)))
@@ -213,6 +234,7 @@ func (io *IO) Open(ctx context.Context, key string, readers int) (*Handle, error
 	tr := &costTracker{
 		ctx:     ctx,
 		h:       io.H,
+		owner:   io,
 		cache:   io.Cache,
 		key:     key,
 		size:    size,

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// FaultDemo exercises the failure model end to end under an injected fault
+// spec (storage.ParseFaultSpec grammar): it refactors the CFD dataset onto
+// the two-tier stack, arms the faults, then retrieves full accuracy twice —
+// once strictly (typed error expected when the spec is severe enough) and
+// once with Options.Degrade (best-achieved accuracy plus a Degradation
+// report). It ends with the canopus_storage_* fault and retry counters so a
+// CI run has the whole story in one artifact.
+func (r *Runner) FaultDemo(ctx context.Context, spec string) error {
+	if _, err := storage.ParseFaultSpec(spec); err != nil {
+		return err // reject a bad spec before paying for the refactor
+	}
+	r.header("Fault injection: " + spec)
+	ds := r.cfd()
+	aio := newIO()
+	if _, err := core.Write(ctx, aio, ds, core.Options{Levels: 3, Workers: r.Workers}); err != nil {
+		return err
+	}
+	n, err := aio.H.InjectFaults(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Out, "dataset %s: %d vertices, 3 levels; faults armed on %d tier(s)\n",
+		ds.Name, ds.Mesh.NumVerts(), n)
+
+	w := r.table()
+	fmt.Fprintln(w, "mode\tlevel asked\tlevel got\tlevels lost\toutcome")
+	strictOutcome := "ok"
+	rd, err := core.OpenReader(ctx, aio, ds.Name)
+	if err != nil {
+		return fmt.Errorf("open reader: %w", err)
+	}
+	if v, rerr := rd.Retrieve(ctx, 0); rerr != nil {
+		strictOutcome = rerr.Error()
+		fmt.Fprintf(w, "strict\t0\t-\t-\t%s\n", truncate(strictOutcome, 72))
+	} else {
+		fmt.Fprintf(w, "strict\t0\t%d\t0\tok\n", v.Level)
+	}
+	rd.SetDegrade(true)
+	if v, rerr := rd.Retrieve(ctx, 0); rerr != nil {
+		fmt.Fprintf(w, "degrade\t0\t-\t-\t%s\n", truncate(rerr.Error(), 72))
+	} else if v.Degradation != nil {
+		d := v.Degradation
+		fmt.Fprintf(w, "degrade\t%d\t%d\t%d\t%s\n",
+			d.RequestedLevel, d.AchievedLevel, d.LevelsLost, truncate(d.Reason, 72))
+	} else {
+		fmt.Fprintf(w, "degrade\t0\t%d\t0\tok (no degradation needed)\n", v.Level)
+	}
+	w.Flush()
+
+	// Storage-layer fault and retry counters, sorted for stable output.
+	snap := obs.Default.Snapshot()
+	var keys []string
+	for k := range snap {
+		if strings.HasPrefix(k, "canopus_storage_") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	mw := r.table()
+	fmt.Fprintln(mw, "metric\tvalue")
+	for _, k := range keys {
+		fmt.Fprintf(mw, "%s\t%v\n", k, snap[k])
+	}
+	return mw.Flush()
+}
+
+// truncate clips s for one-line table cells.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

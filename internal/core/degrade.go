@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// Graceful degradation. Canopus's decomposition into an independently
+// usable base plus per-level deltas means a broken or unreachable delta
+// does not have to fail a retrieval: every level already restored is a
+// complete, valid view at its own accuracy. With degradation enabled
+// (Options.Degrade at open, or SetDegrade on a live reader) the read paths
+// stop at the best accuracy actually achieved and attach a Degradation
+// report instead of returning an error — the paper's accuracy-for-latency
+// elasticity repurposed for availability. The base level itself has nothing
+// coarser to fall back to, so base failures always surface as errors.
+
+var (
+	metricDegradedRetrievals = obs.NewCounter("canopus_core_degraded_retrievals_total")
+	metricDegradedLevelsLost = obs.NewCounter("canopus_core_degraded_levels_lost_total")
+)
+
+// Degradation reports a retrieval that completed below the accuracy it was
+// asked for.
+type Degradation struct {
+	// RequestedLevel is the accuracy the caller asked for (0 = full).
+	RequestedLevel int
+	// AchievedLevel is the accuracy actually restored (> RequestedLevel).
+	AchievedLevel int
+	// LevelsLost = AchievedLevel - RequestedLevel.
+	LevelsLost int
+	// Reason is the storage error that stopped refinement.
+	Reason string
+	// ErrorBound is the achieved view's absolute error bound when one is
+	// known: the codec tolerance when AchievedLevel is 0. Coarser levels add
+	// decimation error the codec bound does not cover, so it is -1 there.
+	ErrorBound float64
+}
+
+// newDegradation builds the report for a retrieval stopped at `achieved` by
+// err. Callers count the final report with countDegradation exactly once
+// per retrieval (a regional retrieval may degrade more than once on its way
+// down, keeping only the last report).
+func newDegradation(requested, achieved int, err error, tolerance float64) *Degradation {
+	d := &Degradation{
+		RequestedLevel: requested,
+		AchievedLevel:  achieved,
+		LevelsLost:     achieved - requested,
+		Reason:         err.Error(),
+		ErrorBound:     -1,
+	}
+	if achieved == 0 {
+		d.ErrorBound = tolerance
+	}
+	return d
+}
+
+func countDegradation(d *Degradation) {
+	metricDegradedRetrievals.Inc()
+	metricDegradedLevelsLost.Add(int64(d.LevelsLost))
+}
+
+// degradable reports whether err is a storage-layer failure a degraded
+// retrieval may absorb: the product is gone, corrupt, or its tier keeps
+// faulting after the hierarchy's own retries. Cancellation and deadline
+// errors are the caller giving up, not the storage failing, and decode or
+// layout errors on intact bytes are bugs — none of those degrade.
+func degradable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, storage.ErrNotFound) ||
+		errors.Is(err, storage.ErrCorrupt) ||
+		errors.Is(err, storage.ErrTransient)
+}

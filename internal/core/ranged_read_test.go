@@ -37,6 +37,11 @@ func (b *countingBackend) GetRange(key string, off, n int64) ([]byte, error) {
 
 func countedIO() (*adios.IO, []*countingBackend) {
 	h := storage.TitanTwoTier(0)
+	// These tests pin byte-exact extent accounting of the raw ranged-read
+	// path; the integrity envelope rounds reads up to checksum-block
+	// granularity, which its own selectivity test bounds separately
+	// (TestEnvelopedRangedReadStaysSelective in internal/storage).
+	h.SetEnvelopeBlock(-1)
 	counters := make([]*countingBackend, h.NumTiers())
 	for i := 0; i < h.NumTiers(); i++ {
 		tier := h.Tier(i)

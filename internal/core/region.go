@@ -30,6 +30,9 @@ type RegionView struct {
 	Have []bool
 	// Timings accumulates the retrieval costs.
 	Timings PhaseTimings
+	// Degradation is non-nil when the view stopped short of the requested
+	// accuracy under Options.Degrade; Level then equals AchievedLevel.
+	Degradation *Degradation
 }
 
 // CountHave reports how many vertices carry valid data.
@@ -72,28 +75,28 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	span.SetAttrInt("target_level", targetLevel)
 	defer span.End()
 	metricRegionRetrievals.Inc()
+	degrade := r.degradeOn()
 
 	out := &RegionView{Level: targetLevel}
 
-	// Open every container from the target level up to the base, load
-	// meshes and mappings (cached across calls), and accumulate their
-	// (first-time) I/O cost.
+	// Open containers base-down to the target level, loading meshes and
+	// mappings (cached across calls). The order matters for degradation:
+	// the base must open (there is nothing coarser to fall back to), and a
+	// degradable failure at a finer level clamps the effective target to
+	// the finest level whose metadata is intact.
 	base := r.levels - 1
+	effTarget := targetLevel
+	var deg *Degradation
 	handles := make([]*handleInfo, base+1)
-	for l := targetLevel; l <= base; l++ {
-		h, err := r.aio.Open(ctx, levelKey(r.name, l), 1)
+	for l := base; l >= targetLevel; l-- {
+		info, err := r.openLevelInfo(ctx, l, base)
 		if err != nil {
-			return nil, err
-		}
-		m, err := r.readMesh(h, l)
-		if err != nil {
-			return nil, err
-		}
-		info := &handleInfo{h: h, mesh: m}
-		if l < base {
-			if info.mapping, err = r.readMapping(h, l); err != nil {
-				return nil, err
+			if l < base && degrade && degradable(err) {
+				deg = newDegradation(targetLevel, l+1, err, r.tolerance)
+				effTarget = l + 1
+				break
 			}
+			return nil, err
 		}
 		handles[l] = info
 	}
@@ -102,13 +105,13 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	// base: needed corners at level l+1 are the triangle corners the
 	// mapping assigns to needed vertices at level l.
 	needed := make([][]bool, base+1)
-	needed[targetLevel] = make([]bool, handles[targetLevel].mesh.NumVerts())
-	for vi, v := range handles[targetLevel].mesh.Verts {
+	needed[effTarget] = make([]bool, handles[effTarget].mesh.NumVerts())
+	for vi, v := range handles[effTarget].mesh.Verts {
 		if v.X >= minX && v.X <= maxX && v.Y >= minY && v.Y <= maxY {
-			needed[targetLevel][vi] = true
+			needed[effTarget][vi] = true
 		}
 	}
-	for l := targetLevel; l < base; l++ {
+	for l := effTarget; l < base; l++ {
 		fine := handles[l]
 		coarseMesh := handles[l+1].mesh
 		needed[l+1] = make([]bool, coarseMesh.NumVerts())
@@ -144,9 +147,10 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	}
 
 	// Restore coarse-to-fine, needed vertices only, fetching only the
-	// delta tiles that hold them.
+	// delta tiles that hold them. A degradable fetch failure stops the
+	// refinement with the coarser level's data intact.
 	data := baseData
-	for l := base - 1; l >= targetLevel; l-- {
+	for l := base - 1; l >= effTarget; l-- {
 		fine := handles[l]
 		tb, err := r.tileFrame(fine.h)
 		if err != nil {
@@ -169,6 +173,11 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 		haveDelta := make([]bool, fine.mesh.NumVerts())
 		var decompress engine.Counter
 		if err := r.readDeltaChunks(ctx, fine.h, l, chunks, deltas, haveDelta, &decompress); err != nil {
+			if degrade && degradable(err) {
+				deg = newDegradation(targetLevel, l+1, err, r.tolerance)
+				effTarget = l + 1
+				break
+			}
 			return nil, err
 		}
 		out.Timings.DecompressSeconds += decompress.Value()
@@ -207,19 +216,26 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	}
 
 	// Accumulate I/O from every handle touched.
-	for l := targetLevel; l <= base; l++ {
+	for l := effTarget; l <= base; l++ {
 		out.Timings.addHandleIO(handles[l].h)
 	}
-	out.Mesh = handles[targetLevel].mesh
+	out.Level = effTarget
+	out.Mesh = handles[effTarget].mesh
 	out.Data = data
-	if targetLevel == base {
+	if effTarget == base {
 		// The base is fully restored by construction.
 		out.Have = make([]bool, len(data))
 		for i := range out.Have {
 			out.Have[i] = true
 		}
 	} else {
-		out.Have = needed[targetLevel]
+		out.Have = needed[effTarget]
+	}
+	if deg != nil {
+		out.Degradation = deg
+		countDegradation(deg)
+		span.SetAttrInt("achieved_level", effTarget)
+		span.SetAttr("degraded", "true")
 	}
 	return out, nil
 }
@@ -228,4 +244,24 @@ type handleInfo struct {
 	h       *adios.Handle
 	mesh    *mesh.Mesh
 	mapping delta.Mapping
+}
+
+// openLevelInfo opens one level container and loads its cached mesh (and,
+// for non-base levels, mapping).
+func (r *Reader) openLevelInfo(ctx context.Context, l, base int) (*handleInfo, error) {
+	h, err := r.aio.Open(ctx, levelKey(r.name, l), 1)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.readMesh(h, l)
+	if err != nil {
+		return nil, err
+	}
+	info := &handleInfo{h: h, mesh: m}
+	if l < base {
+		if info.mapping, err = r.readMapping(h, l); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
 }

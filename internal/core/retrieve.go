@@ -43,12 +43,45 @@ type Reader struct {
 	tolerance float64
 	rawBytes  int64
 
+	// degrade switches Retrieve/RetrieveRegion to best-effort: stop at the
+	// best restored accuracy on a degradable storage failure instead of
+	// erroring (see degrade.go). Guarded by mu so SetDegrade is safe against
+	// concurrent retrievals.
+	degrade bool
+
 	pool *engine.Pool
 
 	mu           sync.RWMutex // guards the caches below
 	meshCache    map[int]*mesh.Mesh
 	mappingCache map[int]delta.Mapping
 	flight       engine.Group
+}
+
+// OpenReaderWith loads the metadata for a refactored variable and applies
+// the read-side options (currently only opts.Degrade; layout options come
+// from the stored metadata, not from opts).
+func OpenReaderWith(ctx context.Context, aio *adios.IO, name string, opts Options) (*Reader, error) {
+	r, err := OpenReader(ctx, aio, name)
+	if err != nil {
+		return nil, err
+	}
+	r.SetDegrade(opts.Degrade)
+	return r, nil
+}
+
+// SetDegrade toggles graceful degradation on the reader (see
+// Options.Degrade). Safe to call concurrently with retrievals; in-flight
+// retrievals may use either setting.
+func (r *Reader) SetDegrade(on bool) {
+	r.mu.Lock()
+	r.degrade = on
+	r.mu.Unlock()
+}
+
+func (r *Reader) degradeOn() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.degrade
 }
 
 // OpenReader loads the metadata for a refactored variable.
@@ -147,6 +180,9 @@ type View struct {
 	// Timings accumulates I/O (simulated), decompression and
 	// restoration costs across the retrievals that built this view.
 	Timings PhaseTimings
+	// Degradation is non-nil when the view stopped short of the requested
+	// accuracy under Options.Degrade; Level then equals AchievedLevel.
+	Degradation *Degradation
 }
 
 // DecimationRatio reports |V^0| / |V^Level| relative to the full mesh, when
@@ -266,6 +302,9 @@ func (r *Reader) Augment(ctx context.Context, v *View) error {
 // Retrieve restores the variable to the requested accuracy level,
 // progressing from the base through the required deltas (or reading one
 // product in direct mode). Cancelling ctx aborts the retrieval mid-fetch.
+// With degradation enabled, a delta that cannot be read leaves the view at
+// the last level that restored cleanly, reported via View.Degradation; the
+// base itself must still be readable.
 func (r *Reader) Retrieve(ctx context.Context, targetLevel int) (*View, error) {
 	if targetLevel < 0 || targetLevel >= r.levels {
 		return nil, fmt.Errorf("canopus: level %d out of range [0,%d)", targetLevel, r.levels)
@@ -276,7 +315,7 @@ func (r *Reader) Retrieve(ctx context.Context, targetLevel int) (*View, error) {
 	defer span.End()
 	metricRetrievals.Inc()
 	if r.mode == ModeDirect {
-		return r.retrieveDirect(ctx, targetLevel)
+		return r.retrieveDirectDegrading(ctx, span, targetLevel)
 	}
 	v, err := r.Base(ctx)
 	if err != nil {
@@ -284,10 +323,42 @@ func (r *Reader) Retrieve(ctx context.Context, targetLevel int) (*View, error) {
 	}
 	for v.Level > targetLevel {
 		if err := r.Augment(ctx, v); err != nil {
+			if r.degradeOn() && degradable(err) {
+				v.Degradation = newDegradation(targetLevel, v.Level, err, r.tolerance)
+				countDegradation(v.Degradation)
+				span.SetAttrInt("achieved_level", v.Level)
+				span.SetAttr("degraded", "true")
+				return v, nil
+			}
 			return nil, err
 		}
 	}
 	return v, nil
+}
+
+// retrieveDirectDegrading is Retrieve's direct-mode body: each level is an
+// independently stored product, so degradation walks toward coarser levels
+// until one reads cleanly.
+func (r *Reader) retrieveDirectDegrading(ctx context.Context, span *obs.Span, targetLevel int) (*View, error) {
+	v, err := r.retrieveDirect(ctx, targetLevel)
+	if err == nil || !r.degradeOn() || !degradable(err) {
+		return v, err
+	}
+	firstErr := err
+	for l := targetLevel + 1; l < r.levels; l++ {
+		v, lerr := r.retrieveDirect(ctx, l)
+		if lerr == nil {
+			v.Degradation = newDegradation(targetLevel, l, firstErr, r.tolerance)
+			countDegradation(v.Degradation)
+			span.SetAttrInt("achieved_level", l)
+			span.SetAttr("degraded", "true")
+			return v, nil
+		}
+		if !degradable(lerr) {
+			return nil, lerr
+		}
+	}
+	return nil, firstErr
 }
 
 // retrieveDirect reads level l compressed directly (the §II-B baseline).

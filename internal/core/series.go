@@ -335,12 +335,41 @@ type SeriesReader struct {
 	tolerance float64
 	pool      *engine.Pool
 
-	mu       sync.Mutex // guards the hierarchy caches and hierCost
+	// degrade switches RetrieveStep to best-effort on delta failures
+	// (see degrade.go). Guarded by mu.
+	degrade bool
+
+	mu       sync.Mutex // guards the hierarchy caches, hierCost and degrade
 	meshes   map[int]*mesh.Mesh
 	mappings map[int]delta.Mapping
 	tiles    map[int]tileBox
 	hierCost storage.Cost
 	flight   engine.Group
+}
+
+// OpenSeriesReaderWith loads a campaign's metadata and applies the
+// read-side options (currently only opts.Degrade).
+func OpenSeriesReaderWith(ctx context.Context, aio *adios.IO, name string, opts Options) (*SeriesReader, error) {
+	sr, err := OpenSeriesReader(ctx, aio, name)
+	if err != nil {
+		return nil, err
+	}
+	sr.SetDegrade(opts.Degrade)
+	return sr, nil
+}
+
+// SetDegrade toggles graceful degradation on the series reader (see
+// Options.Degrade). Safe to call concurrently with retrievals.
+func (sr *SeriesReader) SetDegrade(on bool) {
+	sr.mu.Lock()
+	sr.degrade = on
+	sr.mu.Unlock()
+}
+
+func (sr *SeriesReader) degradeOn() bool {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.degrade
 }
 
 // OpenSeriesReader loads a campaign's metadata.
@@ -533,40 +562,59 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 			step, len(v.Data), baseMesh.NumVerts())
 	}
 
+	degrade := sr.degradeOn()
 	for l := base - 1; l >= targetLevel; l-- {
-		fineMesh, mp, tb, err := sr.hier(ctx, l)
-		if err != nil {
+		if err := sr.augmentStep(ctx, span, step, l, v); err != nil {
+			if degrade && degradable(err) {
+				v.Degradation = newDegradation(targetLevel, v.Level, err, sr.tolerance)
+				countDegradation(v.Degradation)
+				span.SetAttrInt("achieved_level", v.Level)
+				span.SetAttr("degraded", "true")
+				return v, nil
+			}
 			return nil, err
 		}
-		hs, err := sr.aio.Open(ctx, stepKey(sr.name, step, l), 1)
-		if err != nil {
-			return nil, err
-		}
-		d := make([]float64, fineMesh.NumVerts())
-		var decompress engine.Counter
-		if err := readDeltaChunksFrom(ctx, sr.pool, hs, sr.codec, tb, l, nil, d, nil, &decompress); err != nil {
-			return nil, err
-		}
-		v.Timings.addHandleIO(hs)
-		v.Timings.DecompressSeconds += decompress.Value()
-
-		rspan := span.Child("core.restore")
-		rspan.SetAttrInt("level", l)
-		t0 = time.Now()
-		// In-place parallel restore: the delta buffer becomes the step data.
-		fineData, err := delta.RestoreInto(ctx, sr.pool, fineMesh, v.Mesh, v.Data, mp, d, sr.estimator, d)
-		restoreSecs := time.Since(t0).Seconds()
-		rspan.End()
-		v.Timings.RestoreSeconds += restoreSecs
-		metricRestoreSeconds.Add(restoreSecs)
-		if err != nil {
-			return nil, fmt.Errorf("canopus: step %d restore level %d: %w", step, l, err)
-		}
-		v.Level = l
-		v.Mesh = fineMesh
-		v.Data = fineData
 	}
 	return v, nil
+}
+
+// augmentStep refines a step view by one level: fetch the level's delta
+// container for the step and restore against the already-held coarse data.
+// The view is only mutated on success, so a failed refinement leaves it a
+// complete, valid view of the coarser level — what degradation returns.
+func (sr *SeriesReader) augmentStep(ctx context.Context, span *obs.Span, step, l int, v *View) error {
+	fineMesh, mp, tb, err := sr.hier(ctx, l)
+	if err != nil {
+		return err
+	}
+	hs, err := sr.aio.Open(ctx, stepKey(sr.name, step, l), 1)
+	if err != nil {
+		return err
+	}
+	d := make([]float64, fineMesh.NumVerts())
+	var decompress engine.Counter
+	if err := readDeltaChunksFrom(ctx, sr.pool, hs, sr.codec, tb, l, nil, d, nil, &decompress); err != nil {
+		return err
+	}
+	v.Timings.addHandleIO(hs)
+	v.Timings.DecompressSeconds += decompress.Value()
+
+	rspan := span.Child("core.restore")
+	rspan.SetAttrInt("level", l)
+	t0 := time.Now()
+	// In-place parallel restore: the delta buffer becomes the step data.
+	fineData, err := delta.RestoreInto(ctx, sr.pool, fineMesh, v.Mesh, v.Data, mp, d, sr.estimator, d)
+	restoreSecs := time.Since(t0).Seconds()
+	rspan.End()
+	v.Timings.RestoreSeconds += restoreSecs
+	metricRestoreSeconds.Add(restoreSecs)
+	if err != nil {
+		return fmt.Errorf("canopus: step %d restore level %d: %w", step, l, err)
+	}
+	v.Level = l
+	v.Mesh = fineMesh
+	v.Data = fineData
+	return nil
 }
 
 // HierarchyCost reports the accumulated one-time cost of loading the shared

@@ -26,8 +26,13 @@ type FileBackend struct {
 	used int64
 }
 
+// tmpPrefix marks in-flight Put temp files. They are invisible to Keys/Used
+// and swept on backend open: one left behind is a put that crashed before
+// its atomic rename, and the key's previous value is still intact.
+const tmpPrefix = ".tmp-put-"
+
 // NewFileBackend creates (if needed) and wraps dir. Existing files are
-// counted toward Used.
+// counted toward Used; stray write temps from a crashed process are removed.
 func NewFileBackend(dir string) (*FileBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create backend dir: %w", err)
@@ -38,6 +43,10 @@ func NewFileBackend(dir string) (*FileBackend, error) {
 		return nil, fmt.Errorf("storage: scan backend dir: %w", err)
 	}
 	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
 		if info, err := e.Info(); err == nil && !e.IsDir() {
 			b.used += info.Size()
 		}
@@ -45,7 +54,8 @@ func NewFileBackend(dir string) (*FileBackend, error) {
 	return b, nil
 }
 
-// encodeKey makes an arbitrary key filesystem-safe.
+// encodeKey makes an arbitrary key filesystem-safe. Keys starting with '.'
+// are hex-escaped so no key can collide with the dot-prefixed write temps.
 func encodeKey(key string) string {
 	safe := true
 	for _, r := range key {
@@ -55,7 +65,7 @@ func encodeKey(key string) string {
 			break
 		}
 	}
-	if safe && key != "" && !strings.HasPrefix(key, "x-") {
+	if safe && key != "" && !strings.HasPrefix(key, "x-") && !strings.HasPrefix(key, ".") {
 		return key
 	}
 	return "x-" + hex.EncodeToString([]byte(key))
@@ -70,19 +80,67 @@ func decodeKey(name string) string {
 	return name
 }
 
-// Put implements Backend.
+// Put implements Backend. The bytes go to a temp file first, are fsynced,
+// and reach the key's path only via atomic rename — a crash at any point
+// leaves either the old value or the new one, never a torn file that later
+// reads would serve silently.
 func (b *FileBackend) Put(key string, data []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	path := filepath.Join(b.dir, encodeKey(key))
+	var old int64 = -1
 	if info, err := os.Stat(path); err == nil {
-		b.used -= info.Size()
+		old = info.Size()
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(b.dir, tmpPrefix+"*")
+	if err != nil {
 		return fmt.Errorf("storage: write %q: %w", key, err)
+	}
+	if err := writeSyncClose(tmp, data); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("storage: write %q: %w", key, err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("storage: write %q: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("storage: write %q: %w", key, err)
+	}
+	if old >= 0 {
+		b.used -= old
 	}
 	b.used += int64(len(data))
 	return nil
+}
+
+func writeSyncClose(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CrashPut simulates the process dying n bytes into a Put: the partial
+// bytes land in a write temp that is never renamed — exactly the torn state
+// the atomic protocol can leave — and the put is reported failed with a
+// transient error. The key's previous value is untouched. FaultBackend's
+// write.crash mode drives this to prove crash consistency.
+func (b *FileBackend) CrashPut(key string, data []byte, n int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n = max(0, min(n, len(data)))
+	if tmp, err := os.CreateTemp(b.dir, tmpPrefix+"*"); err == nil {
+		_, _ = tmp.Write(data[:n])
+		_ = tmp.Close()
+	}
+	return fmt.Errorf("storage: %w: put %q crashed after %d of %d bytes", ErrTransient, key, n, len(data))
 }
 
 // Get implements Backend.
@@ -178,7 +236,7 @@ func (b *FileBackend) Keys() []string {
 	}
 	var out []string
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() && !strings.HasPrefix(e.Name(), tmpPrefix) {
 			out = append(out, decodeKey(e.Name()))
 		}
 	}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -13,8 +14,9 @@ import (
 // hierarchy construction; hierarchies sharing tier names (every test builds
 // its own TitanTwoTier) share the process-wide counters.
 var (
-	metricPutBypass   = obs.NewCounter("canopus_storage_put_bypass_total")
-	metricReadRetries = obs.NewCounter("canopus_storage_read_retries_total")
+	metricPutBypass      = obs.NewCounter("canopus_storage_put_bypass_total")
+	metricPutFaultBypass = obs.NewCounter("canopus_storage_put_fault_bypass_total")
+	metricReadRetries    = obs.NewCounter("canopus_storage_read_retries_total")
 )
 
 // tierMetrics caches one tier's counters so the read path pays map lookups
@@ -46,12 +48,23 @@ type Hierarchy struct {
 	// clock is a logical access clock driving LRU migration decisions;
 	// logical time keeps experiments deterministic.
 	clock int64
+	// envBlock is the integrity envelope checksum block size: 0 means
+	// DefaultEnvelopeBlock, negative disables sealing (values store raw,
+	// as before the envelope existed).
+	envBlock int64
+	// retry governs read retries; zero value means DefaultRetryPolicy.
+	retry RetryPolicy
 }
 
-// entry is the catalog record for one stored key.
+// entry is the catalog record for one stored key. size is always the
+// caller-visible payload length (what Size reports and the cost model
+// charges); stored is the real backend footprint, which exceeds size by the
+// envelope framing when env is non-nil. env == nil marks a raw legacy value.
 type entry struct {
 	tier     int
 	size     int64
+	stored   int64
+	env      *envInfo
 	lastUsed int64 // logical access time (Put or Get)
 	accesses int64
 }
@@ -82,8 +95,36 @@ type Placement struct {
 	Bypassed []string
 }
 
+// seal wraps data for storage per the hierarchy's envelope configuration.
+// Caller holds the lock (envBlock is catalog state).
+func (h *Hierarchy) seal(data []byte) ([]byte, *envInfo) {
+	if h.envBlock < 0 {
+		return data, nil
+	}
+	block := h.envBlock
+	if block == 0 {
+		block = DefaultEnvelopeBlock
+	}
+	return sealEnvelope(data, block)
+}
+
+// SetEnvelopeBlock configures the integrity envelope: n > 0 sets the
+// checksum block size, 0 restores DefaultEnvelopeBlock, negative disables
+// sealing so subsequent Puts store raw bytes (already-sealed values keep
+// verifying). Tests with byte-exact capacity expectations disable it.
+func (h *Hierarchy) SetEnvelopeBlock(n int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.envBlock = n
+}
+
 // Put writes data preferring tier `pref`, falling through to slower tiers
-// when capacity is exhausted. writers models how many clients share the
+// when capacity is exhausted. The value is sealed in a checksum envelope
+// (see envelope.go); capacity accounting uses the real sealed size while the
+// simulated cost charges the payload, so modeled timings are envelope-
+// independent. A tier whose backend fails the write with a transient fault
+// is bypassed like a full one — the write must land somewhere durable now,
+// not after the tier recovers. writers models how many clients share the
 // tier's bandwidth for this operation (1 for serial writes). A cancelled
 // ctx aborts before any byte lands.
 func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, writers int) (Placement, error) {
@@ -99,20 +140,28 @@ func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, 
 		pref = len(h.tiers) - 1
 	}
 	var bypassed []string
+	var lastErr error
+	sealed, env := h.seal(data)
 	for i := pref; i < len(h.tiers); i++ {
 		t := h.tiers[i]
-		if !t.fits(int64(len(data))) {
+		if !t.fits(int64(len(sealed))) {
 			bypassed = append(bypassed, t.Name)
 			metricPutBypass.Inc()
 			continue
 		}
-		if err := t.backend().Put(key, data); err != nil {
+		if err := t.backend().Put(key, sealed); err != nil {
+			if errors.Is(err, ErrTransient) && i+1 < len(h.tiers) {
+				bypassed = append(bypassed, t.Name)
+				metricPutFaultBypass.Inc()
+				lastErr = err
+				continue
+			}
 			return Placement{}, fmt.Errorf("storage: put %q on %s: %w", key, t.Name, err)
 		}
 		h.tm[i].writeBytes.Add(int64(len(data)))
 		h.tm[i].writeOps.Inc()
 		h.clock++
-		h.catalog[key] = &entry{tier: i, size: int64(len(data)), lastUsed: h.clock}
+		h.catalog[key] = &entry{tier: i, size: int64(len(data)), stored: int64(len(sealed)), env: env, lastUsed: h.clock}
 		return Placement{
 			Key:      key,
 			TierIdx:  i,
@@ -120,6 +169,10 @@ func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, 
 			Cost:     t.writeCost(int64(len(data)), writers),
 			Bypassed: bypassed,
 		}, nil
+	}
+	if lastErr != nil {
+		return Placement{}, fmt.Errorf("storage: put %q (%d bytes): no tier at or below %d took the write: %w",
+			key, len(data), pref, lastErr)
 	}
 	return Placement{}, fmt.Errorf("storage: put %q (%d bytes): %w on all tiers at or below %d",
 		key, len(data), ErrCapacity, pref)
@@ -133,8 +186,11 @@ func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, 
 // the read, the read is retried through the refreshed catalog (see
 // readRetrying in migrate.go).
 func (h *Hierarchy) Get(ctx context.Context, key string, readers int) ([]byte, Placement, error) {
-	return h.readRetrying(ctx, key, readers, "storage.get", func(t *Tier) ([]byte, error) {
-		return t.backend().Get(key)
+	return h.readRetrying(ctx, key, readers, "storage.get", func(t *Tier, env *envInfo) ([]byte, error) {
+		if env == nil {
+			return t.backend().Get(key)
+		}
+		return envGet(t.backend(), key, env)
 	})
 }
 
@@ -144,8 +200,11 @@ func (h *Hierarchy) Get(ctx context.Context, key string, readers int) ([]byte, P
 // key, it returns either the correct bytes or ErrNotFound, never torn data.
 // The simulated cost charges only the extent moved.
 func (h *Hierarchy) GetRange(ctx context.Context, key string, off, n int64, readers int) ([]byte, Placement, error) {
-	return h.readRetrying(ctx, key, readers, "storage.get_range", func(t *Tier) ([]byte, error) {
-		return t.backend().GetRange(key, off, n)
+	return h.readRetrying(ctx, key, readers, "storage.get_range", func(t *Tier, env *envInfo) ([]byte, error) {
+		if env == nil {
+			return t.backend().GetRange(key, off, n)
+		}
+		return envGetRange(t.backend(), key, env, off, n)
 	})
 }
 
@@ -248,18 +307,55 @@ func FileTwoTier(dir string, tmpfsCapacity int64) (*Hierarchy, error) {
 		t.Backend = b
 	}
 	// Rebuild the catalog from what is on disk: fastest tier wins ties.
-	// Sizes come from stat, not from reading the files — opening a large
-	// persisted hierarchy stays O(keys), not O(bytes).
+	// Sizes come from stat plus a header-sized ranged read to version-sniff
+	// the integrity envelope (cf. the CCK2 magic sniff in internal/compress)
+	// — opening a large persisted hierarchy stays O(keys), not O(bytes).
+	// Values whose header does not parse as an envelope of exactly the
+	// stored length are pre-envelope containers and read back raw.
 	for i := h.NumTiers() - 1; i >= 0; i-- {
 		for _, k := range h.Tier(i).Backend.Keys() {
 			var size int64
 			if n, err := h.Tier(i).Backend.Size(k); err == nil {
 				size = n
 			}
-			h.catalog[k] = &entry{tier: i, size: size}
+			e := &entry{tier: i, size: size, stored: size}
+			if size >= envHeaderSize {
+				if hdr, err := h.Tier(i).Backend.GetRange(k, 0, envHeaderSize); err == nil {
+					if env, ok := parseEnvelopeHeader(hdr); ok && env.storedLen() == size {
+						e.env = env
+						e.size = env.payload
+					}
+				}
+			}
+			h.catalog[k] = e
 		}
 	}
 	return h, nil
+}
+
+// InjectFaults wraps the hierarchy's tier backends with deterministic fault
+// injection per spec (see ParseFaultSpec for the grammar). Each tier gets a
+// distinct PRNG seed so fault sequences across tiers do not correlate. It
+// returns how many tiers were wrapped; a spec naming a tier the hierarchy
+// does not have matches none and returns 0.
+func (h *Hierarchy) InjectFaults(spec string) (int, error) {
+	fs, err := ParseFaultSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for i, t := range h.tiers {
+		if fs.Tier != "" && fs.Tier != t.Name {
+			continue
+		}
+		tfs := fs
+		tfs.Seed = fs.Seed + int64(i)*1_000_003
+		t.Backend = NewFaultBackend(t.backend(), tfs)
+		n++
+	}
+	return n, nil
 }
 
 // DeepHierarchy models the four-tier stack of the CORAL-era systems the

@@ -4,16 +4,22 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/obs"
 )
 
 // Migration metrics: completed moves (promotions, demotions, evictions all
-// route through move) and the bytes they shuttled between tiers.
+// route through move) and the bytes they shuttled between tiers; retry
+// metrics: backoff time burned waiting between read attempts and reads that
+// exhausted their whole attempt budget.
 var (
 	metricMigrations     = obs.NewCounter("canopus_storage_migrations_total")
 	metricMigrationBytes = obs.NewCounter("canopus_storage_migration_bytes_total")
+	metricRetryBackoff   = obs.NewFloatCounter("canopus_storage_retry_backoff_seconds_total")
+	metricRetryExhausted = obs.NewCounter("canopus_storage_retry_exhausted_total")
 )
 
 // Data migration and eviction. §IV-B of the paper notes its testbed assumed
@@ -33,6 +39,72 @@ type Migration struct {
 	Cost Cost
 }
 
+// RetryPolicy bounds how the hierarchy re-reads after a retryable failure:
+// up to Attempts total tries, sleeping an exponentially growing, jittered
+// delay (BaseDelay doubling per attempt, capped at MaxDelay) between them.
+type RetryPolicy struct {
+	Attempts  int
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetryPolicy rides out migration races (which resolve in
+// microseconds) without stretching a genuinely flaky tier's failure into
+// human-noticeable latency: worst case ~40ms of sleeping across 5 attempts.
+var DefaultRetryPolicy = RetryPolicy{
+	Attempts:  5,
+	BaseDelay: 200 * time.Microsecond,
+	MaxDelay:  20 * time.Millisecond,
+}
+
+// SetRetryPolicy replaces the hierarchy's read retry policy. Zero-valued
+// fields fall back to DefaultRetryPolicy's.
+func (h *Hierarchy) SetRetryPolicy(p RetryPolicy) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.retry = p
+}
+
+func (h *Hierarchy) retryPolicy() RetryPolicy {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.retry
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetryPolicy.Attempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = DefaultRetryPolicy.MaxDelay
+	}
+	return p
+}
+
+// delay is the backoff before attempt+2: exponential in the attempt number,
+// capped, with the upper half jittered so racing readers do not retry in
+// lockstep against the same contended tier.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.MaxDelay
+	if attempt < 62 {
+		if exp := p.BaseDelay << uint(attempt); exp > 0 && exp < d {
+			d = exp
+		}
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// retryableRead reports whether a failed backend read is worth re-issuing
+// through a refreshed catalog lookup: the key vanished (a migration may
+// have moved it between tiers mid-read), the tier faulted transiently, or
+// the bytes came back damaged (corruption in transit reads clean on retry;
+// corruption at rest exhausts the budget and surfaces as ErrCorrupt).
+// Anything else — ErrOutOfRange against a present key, a real I/O error —
+// is not a race and fails immediately.
+func retryableRead(err error) bool {
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrTransient) || errors.Is(err, ErrCorrupt)
+}
+
 // readRetrying is the read-vs-migration race protocol shared by Get and
 // GetRange. The catalog lookup happens under the hierarchy lock; the backend
 // read does not, so a concurrent move can delete the key from the looked-up
@@ -41,15 +113,22 @@ type Migration struct {
 // reader/writer lock, a racing read observes exactly one of three states:
 // the full bytes on the source, the full bytes on the destination (after the
 // retried lookup sees the updated catalog), or a transient not-found on the
-// source that the retry resolves. Torn data is impossible; after the retry
-// budget the last backend error (ErrNotFound for a truly deleted key)
-// surfaces. Ranged reads need the same protocol: a Promote/Demote racing a
-// GetRange must never serve a range from a half-moved value, which holds
-// because backends never expose partially written keys.
-func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, op string, read func(t *Tier) ([]byte, error)) ([]byte, Placement, error) {
+// source that the retry resolves. Torn data is impossible. The same loop
+// also absorbs transient backend faults and in-transit corruption (see
+// retryableRead), sleeping a capped, jittered exponential backoff between
+// attempts; once the policy's budget is spent the final error surfaces
+// wrapped with the attempt count. Ranged reads share the protocol: a
+// Promote/Demote racing a GetRange must never serve a range from a
+// half-moved value, which holds because backends never expose partially
+// written keys. The read closure receives the catalog's envelope record for
+// the key as of the same lookup that chose the tier, so a concurrent Put
+// that re-seals the key cannot pair the new envelope with the old tier.
+func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, op string, read func(t *Tier, env *envInfo) ([]byte, error)) ([]byte, Placement, error) {
 	_, span := obs.StartSpan(ctx, op)
 	span.SetAttr("key", key)
 	defer span.End()
+	pol := h.retryPolicy()
+	var slept time.Duration
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, Placement{}, err
@@ -62,32 +141,45 @@ func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, o
 		}
 		tierIdx := e.tier
 		t := h.tiers[tierIdx]
+		env := e.env
 		h.clock++
 		e.lastUsed = h.clock
 		e.accesses++
 		h.mu.Unlock()
 		span.SetAttr("tier", t.Name)
 
-		data, err := read(t)
-		if err != nil {
-			// Only a vanished key can be a migration artifact; a range
-			// error against a present key is the caller's bug.
-			if attempt < 3 && errors.Is(err, ErrNotFound) {
-				metricReadRetries.Inc()
-				span.SetAttrInt("retries", attempt+1)
-				continue // key may have migrated tiers mid-read
-			}
+		data, err := read(t, env)
+		if err == nil {
+			h.tm[tierIdx].readBytes.Add(int64(len(data)))
+			h.tm[tierIdx].readOps.Inc()
+			span.SetAttrInt("bytes", len(data))
+			return data, Placement{
+				Key:      key,
+				TierIdx:  tierIdx,
+				TierName: t.Name,
+				Cost:     t.readCost(int64(len(data)), readers),
+			}, nil
+		}
+		if !retryableRead(err) {
 			return nil, Placement{}, err
 		}
-		h.tm[tierIdx].readBytes.Add(int64(len(data)))
-		h.tm[tierIdx].readOps.Inc()
-		span.SetAttrInt("bytes", len(data))
-		return data, Placement{
-			Key:      key,
-			TierIdx:  tierIdx,
-			TierName: t.Name,
-			Cost:     t.readCost(int64(len(data)), readers),
-		}, nil
+		if attempt+1 >= pol.Attempts {
+			metricRetryExhausted.Inc()
+			return nil, Placement{}, fmt.Errorf("storage: %s %q gave up after %d attempts: %w", op, key, attempt+1, err)
+		}
+		metricReadRetries.Inc()
+		d := pol.delay(attempt)
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, Placement{}, ctx.Err()
+		case <-timer.C:
+		}
+		slept += d
+		metricRetryBackoff.Add(d.Seconds())
+		span.SetAttrInt("retries", attempt+1)
+		span.SetAttr("backoff", slept.String())
 	}
 }
 
@@ -106,6 +198,10 @@ func (h *Hierarchy) move(key string, to int) (Migration, error) {
 	if e.tier == to {
 		return Migration{Key: key, FromTier: src.Name, ToTier: src.Name}, nil
 	}
+	// Migration copies the stored envelope verbatim — no unseal/reseal, so
+	// a move can never introduce (or mask) corruption; verification happens
+	// at read time wherever the value lands. Capacity checks use the real
+	// stored bytes, the modeled cost charges the payload, same as Put/Get.
 	data, err := src.backend().Get(key)
 	if err != nil {
 		return Migration{}, err
@@ -122,8 +218,8 @@ func (h *Hierarchy) move(key string, to int) (Migration, error) {
 		return Migration{}, err
 	}
 	m := Migration{Key: key, FromTier: src.Name, ToTier: dst.Name}
-	m.Cost.Add(src.readCost(int64(len(data)), 1))
-	m.Cost.Add(dst.writeCost(int64(len(data)), 1))
+	m.Cost.Add(src.readCost(e.size, 1))
+	m.Cost.Add(dst.writeCost(e.size, 1))
 	e.tier = to
 	metricMigrations.Inc()
 	metricMigrationBytes.Add(int64(len(data)))
@@ -142,7 +238,7 @@ func (h *Hierarchy) Promote(key string, to int) ([]Migration, error) {
 	if to >= e.tier {
 		return nil, fmt.Errorf("storage: promote %q: tier %d not above current %d", key, to, e.tier)
 	}
-	evictions, err := h.ensureRoomLocked(to, e.size, key)
+	evictions, err := h.ensureRoomLocked(to, e.stored, key)
 	if err != nil {
 		return nil, err
 	}
@@ -197,8 +293,9 @@ func (h *Hierarchy) ensureRoomLocked(tier int, bytes int64, protect string) ([]M
 		if tier+1 >= len(h.tiers) {
 			return out, fmt.Errorf("storage: tier %s is the bottom tier: %w", t.Name, ErrCapacity)
 		}
-		// Cascade: make room below, then move the victim down one.
-		sub, err := h.ensureRoomLocked(tier+1, h.catalog[victim].size, protect)
+		// Cascade: make room below, then move the victim down one. Room is
+		// measured in stored (envelope) bytes — what the backend will hold.
+		sub, err := h.ensureRoomLocked(tier+1, h.catalog[victim].stored, protect)
 		out = append(out, sub...)
 		if err != nil {
 			return out, err

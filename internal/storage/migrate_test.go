@@ -8,12 +8,17 @@ import (
 )
 
 // migHierarchy builds a 3-tier stack with tight caps for eviction tests.
+// The integrity envelope is disabled: these tests pin byte-exact capacity
+// arithmetic to exercise the placement policy, and the envelope's framing
+// overhead would shift every threshold.
 func migHierarchy(fastCap, midCap int64) *Hierarchy {
-	return NewHierarchy(
+	h := NewHierarchy(
 		&Tier{Name: "fast", Capacity: fastCap, ReadBandwidth: 1e9, WriteBandwidth: 1e9, LatencySeconds: 1e-6},
 		&Tier{Name: "mid", Capacity: midCap, ReadBandwidth: 1e8, WriteBandwidth: 1e8, LatencySeconds: 1e-4},
 		&Tier{Name: "slow", ReadBandwidth: 1e7, WriteBandwidth: 1e7, LatencySeconds: 1e-3},
 	)
+	h.SetEnvelopeBlock(-1)
+	return h
 }
 
 func TestPromoteMovesData(t *testing.T) {
@@ -132,6 +137,7 @@ func TestEnsureRoomBottomTierFull(t *testing.T) {
 	h := NewHierarchy(
 		&Tier{Name: "only", Capacity: 100, ReadBandwidth: 1, WriteBandwidth: 1},
 	)
+	h.SetEnvelopeBlock(-1)
 	h.Put(context.Background(), "a", payload(90), 0, 1)
 	if _, err := h.EnsureRoom(0, 50); !errors.Is(err, ErrCapacity) {
 		t.Fatalf("err = %v, want ErrCapacity", err)

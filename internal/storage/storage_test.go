@@ -111,6 +111,7 @@ func TestHierarchyPlacementPreferred(t *testing.T) {
 
 func TestHierarchyBypassOnCapacity(t *testing.T) {
 	h := TitanTwoTier(500) // tmpfs capped at 500 bytes
+	h.SetEnvelopeBlock(-1) // byte-exact capacity expectations below
 	if _, err := h.Put(context.Background(), "small", payload(400), 0, 1); err != nil {
 		t.Fatal(err)
 	}
