@@ -30,6 +30,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent pipeline workers (0 = NumCPU, 1 = serial)")
 	obsJSON := flag.String("obs-json", "", "run the fixed observability workload and write span-phase medians to this file")
 	faultSpec := flag.String("fault-spec", "", "run the fault-injection demo under this spec (e.g. seed=1,tier=lustre,read.err=1)")
+	tolJSON := flag.String("tolerance-sweep", "", "run the error-target retrieval sweep and write its acceptance record to this file")
 	var ocli obs.CLI
 	ocli.Bind(flag.CommandLine)
 	flag.Parse()
@@ -44,8 +45,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "canopus-bench: unknown scale %q (want paper or quick)\n", *scale)
 		os.Exit(2)
 	}
-	// -obs-json or -fault-spec alone run just their own workload; an
-	// explicit -fig alongside either runs the figures too.
+	// -obs-json, -fault-spec, or -tolerance-sweep alone run just their own
+	// workload; an explicit -fig alongside any of them runs the figures too.
 	figSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "fig" {
@@ -60,11 +61,14 @@ func main() {
 		r := bench.New(os.Stdout, s)
 		r.ASCII = *ascii
 		r.Workers = *workers
-		if (*obsJSON == "" && *faultSpec == "") || figSet {
+		if (*obsJSON == "" && *faultSpec == "" && *tolJSON == "") || figSet {
 			err = r.Run(*fig)
 		}
 		if err == nil && *faultSpec != "" {
 			err = r.FaultDemo(ctx, *faultSpec)
+		}
+		if err == nil && *tolJSON != "" {
+			err = r.ToleranceSweep(ctx, *tolJSON)
 		}
 		if err == nil && *obsJSON != "" {
 			err = r.ObsBench(ctx, *obsJSON)

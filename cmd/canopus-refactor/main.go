@@ -111,6 +111,13 @@ func run(ctx context.Context, app, dir string, levels int, ratio float64, codec 
 	fmt.Printf("data payload: raw %d B -> compressed %d B (%.2fx reduction); containers incl. mesh hierarchy + mappings: %d B\n",
 		rep.RawBytes, payload, float64(rep.RawBytes)/float64(payload), rep.StoredBytes())
 	fmt.Printf("codec %s, abs tolerance %.3g\n", rep.Codec, rep.Tolerance)
+	if len(rep.Bounds) > 0 {
+		fmt.Printf("error bounds per level (coarse to fine):")
+		for l := rep.Levels - 1; l >= 0; l-- {
+			fmt.Printf(" L%d=%.3g", l, rep.Bounds[l])
+		}
+		fmt.Println()
+	}
 	fmt.Printf("phases: decimate %.1f ms, delta %.1f ms, compress %.1f ms, simulated I/O %.1f ms\n",
 		rep.Timings.DecimateSeconds*1e3, rep.Timings.DeltaSeconds*1e3,
 		rep.Timings.CompressSeconds*1e3, rep.Timings.IOSeconds*1e3)

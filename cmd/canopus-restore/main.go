@@ -30,6 +30,7 @@ func main() {
 	dir := flag.String("dir", "canopus-data", "storage hierarchy directory")
 	name := flag.String("name", "dpot", "variable name")
 	level := flag.Int("level", 0, "target accuracy level (0 = full)")
+	tolerance := flag.Float64("tolerance", 0, "error target: retrieve the cheapest accuracy whose recorded bound meets this absolute error (overrides -level; 0 = off)")
 	region := flag.String("region", "", "focused retrieval region as minX,minY,maxX,maxY")
 	ascii := flag.Bool("ascii", false, "render the restored field as text art")
 	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
@@ -43,7 +44,7 @@ func main() {
 	defer stop()
 	ctx, finish, err := ocli.Start(ctx, "canopus-restore")
 	if err == nil {
-		err = run(ctx, *dir, *name, *level, *region, *ascii, *workers, *cacheMB, *degrade)
+		err = run(ctx, *dir, *name, *level, *tolerance, *region, *ascii, *workers, *cacheMB, *degrade)
 		if ferr := finish(); err == nil {
 			err = ferr
 		}
@@ -62,6 +63,9 @@ func printDegradation(d *core.Degradation) {
 	}
 	fmt.Fprintf(os.Stderr, "canopus-restore: DEGRADED: wanted level %d, achieved level %d (%d level(s) lost): %s\n",
 		d.RequestedLevel, d.AchievedLevel, d.LevelsLost, d.Reason)
+	if d.RequestedTolerance > 0 {
+		fmt.Fprintf(os.Stderr, "canopus-restore: requested error target %.3g\n", d.RequestedTolerance)
+	}
 	if d.ErrorBound >= 0 {
 		fmt.Fprintf(os.Stderr, "canopus-restore: achieved error bound %.3g\n", d.ErrorBound)
 	}
@@ -81,7 +85,7 @@ func parseRegion(s string) (minX, minY, maxX, maxY float64, err error) {
 	return vals[0], vals[1], vals[2], vals[3], nil
 }
 
-func run(ctx context.Context, dir, name string, level int, region string, ascii bool, workers, cacheMB int, degrade bool) error {
+func run(ctx context.Context, dir, name string, level int, tolerance float64, region string, ascii bool, workers, cacheMB int, degrade bool) error {
 	h, err := storage.FileTwoTier(dir, 0)
 	if err != nil {
 		return err
@@ -97,6 +101,9 @@ func run(ctx context.Context, dir, name string, level int, region string, ascii 
 	rd.SetWorkers(workers)
 	rd.SetDegrade(degrade)
 	if region != "" {
+		if tolerance > 0 {
+			return fmt.Errorf("-tolerance does not combine with -region (focused reads are level-addressed)")
+		}
 		minX, minY, maxX, maxY, err := parseRegion(region)
 		if err != nil {
 			return err
@@ -111,7 +118,12 @@ func run(ctx context.Context, dir, name string, level int, region string, ascii 
 		printDegradation(rv.Degradation)
 		return nil
 	}
-	v, err := rd.Retrieve(ctx, level)
+	var v *core.View
+	if tolerance > 0 {
+		v, err = rd.RetrieveToTolerance(ctx, tolerance)
+	} else {
+		v, err = rd.Retrieve(ctx, level)
+	}
 	if err != nil {
 		return err
 	}
@@ -120,8 +132,16 @@ func run(ctx context.Context, dir, name string, level int, region string, ascii 
 		lo = math.Min(lo, x)
 		hi = math.Max(hi, x)
 	}
-	fmt.Printf("%s restored to level %d of %d (mode %s)\n", name, v.Level, rd.Levels(), rd.Mode())
+	if tolerance > 0 {
+		fmt.Printf("%s restored to level %d of %d (mode %s) for error target %.3g\n",
+			name, v.Level, rd.Levels(), rd.Mode(), tolerance)
+	} else {
+		fmt.Printf("%s restored to level %d of %d (mode %s)\n", name, v.Level, rd.Levels(), rd.Mode())
+	}
 	printDegradation(v.Degradation)
+	if v.ErrorBound >= 0 {
+		fmt.Printf("error bound at this accuracy: %.3g\n", v.ErrorBound)
+	}
 	fmt.Printf("mesh: %d vertices, %d triangles\n", v.Mesh.NumVerts(), v.Mesh.NumTris())
 	fmt.Printf("data: range [%.4g, %.4g], stddev %.4g\n", lo, hi, analysis.StdDev(v.Data))
 	fmt.Printf("codec error bound: %.3g per restored level\n", rd.Tolerance())

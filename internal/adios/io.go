@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -300,6 +301,44 @@ func (h *Handle) RealBytes() int64 { return h.tracker.real.Load() }
 // InqVar is the adios_inq_var analogue: metadata-only lookup.
 func (h *Handle) InqVar(name string, level int) (bp.VarInfo, bool) {
 	return h.BP.Inq(name, level)
+}
+
+// Attr looks up a file-level attribute from the parsed BP index. Attributes
+// travel with the footer/index extents an Open already fetched, so reading
+// them moves no additional bytes.
+func (h *Handle) Attr(key string) (string, bool) {
+	return h.BP.Attr(key)
+}
+
+// AttrFloat parses a float64 file-level attribute (the retrieval planner's
+// per-level error bounds are persisted this way). The second result is false
+// when the attribute is absent or malformed — callers treat both as "not
+// recorded" so legacy containers keep opening cleanly.
+func (h *Handle) AttrFloat(key string) (float64, bool) {
+	s, ok := h.BP.Attr(key)
+	if !ok {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// AttrInt parses an int64 file-level attribute (per-level modeled container
+// sizes for plan cost estimation). Absent or malformed attributes report
+// false.
+func (h *Handle) AttrInt(key string) (int64, bool) {
+	s, ok := h.BP.Attr(key)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // ReadBytes selectively reads one variable's payload, charging only its

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -101,6 +104,35 @@ func TestAblation(t *testing.T) {
 	for _, want := range []string{"estimator", "priority", "codec", "placement"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestToleranceSweepSelfAsserts(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, ScaleQuick)
+	path := t.TempDir() + "/tolerance.json"
+	if err := r.ToleranceSweep(context.Background(), path); err != nil {
+		t.Fatalf("tolerance sweep: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ToleranceReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(rep.Points) < 3 {
+		t.Fatalf("sweep produced %d points, want at least one per level", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if !p.Met || p.AchievedError > p.Eps {
+			t.Errorf("point eps %g: achieved %g, met %v", p.Eps, p.AchievedError, p.Met)
+		}
+		if p.Level > 0 && p.ModeledBytes >= rep.FullBytes {
+			t.Errorf("point eps %g stopped at level %d but moved %dB >= full %dB",
+				p.Eps, p.Level, p.ModeledBytes, rep.FullBytes)
 		}
 	}
 }

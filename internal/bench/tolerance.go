@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+)
+
+// TolerancePoint is one sweep point of the error-target retrieval
+// benchmark: the requested tolerance, the plan the reader chose for it,
+// and the error it actually achieved (measured against the original field
+// through zero-fill prolongation). Met mirrors the acceptance criterion
+// achieved_error <= eps so CI can assert it with a one-line jq filter.
+type TolerancePoint struct {
+	Eps           float64 `json:"eps"`
+	Level         int     `json:"level"`
+	ErrorBound    float64 `json:"error_bound"`
+	AchievedError float64 `json:"achieved_error"`
+	ModeledBytes  int64   `json:"modeled_bytes"`
+	IOSeconds     float64 `json:"io_seconds"`
+	BytesSavedPct float64 `json:"bytes_saved_pct"`
+	Met           bool    `json:"met"`
+}
+
+// ToleranceReport is the document ToleranceSweep writes
+// (BENCH_tolerance.json in CI).
+type ToleranceReport struct {
+	Workload  string           `json:"workload"`
+	FullBytes int64            `json:"full_bytes"`
+	Points    []TolerancePoint `json:"points"`
+}
+
+// ToleranceSweep benchmarks RetrieveToTolerance across the spectrum of
+// reachable error targets: every per-level bound the refactoring recorded,
+// plus the geometric midpoints between adjacent bounds (which must round up
+// to the finer level). Each point is self-asserting — the sweep fails if
+// the measured error ever exceeds the requested eps — so the JSON artifact
+// doubles as an acceptance record, not just a plot.
+func (r *Runner) ToleranceSweep(ctx context.Context, path string) error {
+	r.header("Tolerance sweep: error-target retrieval")
+	ds := r.cfd()
+	aio := newIO()
+	rep, err := core.Write(ctx, aio, ds, core.Options{Levels: 3, Chunks: 2, Workers: r.Workers})
+	if err != nil {
+		return err
+	}
+	rd, err := core.OpenReader(ctx, aio, ds.Name)
+	if err != nil {
+		return err
+	}
+	rd.SetWorkers(r.Workers)
+	// Warm the mesh/mapping caches, then take the steady-state cost of full
+	// accuracy as the baseline every early-stopping plan is compared to.
+	if _, err := rd.Retrieve(ctx, 0); err != nil {
+		return err
+	}
+	full, err := rd.Retrieve(ctx, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Out, "dataset %s: %d vertices, %d levels; full accuracy moves %s\n",
+		ds.Name, ds.Mesh.NumVerts(), rd.Levels(), fmtBytes(full.Timings.IOBytes))
+
+	var epses []float64
+	for l, b := range rep.Bounds {
+		epses = append(epses, b)
+		if l+1 < len(rep.Bounds) {
+			epses = append(epses, math.Sqrt(b*rep.Bounds[l+1]))
+		}
+	}
+
+	out := ToleranceReport{
+		Workload: fmt.Sprintf("cfd %d verts, %d levels, %d sweep points",
+			ds.Mesh.NumVerts(), rd.Levels(), len(epses)),
+		FullBytes: full.Timings.IOBytes,
+	}
+	w := r.table()
+	fmt.Fprintln(w, "eps\tlevel\tbound\tachieved\tmodeled I/O\tvs full")
+	for _, eps := range epses {
+		v, err := rd.RetrieveToTolerance(ctx, eps)
+		if err != nil {
+			return fmt.Errorf("tolerance sweep: eps %g: %w", eps, err)
+		}
+		if v.Degradation != nil {
+			return fmt.Errorf("tolerance sweep: eps %g degraded: %s", eps, v.Degradation.Reason)
+		}
+		prol, err := rd.ProlongToFinest(ctx, v)
+		if err != nil {
+			return fmt.Errorf("tolerance sweep: eps %g: %w", eps, err)
+		}
+		var achieved float64
+		for i, x := range prol {
+			if d := math.Abs(x - ds.Data[i]); d > achieved {
+				achieved = d
+			}
+		}
+		if achieved > eps {
+			return fmt.Errorf("tolerance sweep: eps %g landed at level %d with achieved error %g > eps",
+				eps, v.Level, achieved)
+		}
+		saved := 100 * (1 - float64(v.Timings.IOBytes)/float64(full.Timings.IOBytes))
+		out.Points = append(out.Points, TolerancePoint{
+			Eps:           eps,
+			Level:         v.Level,
+			ErrorBound:    v.ErrorBound,
+			AchievedError: achieved,
+			ModeledBytes:  v.Timings.IOBytes,
+			IOSeconds:     v.Timings.IOSeconds,
+			BytesSavedPct: saved,
+			Met:           true,
+		})
+		fmt.Fprintf(w, "%.3g\t%d\t%.3g\t%.3g\t%s\t-%.1f%%\n",
+			eps, v.Level, v.ErrorBound, achieved, fmtBytes(v.Timings.IOBytes), saved)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if path != "" {
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(r.Out, "wrote tolerance sweep (%d points) to %s\n", len(out.Points), path)
+	}
+	return nil
+}

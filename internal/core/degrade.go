@@ -24,38 +24,46 @@ var (
 )
 
 // Degradation reports a retrieval that completed below the accuracy it was
-// asked for.
+// asked for — a level it could not reach, or an error tolerance it could
+// not meet.
 type Degradation struct {
-	// RequestedLevel is the accuracy the caller asked for (0 = full).
+	// RequestedLevel is the accuracy the caller asked for (0 = full). For
+	// tolerance-driven retrievals it is the level the planner resolved the
+	// tolerance to.
 	RequestedLevel int
-	// AchievedLevel is the accuracy actually restored (> RequestedLevel).
+	// AchievedLevel is the accuracy actually restored (>= RequestedLevel).
 	AchievedLevel int
 	// LevelsLost = AchievedLevel - RequestedLevel.
 	LevelsLost int
-	// Reason is the storage error that stopped refinement.
+	// RequestedTolerance is the error target of a tolerance-driven
+	// retrieval (RetrieveToTolerance, Subscribe); 0 for level requests.
+	RequestedTolerance float64
+	// Reason is the storage error that stopped refinement, or the
+	// planner's explanation when the requested tolerance is unreachable.
 	Reason string
-	// ErrorBound is the achieved view's absolute error bound when one is
-	// known: the codec tolerance when AchievedLevel is 0. Coarser levels add
-	// decimation error the codec bound does not cover, so it is -1 there.
+	// ErrorBound is the achieved view's composed absolute error bound from
+	// the planner's recorded per-level bounds (see DESIGN.md §11). On
+	// hierarchies written before bound recording it is the codec tolerance
+	// when AchievedLevel is the finest level and -1 (unknown) otherwise.
 	ErrorBound float64
 }
 
 // newDegradation builds the report for a retrieval stopped at `achieved` by
-// err. Callers count the final report with countDegradation exactly once
-// per retrieval (a regional retrieval may degrade more than once on its way
-// down, keeping only the last report).
-func newDegradation(requested, achieved int, err error, tolerance float64) *Degradation {
-	d := &Degradation{
+// err; bound is the achieved level's composed error bound (negative when
+// unknown). Callers count the final report with countDegradation exactly
+// once per retrieval (a regional retrieval may degrade more than once on
+// its way down, keeping only the last report).
+func newDegradation(requested, achieved int, err error, bound float64) *Degradation {
+	if bound < 0 {
+		bound = -1
+	}
+	return &Degradation{
 		RequestedLevel: requested,
 		AchievedLevel:  achieved,
 		LevelsLost:     achieved - requested,
 		Reason:         err.Error(),
-		ErrorBound:     -1,
+		ErrorBound:     bound,
 	}
-	if achieved == 0 {
-		d.ErrorBound = tolerance
-	}
-	return d
 }
 
 func countDegradation(d *Degradation) {

@@ -75,8 +75,14 @@ func TestRetrieveDegradesToBaseUnderTierFault(t *testing.T) {
 	if d.Reason == "" {
 		t.Fatal("Degradation.Reason empty")
 	}
-	if d.ErrorBound != -1 {
-		t.Fatalf("ErrorBound = %g at level %d, want -1 (unknown)", d.ErrorBound, v.Level)
+	// The writer records composed per-level bounds, so even a degraded view
+	// knows its accuracy: the base bound must be positive and no tighter
+	// than the codec tolerance.
+	if d.ErrorBound < rd.Tolerance() {
+		t.Fatalf("ErrorBound = %g at level %d, want >= codec tolerance %g", d.ErrorBound, v.Level, rd.Tolerance())
+	}
+	if d.ErrorBound != v.ErrorBound {
+		t.Fatalf("report bound %g != view bound %g", d.ErrorBound, v.ErrorBound)
 	}
 	if v.Mesh.NumVerts() != len(v.Data) {
 		t.Fatalf("degraded view inconsistent: %d verts, %d values", v.Mesh.NumVerts(), len(v.Data))
@@ -112,6 +118,11 @@ func TestRetrieveDegradePartialRefinement(t *testing.T) {
 	}
 	if !errorsIsNotFoundReason(d.Reason) {
 		t.Fatalf("Reason %q does not mention the missing container", d.Reason)
+	}
+	// A mid-hierarchy achieved level carries its recorded composed bound —
+	// before the planner, non-finest levels reported -1 (unknown).
+	if d.ErrorBound <= 0 {
+		t.Fatalf("ErrorBound = %g at achieved level 1, want recorded positive bound", d.ErrorBound)
 	}
 }
 

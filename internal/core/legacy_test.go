@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/adios"
+	"repro/internal/storage"
+)
+
+// Backward compatibility with pre-planner containers. testdata/legacy holds
+// a file-backed two-tier hierarchy written before bound recording existed
+// (dataset: mesh.Rect(24,24,1,1) with sin(5x)cos(4y)+0.3xy, Levels 3,
+// Chunks 2, RelTolerance 1e-6), plus golden per-level retrievals captured
+// at write time as hex-formatted float64s. The fixture must keep opening,
+// level retrievals must stay byte-identical, and tolerance retrievals must
+// fall back to the conservative level-order plan.
+
+func openLegacy(t *testing.T) *adios.IO {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tier := range []string{"tmpfs", "lustre"} {
+		src := filepath.Join("testdata", "legacy", tier)
+		dst := filepath.Join(dir, tier)
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join(src, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	h, err := storage.FileTwoTier(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adios.NewIO(h, nil)
+}
+
+func readGolden(t *testing.T, level int) []string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "legacy", "golden-L"+strconv.Itoa(level)+".txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+}
+
+func TestLegacyContainerRetrieveMatchesGolden(t *testing.T) {
+	aio := openLegacy(t)
+	rd, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Levels() != 3 {
+		t.Fatalf("legacy container has %d levels, want 3", rd.Levels())
+	}
+	for l := 0; l < 3; l++ {
+		v, err := rd.Retrieve(context.Background(), l)
+		if err != nil {
+			t.Fatalf("legacy Retrieve level %d: %v", l, err)
+		}
+		want := readGolden(t, l)
+		if len(v.Data) != len(want) {
+			t.Fatalf("level %d: %d values, golden has %d", l, len(v.Data), len(want))
+		}
+		for i, x := range v.Data {
+			if got := strconv.FormatFloat(x, 'x', -1, 64); got != want[i] {
+				t.Fatalf("level %d value %d: %s, golden %s", l, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestLegacyToleranceFallsBackToLevelOrder(t *testing.T) {
+	aio := openLegacy(t)
+	rd, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intermediate levels have no recorded bounds.
+	if b := rd.boundAt(1); b != -1 {
+		t.Fatalf("legacy bound at level 1 = %g, want -1 (unknown)", b)
+	}
+	// Without bounds the only plan guaranteed to meet any eps is full
+	// accuracy: even a huge eps retrieves level 0, with no degradation.
+	v, err := rd.RetrieveToTolerance(context.Background(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Level != 0 {
+		t.Fatalf("legacy tolerance retrieval achieved level %d, want 0 (conservative plan)", v.Level)
+	}
+	if v.Degradation != nil {
+		t.Fatalf("legacy tolerance retrieval degraded: %+v", v.Degradation)
+	}
+	// Full accuracy still knows the codec tolerance.
+	if v.ErrorBound != rd.Tolerance() {
+		t.Fatalf("legacy full-accuracy bound = %g, want codec tolerance %g", v.ErrorBound, rd.Tolerance())
+	}
+	// And the result is the same bytes a level retrieval produces.
+	want := readGolden(t, 0)
+	for i, x := range v.Data {
+		if got := strconv.FormatFloat(x, 'x', -1, 64); got != want[i] {
+			t.Fatalf("value %d: %s, golden %s", i, got, want[i])
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/adios"
+	"repro/internal/bp"
+	"repro/internal/plan"
+)
+
+// Bridge between the core read/write paths and the retrieval planner
+// (internal/plan). The write side persists the planner's inputs — composed
+// per-level error bounds and modeled container sizes — as file-level
+// attributes of the metadata container; the read side parses them back and
+// assembles the planner's product set, pricing each level against the tier
+// its container currently occupies. Containers written before bound
+// recording simply lack the attributes: the planner sees Bound -1 and falls
+// back to conservative level-order plans.
+
+// planMode maps the stored refactoring mode to the planner's.
+func planMode(m Mode) plan.Mode {
+	if m == ModeDirect {
+		return plan.Direct
+	}
+	return plan.Progressive
+}
+
+// setPlanAttrs records the planner's per-level inputs on a metadata
+// container: bound-L<l> (composed absolute error bound) and bytes-L<l>
+// (modeled stored size).
+func setPlanAttrs(w *bp.Writer, bounds []float64, levelBytes []int64) {
+	for l, b := range bounds {
+		w.SetAttr(fmt.Sprintf("bound-L%d", l), strconv.FormatFloat(b, 'g', -1, 64))
+	}
+	for l, n := range levelBytes {
+		w.SetAttr(fmt.Sprintf("bytes-L%d", l), strconv.FormatInt(n, 10))
+	}
+}
+
+// readPlanAttrs parses the planner inputs back off an open metadata
+// container. Missing or malformed attributes — every container written
+// before bound recording — yield Bound -1 (unknown) and Bytes 0, which the
+// planner treats as "plan conservatively, estimate as free".
+func readPlanAttrs(h *adios.Handle, levels int) (bounds []float64, levelBytes []int64) {
+	bounds = make([]float64, levels)
+	levelBytes = make([]int64, levels)
+	for l := 0; l < levels; l++ {
+		bounds[l] = -1
+		if b, ok := h.AttrFloat(fmt.Sprintf("bound-L%d", l)); ok && b >= 0 {
+			bounds[l] = b
+		}
+		if n, ok := h.AttrInt(fmt.Sprintf("bytes-L%d", l)); ok && n >= 0 {
+			levelBytes[l] = n
+		}
+	}
+	return bounds, levelBytes
+}
+
+// tierOf resolves the cost-model parameters of the tier currently holding
+// key. A key the catalog does not know prices as a zero Tier: estimates are
+// advisory and must never block a retrieval.
+func tierOf(aio *adios.IO, key string) plan.Tier {
+	idx := aio.H.Where(key)
+	if idx < 0 {
+		return plan.Tier{}
+	}
+	t := aio.H.Tier(idx)
+	return plan.Tier{
+		Name:           t.Name,
+		LatencySeconds: t.LatencySeconds,
+		ReadBandwidth:  t.ReadBandwidth,
+	}
+}
+
+// newPlanner assembles a planner over one hierarchy's product set; key maps
+// an accuracy level to the storage key of its container, so the same helper
+// serves single-variable readers (level containers) and series readers
+// (per-step containers).
+func newPlanner(mode plan.Mode, bounds []float64, levelBytes []int64, aio *adios.IO, key func(l int) string) (*plan.Planner, error) {
+	prods := make([]plan.Product, len(bounds))
+	for l := range prods {
+		prods[l] = plan.Product{
+			Level: l,
+			Bound: bounds[l],
+			Bytes: levelBytes[l],
+			Tier:  tierOf(aio, key(l)),
+		}
+	}
+	return plan.New(mode, prods)
+}
+
+// planner builds the retrieval planner for the reader's current product
+// placement. Plans are rebuilt per retrieval: placement can change between
+// calls (tier faults, future migration), and construction is cheap.
+func (r *Reader) planner() (*plan.Planner, error) {
+	return newPlanner(planMode(r.mode), r.bounds, r.levelBytes, r.aio, func(l int) string {
+		return levelKey(r.name, l)
+	})
+}
+
+// boundAt is the composed absolute error bound of a view at level l, from
+// the bounds recorded at write time. Legacy hierarchies know only the
+// finest level's codec bound; every other level reports -1 (unknown).
+func (r *Reader) boundAt(l int) float64 {
+	if l >= 0 && l < len(r.bounds) && r.bounds[l] >= 0 {
+		return r.bounds[l]
+	}
+	if l == 0 {
+		return r.tolerance
+	}
+	return -1
+}
+
+// planner builds the retrieval planner for one step's product placement.
+func (sr *SeriesReader) planner(step int) (*plan.Planner, error) {
+	return newPlanner(plan.Progressive, sr.bounds, sr.levelBytes, sr.aio, func(l int) string {
+		return stepKey(sr.name, step, l)
+	})
+}
+
+// boundAt mirrors Reader.boundAt for campaign views: the recorded bounds
+// are campaign-wide (running maxima over every written step).
+func (sr *SeriesReader) boundAt(l int) float64 {
+	if l >= 0 && l < len(sr.bounds) && sr.bounds[l] >= 0 {
+		return sr.bounds[l]
+	}
+	if l == 0 {
+		return sr.tolerance
+	}
+	return -1
+}

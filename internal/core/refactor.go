@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 
 	"repro/internal/adios"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mesh"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/storage"
 )
 
@@ -23,16 +25,17 @@ import (
 // keeps its public shape for per-retrieval reporting; these counters are the
 // aggregate view.
 var (
-	metricWrites            = obs.NewCounter("canopus_core_writes_total")
-	metricRetrievals        = obs.NewCounter("canopus_core_retrievals_total")
-	metricAugments          = obs.NewCounter("canopus_core_augments_total")
-	metricRegionRetrievals  = obs.NewCounter("canopus_core_region_retrievals_total")
-	metricSeriesSteps       = obs.NewCounter("canopus_core_series_steps_total")
-	metricDecompressSeconds = obs.NewFloatCounter("canopus_core_decompress_seconds_total")
-	metricRestoreSeconds    = obs.NewFloatCounter("canopus_core_restore_seconds_total")
-	metricIOSeconds         = obs.NewFloatCounter("canopus_core_io_seconds_total")
-	metricIOModeledBytes    = obs.NewCounter("canopus_core_io_modeled_bytes_total")
-	metricIORealBytes       = obs.NewCounter("canopus_core_io_real_bytes_total")
+	metricWrites              = obs.NewCounter("canopus_core_writes_total")
+	metricRetrievals          = obs.NewCounter("canopus_core_retrievals_total")
+	metricToleranceRetrievals = obs.NewCounter("canopus_core_tolerance_retrievals_total")
+	metricAugments            = obs.NewCounter("canopus_core_augments_total")
+	metricRegionRetrievals    = obs.NewCounter("canopus_core_region_retrievals_total")
+	metricSeriesSteps         = obs.NewCounter("canopus_core_series_steps_total")
+	metricDecompressSeconds   = obs.NewFloatCounter("canopus_core_decompress_seconds_total")
+	metricRestoreSeconds      = obs.NewFloatCounter("canopus_core_restore_seconds_total")
+	metricIOSeconds           = obs.NewFloatCounter("canopus_core_io_seconds_total")
+	metricIOModeledBytes      = obs.NewCounter("canopus_core_io_modeled_bytes_total")
+	metricIORealBytes         = obs.NewCounter("canopus_core_io_real_bytes_total")
 )
 
 // PhaseTimings breaks the write (or read) path into the phases the paper's
@@ -135,6 +138,11 @@ type WriteReport struct {
 	VertexCounts []int
 	// RawBytes is the uncompressed input data size.
 	RawBytes int64
+	// Bounds is the composed absolute error bound per level (index l =
+	// accuracy level l) recorded for the retrieval planner: what a view
+	// restored to that level deviates from the full-accuracy field by, at
+	// most (plan.ComposeBounds; DESIGN.md §11).
+	Bounds []float64
 }
 
 // StoredBytes sums all stored product sizes.
@@ -153,6 +161,18 @@ type level struct {
 	data    []float64 // L^l, only kept transiently
 	deltaTo []float64 // delta^(l-(l+1)); nil for the base level
 	mapping delta.Mapping
+}
+
+// maxAbs is the exact L-infinity magnitude of a delta, measured before
+// compression — the write-side input to the planner's bound composition.
+func maxAbs(vals []float64) float64 {
+	var m float64
+	for _, v := range vals {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
 }
 
 // encodeChunked routes a product payload through the chunked container
@@ -378,6 +398,34 @@ func Write(ctx context.Context, aio *adios.IO, ds *Dataset, opts Options) (*Writ
 		rep.LevelBytes[opts.Levels-1-i] = p.Cost.Bytes
 	}
 
+	// Bound calibration for the retrieval planner: measure the exact
+	// per-level delta maxima and compose the per-level error bounds the
+	// tolerance planner will select against. Delta mode reads the maxima
+	// off the deltas the pipeline already computed; direct mode stores no
+	// deltas, so it measures them transiently here. The measurement is
+	// planner bookkeeping, deliberately outside the staged pipeline so it
+	// never skews the paper's write-phase decomposition.
+	maxDeltas := make([]float64, opts.Levels-1)
+	for l := 0; l < opts.Levels-1; l++ {
+		if opts.Mode == ModeDelta {
+			maxDeltas[l] = maxAbs(levels[l].deltaTo)
+			continue
+		}
+		mp, err := delta.Build(levels[l].mesh, levels[l+1].mesh)
+		if err != nil {
+			return nil, fmt.Errorf("canopus: bound mapping level %d: %w", l, err)
+		}
+		d, err := delta.ComputeInto(ctx, pool, levels[l].mesh, levels[l].data, levels[l+1].mesh, levels[l+1].data, mp, est, nil)
+		if err != nil {
+			return nil, fmt.Errorf("canopus: bound delta level %d: %w", l, err)
+		}
+		maxDeltas[l] = maxAbs(d)
+	}
+	rep.Bounds, err = plan.ComposeBounds(planMode(opts.Mode), opts.Levels, tol, maxDeltas)
+	if err != nil {
+		return nil, err
+	}
+
 	// Global metadata container on the fastest tier.
 	metaW := bp.NewWriter()
 	metaW.SetAttr("name", ds.Name)
@@ -390,6 +438,7 @@ func Write(ctx context.Context, aio *adios.IO, ds *Dataset, opts Options) (*Writ
 	for l, n := range rep.VertexCounts {
 		metaW.SetAttr(fmt.Sprintf("verts-L%d", l), strconv.Itoa(n))
 	}
+	setPlanAttrs(metaW, rep.Bounds, rep.LevelBytes)
 	mp, err := aio.WriteContainer(ctx, metaKey(ds.Name), metaW, 0)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: store metadata: %w", err)

@@ -30,6 +30,11 @@ type RegionView struct {
 	Have []bool
 	// Timings accumulates the retrieval costs.
 	Timings PhaseTimings
+	// ErrorBound is the composed absolute error bound at the restored level
+	// (restored vertices are bit-identical to a full Retrieve at the same
+	// level, so the full retrieval's bound applies); -1 when the hierarchy
+	// predates bound recording.
+	ErrorBound float64
 	// Degradation is non-nil when the view stopped short of the requested
 	// accuracy under Options.Degrade; Level then equals AchievedLevel.
 	Degradation *Degradation
@@ -77,29 +82,42 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	metricRegionRetrievals.Inc()
 	degrade := r.degradeOn()
 
+	// The planner resolves the target into the coarse-to-fine step sequence;
+	// the executor below only follows it (and truncates it on degradation).
+	p, err := r.planner()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := p.ForLevel(targetLevel)
+	if err != nil {
+		return nil, err
+	}
+
 	out := &RegionView{Level: targetLevel}
 
-	// Open containers base-down to the target level, loading meshes and
-	// mappings (cached across calls). The order matters for degradation:
-	// the base must open (there is nothing coarser to fall back to), and a
-	// degradable failure at a finer level clamps the effective target to
-	// the finest level whose metadata is intact.
+	// Open the planned containers base-down, loading meshes and mappings
+	// (cached across calls). The order matters for degradation: the base
+	// must open (there is nothing coarser to fall back to), and a
+	// degradable failure at a finer level truncates the active plan to the
+	// finest level whose metadata is intact.
 	base := r.levels - 1
-	effTarget := targetLevel
 	var deg *Degradation
+	active := pl.Steps
 	handles := make([]*handleInfo, base+1)
-	for l := base; l >= targetLevel; l-- {
-		info, err := r.openLevelInfo(ctx, l, base)
+	for i, st := range pl.Steps {
+		info, err := r.openLevelInfo(ctx, st.Level, base)
 		if err != nil {
-			if l < base && degrade && degradable(err) {
-				deg = newDegradation(targetLevel, l+1, err, r.tolerance)
-				effTarget = l + 1
+			if i > 0 && degrade && degradable(err) {
+				achieved := pl.Steps[i-1].Level
+				deg = newDegradation(targetLevel, achieved, err, r.boundAt(achieved))
+				active = pl.Steps[:i]
 				break
 			}
 			return nil, err
 		}
-		handles[l] = info
+		handles[st.Level] = info
 	}
+	effTarget := active[len(active)-1].Level
 
 	// Propagate the needed vertex set from the target region up to the
 	// base: needed corners at level l+1 are the triangle corners the
@@ -111,7 +129,8 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 			needed[effTarget][vi] = true
 		}
 	}
-	for l := effTarget; l < base; l++ {
+	for i := len(active) - 1; i > 0; i-- {
+		l := active[i].Level
 		fine := handles[l]
 		coarseMesh := handles[l+1].mesh
 		needed[l+1] = make([]bool, coarseMesh.NumVerts())
@@ -146,11 +165,12 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 		return nil, fmt.Errorf("canopus: base data %d values for %d vertices", len(baseData), handles[base].mesh.NumVerts())
 	}
 
-	// Restore coarse-to-fine, needed vertices only, fetching only the
-	// delta tiles that hold them. A degradable fetch failure stops the
-	// refinement with the coarser level's data intact.
+	// Restore along the plan coarse-to-fine, needed vertices only, fetching
+	// only the delta tiles that hold them. A degradable fetch failure stops
+	// the refinement with the coarser level's data intact.
 	data := baseData
-	for l := base - 1; l >= effTarget; l-- {
+	for i := 1; i < len(active); i++ {
+		l := active[i].Level
 		fine := handles[l]
 		tb, err := r.tileFrame(fine.h)
 		if err != nil {
@@ -174,8 +194,9 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 		var decompress engine.Counter
 		if err := r.readDeltaChunks(ctx, fine.h, l, chunks, deltas, haveDelta, &decompress); err != nil {
 			if degrade && degradable(err) {
-				deg = newDegradation(targetLevel, l+1, err, r.tolerance)
+				deg = newDegradation(targetLevel, l+1, err, r.boundAt(l+1))
 				effTarget = l + 1
+				active = active[:i]
 				break
 			}
 			return nil, err
@@ -215,13 +236,14 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 		data = fineData
 	}
 
-	// Accumulate I/O from every handle touched.
-	for l := effTarget; l <= base; l++ {
-		out.Timings.addHandleIO(handles[l].h)
+	// Accumulate I/O from every handle the active plan touched.
+	for _, st := range active {
+		out.Timings.addHandleIO(handles[st.Level].h)
 	}
 	out.Level = effTarget
 	out.Mesh = handles[effTarget].mesh
 	out.Data = data
+	out.ErrorBound = r.boundAt(effTarget)
 	if effTarget == base {
 		// The base is fully restored by construction.
 		out.Have = make([]bool, len(data))

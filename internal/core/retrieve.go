@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mesh"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/storage"
 )
 
@@ -42,6 +43,12 @@ type Reader struct {
 	estimator delta.Estimator
 	tolerance float64
 	rawBytes  int64
+
+	// bounds and levelBytes are the planner inputs recorded at write time:
+	// composed absolute error bound and modeled container size per level.
+	// bounds[l] is -1 on hierarchies written before bound recording.
+	bounds     []float64
+	levelBytes []int64
 
 	// degrade switches Retrieve/RetrieveRegion to best-effort: stop at the
 	// best restored accuracy on a degradable storage failure instead of
@@ -152,6 +159,7 @@ func OpenReader(ctx context.Context, aio *adios.IO, name string) (*Reader, error
 	if raw, ok := h.BP.Attr("raw-bytes"); ok {
 		r.rawBytes, _ = strconv.ParseInt(raw, 10, 64)
 	}
+	r.bounds, r.levelBytes = readPlanAttrs(h, levels)
 	return r, nil
 }
 
@@ -180,6 +188,11 @@ type View struct {
 	// Timings accumulates I/O (simulated), decompression and
 	// restoration costs across the retrievals that built this view.
 	Timings PhaseTimings
+	// ErrorBound is the composed absolute error bound of the view at its
+	// current level, from the per-level bounds recorded at write time
+	// (DESIGN.md §11). -1 on hierarchies that predate bound recording,
+	// except at full accuracy where the codec tolerance is still known.
+	ErrorBound float64
 	// Degradation is non-nil when the view stopped short of the requested
 	// accuracy under Options.Degrade; Level then equals AchievedLevel.
 	Degradation *Degradation
@@ -218,7 +231,7 @@ func (r *Reader) Base(ctx context.Context) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := &View{Level: l, Mesh: m}
+	v := &View{Level: l, Mesh: m, ErrorBound: r.boundAt(l)}
 	v.Timings.addHandleIO(h)
 
 	dspan := span.Child("core.decompress")
@@ -296,35 +309,103 @@ func (r *Reader) Augment(ctx context.Context, v *View) error {
 	v.Level = fineLevel
 	v.Mesh = fineMesh
 	v.Data = fineData
+	v.ErrorBound = r.boundAt(fineLevel)
 	return nil
 }
 
-// Retrieve restores the variable to the requested accuracy level,
-// progressing from the base through the required deltas (or reading one
-// product in direct mode). Cancelling ctx aborts the retrieval mid-fetch.
-// With degradation enabled, a delta that cannot be read leaves the view at
-// the last level that restored cleanly, reported via View.Degradation; the
-// base itself must still be readable.
+// Retrieve restores the variable to the requested accuracy level. The
+// retrieval planner resolves the level into a fetch plan — the base plus
+// every required delta in progressive mode, a single product in direct
+// mode — and Retrieve executes it. Cancelling ctx aborts the retrieval
+// mid-fetch. With degradation enabled, a delta that cannot be read leaves
+// the view at the last level that restored cleanly, reported via
+// View.Degradation; the base itself must still be readable.
 func (r *Reader) Retrieve(ctx context.Context, targetLevel int) (*View, error) {
 	if targetLevel < 0 || targetLevel >= r.levels {
 		return nil, fmt.Errorf("canopus: level %d out of range [0,%d)", targetLevel, r.levels)
 	}
+	p, err := r.planner()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := p.ForLevel(targetLevel)
+	if err != nil {
+		return nil, err
+	}
+	return r.execute(ctx, pl)
+}
+
+// RetrieveToTolerance restores the variable to the cheapest accuracy whose
+// composed error bound meets eps: the planner picks the coarsest level with
+// a recorded bound <= eps and the executor fetches exactly the products
+// that level needs, stopping early instead of refining to full accuracy.
+// Hierarchies written before bound recording degrade to a conservative
+// level-order plan to full accuracy. An eps tighter than the finest
+// recorded bound retrieves full accuracy and reports how close it got via
+// View.Degradation (RequestedTolerance set, Reason explains the gap).
+func (r *Reader) RetrieveToTolerance(ctx context.Context, eps float64) (*View, error) {
+	p, err := r.planner()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := p.ForTolerance(eps)
+	if err != nil {
+		return nil, err
+	}
+	metricToleranceRetrievals.Inc()
+	v, err := r.execute(ctx, pl)
+	if err != nil {
+		return nil, err
+	}
+	finishTolerance(v, pl)
+	return v, nil
+}
+
+// finishTolerance attaches the tolerance context to a tolerance-driven
+// view: the eps on any degradation report, and a terminal "unreachable"
+// report when the plan already knew eps undercuts the finest bound.
+func finishTolerance(v *View, pl *plan.Plan) {
+	if v.Degradation != nil {
+		v.Degradation.RequestedTolerance = pl.Tolerance
+		return
+	}
+	if pl.Unreachable {
+		v.Degradation = &Degradation{
+			RequestedLevel:     pl.Target,
+			AchievedLevel:      v.Level,
+			RequestedTolerance: pl.Tolerance,
+			Reason: fmt.Sprintf("tolerance %g unreachable: finest recorded bound is %g",
+				pl.Tolerance, v.ErrorBound),
+			ErrorBound: v.ErrorBound,
+		}
+		countDegradation(v.Degradation)
+	}
+}
+
+// execute walks a planner-produced Plan: progressive plans apply the steps
+// coarse-to-fine (base first, then each delta), direct plans fetch their
+// single product and fall back along pl.Fallbacks under degradation. All
+// level selection lives in the plan; execute only follows it.
+func (r *Reader) execute(ctx context.Context, pl *plan.Plan) (*View, error) {
 	ctx, span := obs.StartSpan(ctx, "core.retrieve")
 	span.SetAttr("name", r.name)
-	span.SetAttrInt("target_level", targetLevel)
+	span.SetAttrInt("target_level", pl.Target)
+	if pl.Tolerance > 0 {
+		span.SetAttr("tolerance", strconv.FormatFloat(pl.Tolerance, 'g', -1, 64))
+	}
 	defer span.End()
 	metricRetrievals.Inc()
-	if r.mode == ModeDirect {
-		return r.retrieveDirectDegrading(ctx, span, targetLevel)
+	if pl.Mode == plan.Direct {
+		return r.executeDirect(ctx, span, pl)
 	}
 	v, err := r.Base(ctx)
 	if err != nil {
 		return nil, err
 	}
-	for v.Level > targetLevel {
+	for range pl.Steps[1:] {
 		if err := r.Augment(ctx, v); err != nil {
 			if r.degradeOn() && degradable(err) {
-				v.Degradation = newDegradation(targetLevel, v.Level, err, r.tolerance)
+				v.Degradation = newDegradation(pl.Target, v.Level, err, r.boundAt(v.Level))
 				countDegradation(v.Degradation)
 				span.SetAttrInt("achieved_level", v.Level)
 				span.SetAttr("degraded", "true")
@@ -336,19 +417,19 @@ func (r *Reader) Retrieve(ctx context.Context, targetLevel int) (*View, error) {
 	return v, nil
 }
 
-// retrieveDirectDegrading is Retrieve's direct-mode body: each level is an
-// independently stored product, so degradation walks toward coarser levels
-// until one reads cleanly.
-func (r *Reader) retrieveDirectDegrading(ctx context.Context, span *obs.Span, targetLevel int) (*View, error) {
-	v, err := r.retrieveDirect(ctx, targetLevel)
+// executeDirect is execute's direct-mode body: each level is an
+// independently stored product, so degradation walks the plan's fallback
+// order — coarser levels, nearest first — until one reads cleanly.
+func (r *Reader) executeDirect(ctx context.Context, span *obs.Span, pl *plan.Plan) (*View, error) {
+	v, err := r.retrieveDirect(ctx, pl.Steps[0].Level)
 	if err == nil || !r.degradeOn() || !degradable(err) {
 		return v, err
 	}
 	firstErr := err
-	for l := targetLevel + 1; l < r.levels; l++ {
+	for _, l := range pl.Fallbacks {
 		v, lerr := r.retrieveDirect(ctx, l)
 		if lerr == nil {
-			v.Degradation = newDegradation(targetLevel, l, firstErr, r.tolerance)
+			v.Degradation = newDegradation(pl.Target, l, firstErr, r.boundAt(l))
 			countDegradation(v.Degradation)
 			span.SetAttrInt("achieved_level", l)
 			span.SetAttr("degraded", "true")
@@ -380,7 +461,7 @@ func (r *Reader) retrieveDirect(ctx context.Context, l int) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := &View{Level: l, Mesh: m}
+	v := &View{Level: l, Mesh: m, ErrorBound: r.boundAt(l)}
 	v.Timings.addHandleIO(h)
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()

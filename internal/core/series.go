@@ -15,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mesh"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/storage"
 )
 
@@ -65,6 +66,14 @@ type SeriesWriter struct {
 	// so every step encodes with one bound.
 	tol   float64
 	codec compress.Codec
+
+	// maxDelta[l] is the running max|delta^(l<-(l+1))| over every step
+	// written so far, and levelBytesMax[l] the largest stored container per
+	// level — the campaign-wide planner inputs. A bound composed from the
+	// running maxima is conservative for each individual step, so tolerance
+	// plans stay valid for any step a reader picks.
+	maxDelta      []float64
+	levelBytesMax []int64
 }
 
 // SeriesReport summarizes one WriteStep.
@@ -113,8 +122,10 @@ func NewSeriesWriter(ctx context.Context, aio *adios.IO, name string, m *mesh.Me
 
 	sw := &SeriesWriter{
 		aio: aio, name: name, opts: opts, est: est, tol: tol, codec: codec,
-		pool:   engine.NewPool(opts.Workers),
-		meshes: []*mesh.Mesh{m},
+		pool:          engine.NewPool(opts.Workers),
+		meshes:        []*mesh.Mesh{m},
+		maxDelta:      make([]float64, opts.Levels-1),
+		levelBytesMax: make([]int64, opts.Levels),
 	}
 	// Build the hierarchy once. Decimation uses the geometry-only
 	// default priority, so a zero field yields the canonical collapse
@@ -190,6 +201,15 @@ func (sw *SeriesWriter) writeMeta(ctx context.Context) error {
 	w.SetAttr("tolerance", strconv.FormatFloat(sw.tol, 'g', -1, 64))
 	w.SetAttr("estimator", sw.est.Name())
 	w.SetAttr("steps", strconv.Itoa(sw.steps))
+	if sw.steps > 0 {
+		// Planner inputs, campaign-wide: bounds composed from the running
+		// delta maxima, sizes from the per-level container maxima.
+		bounds, err := plan.ComposeBounds(plan.Progressive, sw.opts.Levels, sw.tol, sw.maxDelta)
+		if err != nil {
+			return err
+		}
+		setPlanAttrs(w, bounds, sw.levelBytesMax)
+	}
 	if _, err := sw.aio.WriteContainer(ctx, seriesMetaKey(sw.name), w, 0); err != nil {
 		return fmt.Errorf("canopus: store series metadata: %w", err)
 	}
@@ -253,6 +273,14 @@ func (sw *SeriesWriter) WriteStep(ctx context.Context, data []float64) (*SeriesR
 	}
 	rep.Timings.DeltaSeconds = time.Since(t0).Seconds()
 
+	// Fold this step's exact delta maxima into the campaign-wide planner
+	// bounds (untimed: planner bookkeeping, not a paper phase).
+	for l, d := range deltas {
+		if m := maxAbs(d); m > sw.maxDelta[l] {
+			sw.maxDelta[l] = m
+		}
+	}
+
 	// Compress payload containers, one pool unit per level. Step
 	// containers carry payloads only (the hierarchy container has the
 	// mesh, mapping, and tile frame), in canonical product order.
@@ -313,6 +341,9 @@ func (sw *SeriesWriter) WriteStep(ctx context.Context, data []float64) (*SeriesR
 		rep.Timings.IOSeconds += p.Cost.Seconds
 		rep.Timings.IOBytes += p.Cost.Bytes
 		rep.PayloadBytes += p.Cost.Bytes
+		if p.Cost.Bytes > sw.levelBytesMax[l] {
+			sw.levelBytesMax[l] = p.Cost.Bytes
+		}
 	}
 
 	sw.steps++
@@ -334,6 +365,12 @@ type SeriesReader struct {
 	estimator delta.Estimator
 	tolerance float64
 	pool      *engine.Pool
+
+	// bounds and levelBytes are the campaign-wide planner inputs recorded
+	// by the writer; bounds[l] is -1 on campaigns written before bound
+	// recording.
+	bounds     []float64
+	levelBytes []int64
 
 	// degrade switches RetrieveStep to best-effort on delta failures
 	// (see degrade.go). Guarded by mu.
@@ -425,14 +462,16 @@ func OpenSeriesReader(ctx context.Context, aio *adios.IO, name string) (*SeriesR
 	if err != nil {
 		return nil, err
 	}
-	return &SeriesReader{
+	sr := &SeriesReader{
 		aio: aio, name: name, levels: levels, steps: steps,
 		codec: codec, estimator: est, tolerance: tol,
 		pool:     engine.NewPool(0),
 		meshes:   map[int]*mesh.Mesh{},
 		mappings: map[int]delta.Mapping{},
 		tiles:    map[int]tileBox{},
-	}, nil
+	}
+	sr.bounds, sr.levelBytes = readPlanAttrs(h, levels)
+	return sr, nil
 }
 
 // SetWorkers resizes the reader's worker pool (n <= 0 means NumCPU). It must
@@ -518,8 +557,10 @@ func (sr *SeriesReader) hier(ctx context.Context, l int) (*mesh.Mesh, delta.Mapp
 	return hl.mesh, hl.mapping, hl.tb, nil
 }
 
-// RetrieveStep restores one timestep to the target level, progressing from
-// the base through the stored deltas. Cancelling ctx aborts mid-fetch.
+// RetrieveStep restores one timestep to the target level. The retrieval
+// planner resolves the level into the base-plus-deltas fetch plan for the
+// step's containers; RetrieveStep executes it. Cancelling ctx aborts
+// mid-fetch.
 func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int) (*View, error) {
 	if step < 0 || step >= sr.steps {
 		return nil, fmt.Errorf("canopus: step %d out of range [0,%d)", step, sr.steps)
@@ -527,10 +568,51 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 	if targetLevel < 0 || targetLevel >= sr.levels {
 		return nil, fmt.Errorf("canopus: level %d out of range [0,%d)", targetLevel, sr.levels)
 	}
+	p, err := sr.planner(step)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := p.ForLevel(targetLevel)
+	if err != nil {
+		return nil, err
+	}
+	return sr.executeStep(ctx, step, pl)
+}
+
+// RetrieveStepToTolerance restores one timestep to the cheapest accuracy
+// whose campaign-wide recorded bound meets eps, stopping refinement early
+// exactly like Reader.RetrieveToTolerance. Campaigns written before bound
+// recording fall back to a conservative full-accuracy plan.
+func (sr *SeriesReader) RetrieveStepToTolerance(ctx context.Context, step int, eps float64) (*View, error) {
+	if step < 0 || step >= sr.steps {
+		return nil, fmt.Errorf("canopus: step %d out of range [0,%d)", step, sr.steps)
+	}
+	p, err := sr.planner(step)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := p.ForTolerance(eps)
+	if err != nil {
+		return nil, err
+	}
+	metricToleranceRetrievals.Inc()
+	v, err := sr.executeStep(ctx, step, pl)
+	if err != nil {
+		return nil, err
+	}
+	finishTolerance(v, pl)
+	return v, nil
+}
+
+// executeStep walks a planner-produced plan over one step's containers:
+// base fetch first, then each planned delta, keeping the last cleanly
+// restored level on a degradable failure. All level selection lives in the
+// plan.
+func (sr *SeriesReader) executeStep(ctx context.Context, step int, pl *plan.Plan) (*View, error) {
 	ctx, span := obs.StartSpan(ctx, "core.retrieve_step")
 	span.SetAttr("name", sr.name)
 	span.SetAttrInt("step", step)
-	span.SetAttrInt("target_level", targetLevel)
+	span.SetAttrInt("target_level", pl.Target)
 	defer span.End()
 	metricSeriesSteps.Inc()
 	base := sr.levels - 1
@@ -546,7 +628,7 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 	if err != nil {
 		return nil, err
 	}
-	v := &View{Level: base, Mesh: baseMesh}
+	v := &View{Level: base, Mesh: baseMesh, ErrorBound: sr.boundAt(base)}
 	v.Timings.addHandleIO(h)
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
@@ -563,10 +645,10 @@ func (sr *SeriesReader) RetrieveStep(ctx context.Context, step, targetLevel int)
 	}
 
 	degrade := sr.degradeOn()
-	for l := base - 1; l >= targetLevel; l-- {
-		if err := sr.augmentStep(ctx, span, step, l, v); err != nil {
+	for _, st := range pl.Steps[1:] {
+		if err := sr.augmentStep(ctx, span, step, st.Level, v); err != nil {
 			if degrade && degradable(err) {
-				v.Degradation = newDegradation(targetLevel, v.Level, err, sr.tolerance)
+				v.Degradation = newDegradation(pl.Target, v.Level, err, sr.boundAt(v.Level))
 				countDegradation(v.Degradation)
 				span.SetAttrInt("achieved_level", v.Level)
 				span.SetAttr("degraded", "true")
@@ -614,6 +696,7 @@ func (sr *SeriesReader) augmentStep(ctx context.Context, span *obs.Span, step, l
 	v.Level = l
 	v.Mesh = fineMesh
 	v.Data = fineData
+	v.ErrorBound = sr.boundAt(l)
 	return nil
 }
 

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Streaming refinement acceptance: Subscribe delivers monotonically
+// tightening views, a cancelled subscriber leaks no goroutine, and a
+// faulted delta tier ends the stream with a terminal Degradation instead of
+// hanging.
+
+// collectStream drains ch with a hang guard.
+func collectStream(t *testing.T, ch <-chan *View) []*View {
+	t.Helper()
+	var views []*View
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case v, ok := <-ch:
+			if !ok {
+				return views
+			}
+			views = append(views, v)
+		case <-timeout:
+			t.Fatalf("stream hung after %d views", len(views))
+		}
+	}
+}
+
+func TestSubscribeRefinesToTolerance(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 24)
+	rep, err := Write(context.Background(), aio, ds, Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := rep.Bounds[0] // reachable only at full accuracy
+	ch, err := rd.Subscribe(context.Background(), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := collectStream(t, ch)
+	if len(views) != 3 {
+		t.Fatalf("received %d views, want 3 (base + 2 refinements)", len(views))
+	}
+	for i, v := range views {
+		if want := rd.Levels() - 1 - i; v.Level != want {
+			t.Fatalf("view %d at level %d, want %d (coarse-to-fine)", i, v.Level, want)
+		}
+		if v.ErrorBound <= 0 {
+			t.Fatalf("view %d has bound %g, want recorded positive bound", i, v.ErrorBound)
+		}
+		if i > 0 && v.ErrorBound > views[i-1].ErrorBound {
+			t.Fatalf("bounds widened: view %d bound %g > view %d bound %g",
+				i, v.ErrorBound, i-1, views[i-1].ErrorBound)
+		}
+		if v.Degradation != nil {
+			t.Fatalf("view %d unexpectedly degraded: %+v", i, v.Degradation)
+		}
+	}
+	last := views[len(views)-1]
+	if last.ErrorBound > eps {
+		t.Fatalf("terminal bound %g exceeds eps %g", last.ErrorBound, eps)
+	}
+	// Views are private snapshots: mutating an early view must not corrupt
+	// later ones (the stream refines its own buffer).
+	views[0].Data[0] = 1e9
+	if len(last.Data) == 0 || last.Data[0] == 1e9 {
+		t.Fatal("delivered views share a data buffer")
+	}
+}
+
+func TestSubscribeStopsEarlyAtLooseTolerance(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 24)
+	rep, err := Write(context.Background(), aio, ds, Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := rd.Subscribe(context.Background(), rep.Bounds[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := collectStream(t, ch)
+	if len(views) != 1 || views[0].Level != 2 || views[0].Degradation != nil {
+		t.Fatalf("loose stream delivered %d views (first level %d), want exactly the base",
+			len(views), views[0].Level)
+	}
+
+	if _, err := rd.Subscribe(context.Background(), 0); err == nil {
+		t.Fatal("eps 0 accepted")
+	}
+}
+
+func TestSubscribeCancelMidStreamNoLeak(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 24)
+	rep, err := Write(context.Background(), aio, ds, Options{Levels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := rd.Subscribe(ctx, rep.Bounds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take the base, then walk away mid-refinement.
+	if v, ok := <-ch; !ok || v.Level != rd.Levels()-1 {
+		t.Fatalf("first view = %+v, %v", v, ok)
+	}
+	cancel()
+	// The channel must close promptly even though nobody is receiving.
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				goto closed
+			}
+		case <-timeout:
+			t.Fatal("stream did not close after cancellation")
+		}
+	}
+closed:
+	// The stream goroutine (and any pool work it started) must wind down.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before Subscribe, %d after cancel", before, n)
+	}
+}
+
+func TestSubscribeFaultedDeltaEndsWithDegradation(t *testing.T) {
+	ds := testDataset("dpot", 24)
+	aio := faultedIO(t, ds, Options{Levels: 3}, "seed=11,tier=lustre,read.err=1")
+	rd, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := rd.boundAt(0)
+	ch, err := rd.Subscribe(context.Background(), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := collectStream(t, ch)
+	if len(views) == 0 {
+		t.Fatal("faulted stream delivered nothing; want at least the base")
+	}
+	base := rd.Levels() - 1
+	last := views[len(views)-1]
+	d := last.Degradation
+	if d == nil {
+		t.Fatalf("faulted stream ended without a terminal Degradation (last level %d)", last.Level)
+	}
+	if d.AchievedLevel != base || d.RequestedTolerance != eps || d.Reason == "" {
+		t.Fatalf("terminal report = %+v, want achieved %d with eps %g", d, base, eps)
+	}
+}
+
+func TestSubscribeUnreachableReportsTerminal(t *testing.T) {
+	aio := newIO()
+	ds := testDataset("dpot", 24)
+	rep, err := Write(context.Background(), aio, ds, Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(context.Background(), aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := rep.Bounds[0] / 1e6
+	ch, err := rd.Subscribe(context.Background(), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := collectStream(t, ch)
+	if len(views) != 3 {
+		t.Fatalf("received %d views, want full refinement to level 0", len(views))
+	}
+	last := views[len(views)-1]
+	if last.Level != 0 || last.Degradation == nil {
+		t.Fatalf("terminal view level %d (report %+v), want 0 with unreachable report", last.Level, last.Degradation)
+	}
+	if last.Degradation.RequestedTolerance != eps || !strings.Contains(last.Degradation.Reason, "unreachable") {
+		t.Fatalf("terminal report = %+v", last.Degradation)
+	}
+}

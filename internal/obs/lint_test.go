@@ -13,6 +13,7 @@ import (
 	_ "repro/internal/bench"
 	_ "repro/internal/core"
 	_ "repro/internal/engine"
+	_ "repro/internal/plan"
 	_ "repro/internal/storage"
 )
 
@@ -27,6 +28,7 @@ var (
 		"adios":    true,
 		"core":     true,
 		"compress": true,
+		"plan":     true,
 		"obs":      true, // obs's own tests register under this subsystem
 	}
 )

@@ -2,8 +2,10 @@
 # bench.sh — run the end-to-end pipeline benchmark and the ranged-read
 # benchmark, emit the ranged-read results as BENCH_ranged.json, emit the
 # chunked-codec results (intra-product parallel decode plus the ranged-read
-# numbers they move) as BENCH_codec.json, and emit span-derived per-phase
-# medians of the fixed observability workload as BENCH_obs.json.
+# numbers they move) as BENCH_codec.json, emit span-derived per-phase
+# medians of the fixed observability workload as BENCH_obs.json, and emit
+# the error-target retrieval sweep (requested eps vs achieved error vs bytes
+# moved, self-asserting) as BENCH_tolerance.json.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  value for go test -benchtime (default 1x for a quick sweep;
@@ -83,3 +85,8 @@ go test -run '^$' -bench 'BenchmarkChunked|BenchmarkV1Decode' \
 echo "wrote $CODEC_OUT"
 
 go run ./cmd/canopus-bench -obs-json BENCH_obs.json -scale quick
+
+# BENCH_tolerance.json: RetrieveToTolerance sweep across every recorded
+# per-level error bound plus midpoints; the run itself fails if any sweep
+# point misses its requested eps (see DESIGN.md §11 "Retrieval planning").
+go run ./cmd/canopus-bench -tolerance-sweep BENCH_tolerance.json -scale quick
