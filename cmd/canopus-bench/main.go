@@ -31,6 +31,7 @@ func main() {
 	obsJSON := flag.String("obs-json", "", "run the fixed observability workload and write span-phase medians to this file")
 	faultSpec := flag.String("fault-spec", "", "run the fault-injection demo under this spec (e.g. seed=1,tier=lustre,read.err=1)")
 	tolJSON := flag.String("tolerance-sweep", "", "run the error-target retrieval sweep and write its acceptance record to this file")
+	placeJSON := flag.String("placement-bench", "", "run the Zipfian static-vs-adaptive placement bench and write its acceptance record to this file")
 	var ocli obs.CLI
 	ocli.Bind(flag.CommandLine)
 	flag.Parse()
@@ -45,8 +46,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "canopus-bench: unknown scale %q (want paper or quick)\n", *scale)
 		os.Exit(2)
 	}
-	// -obs-json, -fault-spec, or -tolerance-sweep alone run just their own
-	// workload; an explicit -fig alongside any of them runs the figures too.
+	// -obs-json, -fault-spec, -tolerance-sweep, or -placement-bench alone
+	// run just their own workload; an explicit -fig alongside any of them
+	// runs the figures too.
 	figSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "fig" {
@@ -61,7 +63,7 @@ func main() {
 		r := bench.New(os.Stdout, s)
 		r.ASCII = *ascii
 		r.Workers = *workers
-		if (*obsJSON == "" && *faultSpec == "" && *tolJSON == "") || figSet {
+		if (*obsJSON == "" && *faultSpec == "" && *tolJSON == "" && *placeJSON == "") || figSet {
 			err = r.Run(*fig)
 		}
 		if err == nil && *faultSpec != "" {
@@ -69,6 +71,9 @@ func main() {
 		}
 		if err == nil && *tolJSON != "" {
 			err = r.ToleranceSweep(ctx, *tolJSON)
+		}
+		if err == nil && *placeJSON != "" {
+			err = r.PlacementBench(ctx, *placeJSON)
 		}
 		if err == nil && *obsJSON != "" {
 			err = r.ObsBench(ctx, *obsJSON)

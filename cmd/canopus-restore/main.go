@@ -23,6 +23,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/place"
 	"repro/internal/storage"
 )
 
@@ -36,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
 	cacheMB := flag.Int("cache-mb", 0, "page cache size in MiB shared across reads (0 = no cache)")
 	degrade := flag.Bool("degrade", false, "return the best accuracy achieved when a delta level is corrupt or unreachable, instead of failing")
+	placePolicy := flag.String("place-policy", "lru", "placement policy: lru (static), freq, or cost; adaptive policies run a background promoter that physically reorganizes the hierarchy around observed reads")
 	var ocli obs.CLI
 	ocli.Bind(flag.CommandLine)
 	flag.Parse()
@@ -44,7 +46,7 @@ func main() {
 	defer stop()
 	ctx, finish, err := ocli.Start(ctx, "canopus-restore")
 	if err == nil {
-		err = run(ctx, *dir, *name, *level, *tolerance, *region, *ascii, *workers, *cacheMB, *degrade)
+		err = run(ctx, *dir, *name, *level, *tolerance, *region, *ascii, *workers, *cacheMB, *degrade, *placePolicy)
 		if ferr := finish(); err == nil {
 			err = ferr
 		}
@@ -85,10 +87,23 @@ func parseRegion(s string) (minX, minY, maxX, maxY float64, err error) {
 	return vals[0], vals[1], vals[2], vals[3], nil
 }
 
-func run(ctx context.Context, dir, name string, level int, tolerance float64, region string, ascii bool, workers, cacheMB int, degrade bool) error {
+func run(ctx context.Context, dir, name string, level int, tolerance float64, region string, ascii bool, workers, cacheMB int, degrade bool, placePolicy string) error {
 	h, err := storage.FileTwoTier(dir, 0)
 	if err != nil {
 		return err
+	}
+	pol, err := place.ByName(placePolicy)
+	if err != nil {
+		return err
+	}
+	h.SetPolicy(pol)
+	if pol.Name() != "lru" {
+		// Adaptive placement: a background promoter migrates hot
+		// containers toward the fast tier while this process reads. The
+		// hierarchy is file-backed, so moves persist for later sessions.
+		pr := h.NewPromoter(0)
+		pr.Start()
+		defer pr.Stop()
 	}
 	aio := adios.NewIO(h, nil)
 	if cacheMB > 0 {

@@ -174,3 +174,49 @@ func TestFmtBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestPlacementBenchSelfAsserts(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, ScaleQuick)
+	path := t.TempDir() + "/placement.json"
+	if err := r.PlacementBench(context.Background(), path); err != nil {
+		t.Fatalf("placement bench: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep PlacementReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if !rep.Pass || rep.AdaptiveOverStatic < 1.5 {
+		t.Fatalf("report does not pass: adaptive/static = %g", rep.AdaptiveOverStatic)
+	}
+	if len(rep.Policies) != 3 {
+		t.Fatalf("policies = %d, want lru/freq/cost", len(rep.Policies))
+	}
+	var static, bestAdaptive PlacementPolicyResult
+	for _, p := range rep.Policies {
+		if p.Policy == "lru" {
+			static = p
+		} else if p.HitRate >= bestAdaptive.HitRate {
+			bestAdaptive = p
+		}
+	}
+	if static.Moves != 0 {
+		t.Errorf("static lru applied %d background moves, want 0", static.Moves)
+	}
+	if bestAdaptive.Moves == 0 {
+		t.Error("adaptive winner applied no background moves")
+	}
+	// The hit-rate gap must show up in the modeled wall time too.
+	if bestAdaptive.ModeledSeconds >= static.ModeledSeconds {
+		t.Errorf("adaptive modeled read time %gs not below static %gs",
+			bestAdaptive.ModeledSeconds, static.ModeledSeconds)
+	}
+	if rep.FastCapacityBytes*10 > rep.WorkingSetBytes+rep.FastCapacityBytes {
+		t.Errorf("fast tier %dB is not ~10%% of working set %dB",
+			rep.FastCapacityBytes, rep.WorkingSetBytes)
+	}
+}

@@ -57,11 +57,15 @@ func readPlanAttrs(h *adios.Handle, levels int) (bounds []float64, levelBytes []
 	return bounds, levelBytes
 }
 
-// tierOf resolves the cost-model parameters of the tier currently holding
-// key. A key the catalog does not know prices as a zero Tier: estimates are
-// advisory and must never block a retrieval.
+// tierOf resolves the cost-model parameters of the tier holding key — or,
+// when the placement policy's background promoter has published an intent
+// to move it, the tier it is headed to (Hierarchy.PlannedTier): a plan
+// built mid-cycle prices reads against the residency the policy is
+// converging to, not a placement about to be stale. A key the catalog does
+// not know prices as a zero Tier: estimates are advisory and must never
+// block a retrieval.
 func tierOf(aio *adios.IO, key string) plan.Tier {
-	idx := aio.H.Where(key)
+	idx := aio.H.PlannedTier(key)
 	if idx < 0 {
 		return plan.Tier{}
 	}

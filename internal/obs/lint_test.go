@@ -13,6 +13,7 @@ import (
 	_ "repro/internal/bench"
 	_ "repro/internal/core"
 	_ "repro/internal/engine"
+	_ "repro/internal/place"
 	_ "repro/internal/plan"
 	_ "repro/internal/storage"
 )
@@ -29,6 +30,7 @@ var (
 		"core":     true,
 		"compress": true,
 		"plan":     true,
+		"place":    true,
 		"obs":      true, // obs's own tests register under this subsystem
 	}
 )
@@ -45,7 +47,30 @@ func TestMetricNamingConvention(t *testing.T) {
 		}
 		sub := strings.SplitN(name, "_", 3)[1]
 		if !subsystems[sub] {
-			t.Errorf("metric %q: unknown subsystem %q (want one of engine, storage, adios, core, obs)", name, sub)
+			t.Errorf("metric %q: unregistered subsystem prefix %q (add the owning package to the subsystems allowlist)", name, sub)
+		}
+	}
+}
+
+// The placement layer must register its canopus_place_* instruments so the
+// promoter's activity is observable; a refactor that drops them would
+// otherwise pass the naming lint vacuously.
+func TestPlaceMetricsRegistered(t *testing.T) {
+	want := []string{
+		"canopus_place_cycles_total",
+		"canopus_place_promotions_total",
+		"canopus_place_demotions_total",
+		"canopus_place_moved_bytes_total",
+		"canopus_place_move_errors_total",
+		"canopus_place_touches_total",
+	}
+	names := make(map[string]bool)
+	for _, n := range obs.Default.Names() {
+		names[n] = true
+	}
+	for _, w := range want {
+		if !names[w] {
+			t.Errorf("metric %q not registered", w)
 		}
 	}
 }

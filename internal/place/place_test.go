@@ -1,0 +1,227 @@
+package place
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTrackerTouchWroteBump(t *testing.T) {
+	tr := NewTracker()
+	tr.Touch("a")
+	tr.Touch("a")
+	tr.Touch("b")
+	if s := tr.Stats("a"); s.Accesses != 2 || s.LastUsed != 2 {
+		t.Fatalf("a stats = %+v, want 2 accesses, lastUsed 2", s)
+	}
+	if s := tr.Stats("b"); s.Accesses != 1 || s.LastUsed != 3 {
+		t.Fatalf("b stats = %+v, want 1 access, lastUsed 3", s)
+	}
+	// Bump refreshes recency without counting an access.
+	tr.Bump("a")
+	if s := tr.Stats("a"); s.Accesses != 2 || s.LastUsed != 4 {
+		t.Fatalf("after bump: %+v, want accesses 2, lastUsed 4", s)
+	}
+	// Wrote resets history: a fresh value carries no read heat.
+	tr.Wrote("a")
+	if s := tr.Stats("a"); s.Accesses != 0 || s.Freq != 0 || s.LastUsed != 5 {
+		t.Fatalf("after wrote: %+v, want reset with lastUsed 5", s)
+	}
+	tr.ReadBytes("b", 100)
+	if s := tr.Stats("b"); s.BytesRead != 100 {
+		t.Fatalf("b bytes = %d, want 100", s.BytesRead)
+	}
+	tr.Forget("b")
+	if s := tr.Stats("b"); !reflect.DeepEqual(s, Stats{}) {
+		t.Fatalf("forgotten key stats = %+v, want zero", s)
+	}
+	if tr.Clock() != 5 {
+		t.Fatalf("clock = %d, want 5", tr.Clock())
+	}
+}
+
+func TestTrackerFreqDecays(t *testing.T) {
+	tr := NewTracker()
+	tr.SetHalfLife(4)
+	tr.Touch("hot")
+	f0 := tr.Stats("hot").Freq
+	if f0 != 1 {
+		t.Fatalf("freq after one touch = %g, want 1", f0)
+	}
+	// Advance the clock by touching other keys: hot's frequency must decay.
+	for i := 0; i < 4; i++ {
+		tr.Touch("other")
+	}
+	f1 := tr.Stats("hot").Freq
+	if f1 >= f0 || f1 <= 0 {
+		t.Fatalf("freq did not decay: %g -> %g", f0, f1)
+	}
+	// One half-life elapsed: within rounding, half the weight.
+	if f1 < 0.4 || f1 > 0.6 {
+		t.Fatalf("freq after one half-life = %g, want ~0.5", f1)
+	}
+	// Re-touching beats decayed-out keys.
+	tr.Touch("hot")
+	if f := tr.Stats("hot").Freq; f <= tr.Stats("other").Freq/4 {
+		t.Fatalf("retouched freq %g unexpectedly cold vs other %g", f, tr.Stats("other").Freq)
+	}
+}
+
+func TestLRUAdmitFallThrough(t *testing.T) {
+	got := (LRU{}).Admit("k", 10, 1, 4)
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("Admit(pref=1, tiers=4) = %v, want [1 2 3]", got)
+	}
+	if got := (LRU{}).Admit("k", 10, 0, 1); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Admit(pref=0, tiers=1) = %v, want [0]", got)
+	}
+}
+
+func TestLRUVictim(t *testing.T) {
+	cands := []Candidate{
+		{Key: "a", Stats: Stats{LastUsed: 5}},
+		{Key: "b", Stats: Stats{LastUsed: 2}},
+		{Key: "c", Stats: Stats{LastUsed: 2}},
+	}
+	// Strict minimum on key-sorted input: ties break to the first
+	// (lexicographically smallest) — the historical eviction order.
+	if v := (LRU{}).Victim(0, cands); v != "b" {
+		t.Fatalf("victim = %q, want b", v)
+	}
+	if v := (LRU{}).Victim(0, nil); v != "" {
+		t.Fatalf("victim of empty = %q, want empty", v)
+	}
+}
+
+func TestFreqVictimPicksColdest(t *testing.T) {
+	cands := []Candidate{
+		{Key: "a", Stats: Stats{Freq: 3, LastUsed: 9}},
+		{Key: "b", Stats: Stats{Freq: 0.5, LastUsed: 8}},
+		{Key: "c", Stats: Stats{Freq: 0.5, LastUsed: 2}},
+	}
+	// Equal frequency: older recency loses.
+	if v := NewFreqDecay().Victim(0, cands); v != "c" {
+		t.Fatalf("victim = %q, want c", v)
+	}
+}
+
+// twoTierView builds a view with a bounded fast tier and an unbounded slow
+// one, with the given resident/outsider candidates.
+func twoTierView(fastCap, fastUsed int64, keys ...Candidate) View {
+	return View{
+		Clock: 100,
+		Tiers: []TierInfo{
+			{Index: 0, Name: "fast", Capacity: fastCap, Used: fastUsed, LatencySeconds: 1e-6, ReadBandwidth: 1e9},
+			{Index: 1, Name: "slow", LatencySeconds: 1e-3, ReadBandwidth: 1e7},
+		},
+		Keys: keys,
+	}
+}
+
+func TestFreqPromoteFillsFreeSpace(t *testing.T) {
+	v := twoTierView(100, 40,
+		Candidate{Key: "cold", Tier: 1, Stored: 50, Stats: Stats{Freq: 0.1}},
+		Candidate{Key: "hot", Tier: 1, Stored: 50, Stats: Stats{Freq: 5}},
+		Candidate{Key: "res", Tier: 0, Stored: 40, Stats: Stats{Freq: 1}},
+	)
+	moves := NewFreqDecay().Promote(v)
+	if len(moves) != 1 || moves[0] != (Move{Key: "hot", To: 0}) {
+		t.Fatalf("moves = %v, want [{hot 0}]", moves)
+	}
+}
+
+func TestFreqPromoteDisplacesWithHysteresis(t *testing.T) {
+	// Fast tier full. Outsider must out-score the displaced resident by
+	// the hysteresis factor.
+	mk := func(outFreq, resFreq float64) []Move {
+		v := twoTierView(100, 100,
+			Candidate{Key: "out", Tier: 1, Stored: 50, Stats: Stats{Freq: outFreq}},
+			Candidate{Key: "res", Tier: 0, Stored: 100, Stats: Stats{Freq: resFreq}},
+		)
+		return NewFreqDecay().Promote(v)
+	}
+	if moves := mk(5, 1); len(moves) != 1 || moves[0].Key != "out" {
+		t.Fatalf("hot outsider not promoted: %v", moves)
+	}
+	// 1.1 vs 1.0 is inside the default 1.25 hysteresis: no thrash.
+	if moves := mk(1.1, 1); len(moves) != 0 {
+		t.Fatalf("marginal outsider promoted despite hysteresis: %v", moves)
+	}
+	// Zero-heat outsiders never move.
+	if moves := mk(0, 0); len(moves) != 0 {
+		t.Fatalf("cold outsider promoted: %v", moves)
+	}
+}
+
+func TestPromoteRespectsMaxMoves(t *testing.T) {
+	var keys []Candidate
+	for _, k := range []string{"a", "b", "c", "d"} {
+		keys = append(keys, Candidate{Key: k, Tier: 1, Stored: 10, Stats: Stats{Freq: 2}})
+	}
+	v := twoTierView(1000, 0, keys...)
+	p := &FreqDecay{Knobs: Knobs{MaxMoves: 2}}
+	if moves := p.Promote(v); len(moves) != 2 {
+		t.Fatalf("moves = %v, want 2 (MaxMoves)", moves)
+	}
+}
+
+func TestDemoteOnCapacityPressure(t *testing.T) {
+	// 96% full: above the default 0.95 high watermark; demote coldest
+	// until below 0.85.
+	v := twoTierView(1000, 960,
+		Candidate{Key: "cold", Tier: 0, Stored: 200, Stats: Stats{Freq: 0.1}},
+		Candidate{Key: "hot", Tier: 0, Stored: 760, Stats: Stats{Freq: 9}},
+	)
+	moves := NewFreqDecay().Demote(v)
+	if len(moves) != 1 || moves[0] != (Move{Key: "cold", To: 1}) {
+		t.Fatalf("moves = %v, want [{cold 1}]", moves)
+	}
+	// Under the watermark: nothing moves.
+	v.Tiers[0].Used = 800
+	if moves := NewFreqDecay().Demote(v); len(moves) != 0 {
+		t.Fatalf("demotion below high watermark: %v", moves)
+	}
+}
+
+func TestCostAwarePrefersBulkyOnSlow(t *testing.T) {
+	// Equal heat; the larger product saves more modeled seconds per
+	// access, so it wins the promotion slot.
+	v := twoTierView(100, 0,
+		Candidate{Key: "small", Tier: 1, Stored: 10, Stats: Stats{Freq: 2}},
+		Candidate{Key: "big", Tier: 1, Stored: 100, Stats: Stats{Freq: 2}},
+	)
+	p := &CostAware{Knobs: Knobs{MaxMoves: 1}}
+	moves := p.Promote(v)
+	if len(moves) != 1 || moves[0].Key != "big" {
+		t.Fatalf("moves = %v, want big promoted first", moves)
+	}
+}
+
+func TestLRUIsStatic(t *testing.T) {
+	v := twoTierView(100, 0,
+		Candidate{Key: "hot", Tier: 1, Stored: 10, Stats: Stats{Freq: 100, Accesses: 100}},
+	)
+	if m := (LRU{}).Promote(v); m != nil {
+		t.Fatalf("LRU promoted: %v", m)
+	}
+	if m := (LRU{}).Demote(v); m != nil {
+		t.Fatalf("LRU demoted: %v", m)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if p, err := ByName(""); err != nil || p.Name() != "lru" {
+		t.Fatalf("ByName(\"\") = %v, %v; want lru default", p, err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) succeeded")
+	}
+}

@@ -1,0 +1,134 @@
+package place
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeMover records the promoter's protocol: intents must be published
+// before any byte moves, and every planned move is applied exactly once.
+type fakeMover struct {
+	mu       sync.Mutex
+	view     View
+	intents  [][]Move
+	applied  []Move
+	applyErr map[string]error
+}
+
+func (f *fakeMover) PlacementView() View {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.view
+}
+
+func (f *fakeMover) IntendMoves(moves []Move) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.intents = append(f.intents, moves)
+}
+
+func (f *fakeMover) ApplyMove(m Move) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.applyErr[m.Key]; err != nil {
+		return 0, err
+	}
+	f.applied = append(f.applied, m)
+	// Mark the key moved so the next View reflects it.
+	for i := range f.view.Keys {
+		if f.view.Keys[i].Key == m.Key {
+			f.view.Keys[i].Tier = m.To
+		}
+	}
+	return 10, nil
+}
+
+func hotColdView() View {
+	return View{
+		Clock: 50,
+		Tiers: []TierInfo{
+			{Index: 0, Name: "fast", Capacity: 100, LatencySeconds: 1e-6, ReadBandwidth: 1e9},
+			{Index: 1, Name: "slow", LatencySeconds: 1e-3, ReadBandwidth: 1e7},
+		},
+		Keys: []Candidate{
+			{Key: "hot", Tier: 1, Stored: 10, Stats: Stats{Freq: 5, LastUsed: 50}},
+			{Key: "lukewarm", Tier: 1, Stored: 10, Stats: Stats{Freq: 1, LastUsed: 40}},
+		},
+	}
+}
+
+func TestRunOnceAppliesPolicyMoves(t *testing.T) {
+	fm := &fakeMover{view: hotColdView()}
+	pr := NewPromoter(fm, NewFreqDecay(), 0)
+	n := pr.RunOnce(context.Background())
+	if n != 2 {
+		t.Fatalf("applied = %d, want 2", n)
+	}
+	if len(fm.intents) != 1 || len(fm.intents[0]) != 2 {
+		t.Fatalf("intents = %v, want one batch of 2", fm.intents)
+	}
+	// Hot-first order, intents published before application.
+	if fm.applied[0].Key != "hot" || fm.applied[0].To != 0 {
+		t.Fatalf("applied = %v, want hot first", fm.applied)
+	}
+	// A second cycle over the converged view plans nothing.
+	if n := pr.RunOnce(context.Background()); n != 0 {
+		t.Fatalf("second cycle applied %d moves, want 0", n)
+	}
+	if len(fm.intents) != 1 {
+		t.Fatalf("converged cycle still published intents: %v", fm.intents)
+	}
+}
+
+func TestRunOnceToleratesApplyErrors(t *testing.T) {
+	fm := &fakeMover{
+		view:     hotColdView(),
+		applyErr: map[string]error{"hot": errors.New("gone")},
+	}
+	pr := NewPromoter(fm, NewFreqDecay(), 0)
+	if n := pr.RunOnce(context.Background()); n != 1 {
+		t.Fatalf("applied = %d, want 1 (hot fails, lukewarm lands)", n)
+	}
+	if len(fm.applied) != 1 || fm.applied[0].Key != "lukewarm" {
+		t.Fatalf("applied = %v, want [lukewarm]", fm.applied)
+	}
+}
+
+func TestPromoterKickDrivesCycle(t *testing.T) {
+	fm := &fakeMover{view: hotColdView()}
+	// Hour-long interval: only Kick can trigger the cycle in test time.
+	pr := NewPromoter(fm, NewFreqDecay(), time.Hour)
+	pr.Start()
+	defer pr.Stop()
+	pr.Kick()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		fm.mu.Lock()
+		n := len(fm.applied)
+		fm.mu.Unlock()
+		if n == 2 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("kicked promoter never applied the planned moves")
+}
+
+func TestPromoterStopLifecycle(t *testing.T) {
+	fm := &fakeMover{view: View{}}
+	pr := NewPromoter(fm, LRU{}, time.Millisecond)
+	// Stop before Start: must not hang, and Start afterwards is a no-op.
+	pr.Stop()
+	pr.Start()
+	pr.Stop()
+
+	pr2 := NewPromoter(fm, LRU{}, time.Millisecond)
+	pr2.Start()
+	pr2.Start() // idempotent
+	time.Sleep(5 * time.Millisecond)
+	pr2.Stop()
+	pr2.Stop() // idempotent
+}

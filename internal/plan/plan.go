@@ -59,7 +59,9 @@ func (m Mode) String() string {
 	return "progressive"
 }
 
-// Tier carries the cost-model parameters of the tier a product lives on.
+// Tier carries the cost-model parameters of the tier a product lives on —
+// or is headed to, when the placement policy's background promoter has an
+// intent in flight (callers resolve residency via Hierarchy.PlannedTier).
 // A zero Tier (unknown placement) estimates as free rather than failing:
 // cost estimates are advisory and must never block a retrieval.
 type Tier struct {
@@ -91,6 +93,11 @@ type Step struct {
 	// Bound is the composed error bound the view carries once the step is
 	// applied (< 0 unknown).
 	Bound float64
+	// Tier names the tier the step's product is expected to read from —
+	// live residency at planning time, including the destination of any
+	// in-flight policy promotion (core resolves it via PlannedTier).
+	// Empty when placement is unknown.
+	Tier string
 	// EstBytes and EstSeconds are the modeled cost of the step.
 	EstBytes   int64
 	EstSeconds float64
@@ -172,7 +179,7 @@ func (p *Planner) BoundsKnown() bool {
 // step prices one level fetch against its tier.
 func (p *Planner) step(level int) Step {
 	pr := p.prods[level]
-	s := Step{Level: level, Bound: p.Bound(level), EstBytes: pr.Bytes}
+	s := Step{Level: level, Bound: p.Bound(level), Tier: pr.Tier.Name, EstBytes: pr.Bytes}
 	s.EstSeconds = pr.Tier.LatencySeconds
 	if pr.Tier.ReadBandwidth > 0 {
 		s.EstSeconds += float64(pr.Bytes) / pr.Tier.ReadBandwidth

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/place"
 )
 
 // Hierarchy-wide metrics. Per-tier traffic gets its own counters, named
@@ -35,19 +38,30 @@ func newTierMetrics(tierName string) tierMetrics {
 	}
 }
 
-// Hierarchy is an ordered stack of tiers, fastest first. It implements the
-// Canopus placement policy (§III-D): a data product asks for a preferred
-// tier; if that tier lacks capacity the product falls through to the next
-// one ("if a storage tier doesn't have sufficient capacity, it will be
-// bypassed and the next tier will be selected").
+// Hierarchy is an ordered stack of tiers, fastest first. It is pure
+// mechanism: every placement decision — which tier admits a write (the
+// paper's §III-D fall-through is the default policy's choice), who gets
+// evicted under capacity pressure, what the background promoter moves — is
+// delegated to the pluggable place.Policy (SetPolicy), fed by the access
+// tracker the read paths drive.
 type Hierarchy struct {
 	mu      sync.Mutex
 	tiers   []*Tier
 	tm      []tierMetrics // parallel to tiers
 	catalog map[string]*entry
-	// clock is a logical access clock driving LRU migration decisions;
-	// logical time keeps experiments deterministic.
-	clock int64
+	// policy decides placement; place.LRU by default (byte-compatible
+	// with the historical static fall-through + LRU eviction).
+	policy place.Policy
+	// tracker is the per-key access tracker feeding the policy; it owns
+	// the logical clock that keeps placement deterministic.
+	tracker *place.Tracker
+	// pending maps keys to the destination of an intended background move
+	// (published by Mover.IntendMoves, retired by ApplyMove); PlannedTier
+	// consults it ahead of actual residency.
+	pending map[string]int
+	// promoter, when attached (NewPromoter), is kicked by successful
+	// reads so placement reacts to the workload within one cycle.
+	promoter atomic.Pointer[place.Promoter]
 	// envBlock is the integrity envelope checksum block size: 0 means
 	// DefaultEnvelopeBlock, negative disables sealing (values store raw,
 	// as before the envelope existed).
@@ -60,18 +74,23 @@ type Hierarchy struct {
 // caller-visible payload length (what Size reports and the cost model
 // charges); stored is the real backend footprint, which exceeds size by the
 // envelope framing when env is non-nil. env == nil marks a raw legacy value.
+// Access history lives in the hierarchy's tracker, not here.
 type entry struct {
-	tier     int
-	size     int64
-	stored   int64
-	env      *envInfo
-	lastUsed int64 // logical access time (Put or Get)
-	accesses int64
+	tier   int
+	size   int64
+	stored int64
+	env    *envInfo
 }
 
 // NewHierarchy builds a hierarchy from tiers ordered fastest to slowest.
 func NewHierarchy(tiers ...*Tier) *Hierarchy {
-	h := &Hierarchy{tiers: tiers, catalog: make(map[string]*entry)}
+	h := &Hierarchy{
+		tiers:   tiers,
+		catalog: make(map[string]*entry),
+		policy:  place.LRU{},
+		tracker: place.NewTracker(),
+		pending: make(map[string]int),
+	}
 	for _, t := range tiers {
 		t.backend() // materialize backends up front
 		h.tm = append(h.tm, newTierMetrics(t.Name))
@@ -118,15 +137,18 @@ func (h *Hierarchy) SetEnvelopeBlock(n int64) {
 	h.envBlock = n
 }
 
-// Put writes data preferring tier `pref`, falling through to slower tiers
-// when capacity is exhausted. The value is sealed in a checksum envelope
-// (see envelope.go); capacity accounting uses the real sealed size while the
-// simulated cost charges the payload, so modeled timings are envelope-
-// independent. A tier whose backend fails the write with a transient fault
-// is bypassed like a full one — the write must land somewhere durable now,
-// not after the tier recovers. writers models how many clients share the
-// tier's bandwidth for this operation (1 for serial writes). A cancelled
-// ctx aborts before any byte lands.
+// Put writes data to the first tier the placement policy's admission order
+// accepts, preferring tier `pref`. Under the default policy that is the
+// paper's §III-D fall-through: the preferred tier, then each slower one in
+// turn when capacity is exhausted. `pref` is a hint — the policy owns the
+// candidate order; this method only executes it, skipping tiers that are
+// full or transiently faulted (the write must land somewhere durable now,
+// not after the tier recovers). The value is sealed in a checksum envelope
+// (see envelope.go); capacity accounting uses the real sealed size while
+// the simulated cost charges the payload, so modeled timings are envelope-
+// independent. writers models how many clients share the tier's bandwidth
+// for this operation (1 for serial writes). A cancelled ctx aborts before
+// any byte lands.
 func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, writers int) (Placement, error) {
 	if err := ctx.Err(); err != nil {
 		return Placement{}, err
@@ -142,7 +164,11 @@ func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, 
 	var bypassed []string
 	var lastErr error
 	sealed, env := h.seal(data)
-	for i := pref; i < len(h.tiers); i++ {
+	candidates := h.policy.Admit(key, int64(len(sealed)), pref, len(h.tiers))
+	for ci, i := range candidates {
+		if i < 0 || i >= len(h.tiers) {
+			continue
+		}
 		t := h.tiers[i]
 		if !t.fits(int64(len(sealed))) {
 			bypassed = append(bypassed, t.Name)
@@ -150,7 +176,7 @@ func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, 
 			continue
 		}
 		if err := t.backend().Put(key, sealed); err != nil {
-			if errors.Is(err, ErrTransient) && i+1 < len(h.tiers) {
+			if errors.Is(err, ErrTransient) && ci+1 < len(candidates) {
 				bypassed = append(bypassed, t.Name)
 				metricPutFaultBypass.Inc()
 				lastErr = err
@@ -160,8 +186,8 @@ func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, 
 		}
 		h.tm[i].writeBytes.Add(int64(len(data)))
 		h.tm[i].writeOps.Inc()
-		h.clock++
-		h.catalog[key] = &entry{tier: i, size: int64(len(data)), stored: int64(len(sealed)), env: env, lastUsed: h.clock}
+		h.tracker.Wrote(key)
+		h.catalog[key] = &entry{tier: i, size: int64(len(data)), stored: int64(len(sealed)), env: env}
 		return Placement{
 			Key:      key,
 			TierIdx:  i,
@@ -209,7 +235,7 @@ func (h *Hierarchy) GetRange(ctx context.Context, key string, off, n int64, read
 }
 
 // Size reports the stored byte length of key from the catalog, without
-// touching the backend or the LRU clock.
+// touching the backend or the access tracker.
 func (h *Hierarchy) Size(key string) (int64, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -230,17 +256,15 @@ func (h *Hierarchy) Where(key string) int {
 	return -1
 }
 
-// Accesses reports how many times key has been read.
+// Accesses reports how many times key has been read. Get and GetRange both
+// count — a ranged read of a footer or delta tile carries the same heat
+// signal as a whole-value read, so the placement policies never under-count
+// selectively-read products.
 func (h *Hierarchy) Accesses(key string) int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if e, ok := h.catalog[key]; ok {
-		return e.accesses
-	}
-	return 0
+	return h.tracker.Stats(key).Accesses
 }
 
-// Delete removes key from the hierarchy.
+// Delete removes key from the hierarchy and drops its access history.
 func (h *Hierarchy) Delete(key string) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -249,17 +273,22 @@ func (h *Hierarchy) Delete(key string) error {
 		return nil
 	}
 	delete(h.catalog, key)
+	delete(h.pending, key)
+	h.tracker.Forget(key)
 	return h.tiers[e.tier].backend().Delete(key)
 }
 
-// Keys lists all stored keys sorted, across tiers.
+// Keys lists all stored keys across tiers, as one deterministically sorted
+// slice (the catalog is the source of truth; per-tier backend listings are
+// each sorted but their concatenation was not).
 func (h *Hierarchy) Keys() []string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	var out []string
-	for _, t := range h.tiers {
-		out = append(out, t.backend().Keys()...)
+	out := make([]string, 0, len(h.catalog))
+	for k := range h.catalog {
+		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -26,9 +25,11 @@ var (
 // the base dataset always fits in tmpfs, and that "in a production
 // environment, this may not be true and we believe data migration and
 // eviction will play an integral part, which needs to be developed in
-// Canopus". This file develops it: explicit promotion/demotion between
-// tiers, and LRU eviction that makes room on a fast tier by pushing the
-// coldest products down the hierarchy.
+// Canopus". This file is the *mechanism* half: explicit race-safe
+// promotion/demotion between tiers and eviction that makes room on a fast
+// tier by pushing victims down the hierarchy. Who gets evicted — and what
+// the background promoter moves — is decided by the pluggable placement
+// policy in internal/place (LRU by default; see placement.go).
 
 // Migration describes one completed move.
 type Migration struct {
@@ -142,9 +143,10 @@ func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, o
 		tierIdx := e.tier
 		t := h.tiers[tierIdx]
 		env := e.env
-		h.clock++
-		e.lastUsed = h.clock
-		e.accesses++
+		// Heat signal for the placement policy: every attempt touches the
+		// key (Get and GetRange alike), exactly where the old LRU clock
+		// ticked.
+		h.tracker.Touch(key)
 		h.mu.Unlock()
 		span.SetAttr("tier", t.Name)
 
@@ -152,6 +154,8 @@ func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, o
 		if err == nil {
 			h.tm[tierIdx].readBytes.Add(int64(len(data)))
 			h.tm[tierIdx].readOps.Inc()
+			h.tracker.ReadBytes(key, int64(len(data)))
+			h.kickPromoter()
 			span.SetAttrInt("bytes", len(data))
 			return data, Placement{
 				Key:      key,
@@ -246,10 +250,9 @@ func (h *Hierarchy) Promote(key string, to int) ([]Migration, error) {
 	if err != nil {
 		return evictions, err
 	}
-	// A promotion is an access signal: refresh recency so the key does
-	// not become the next promotion's LRU victim.
-	h.clock++
-	e.lastUsed = h.clock
+	// A promotion refreshes recency (so the key does not become the next
+	// eviction's victim) without counting as workload heat.
+	h.tracker.Bump(key)
 	return append(evictions, m), nil
 }
 
@@ -267,7 +270,7 @@ func (h *Hierarchy) Demote(key string, to int) (Migration, error) {
 	return h.move(key, to)
 }
 
-// EnsureRoom evicts least-recently-used keys from tier `tier` into slower
+// EnsureRoom evicts policy-chosen victims from tier `tier` into slower
 // tiers until `bytes` additional bytes fit, returning the migrations
 // performed. It fails with ErrCapacity if the hierarchy as a whole cannot
 // absorb the spill.
@@ -286,7 +289,9 @@ func (h *Hierarchy) ensureRoomLocked(tier int, bytes int64, protect string) ([]M
 	t := h.tiers[tier]
 	var out []Migration
 	for !t.fits(bytes) {
-		victim := h.coldestOn(tier, protect)
+		// The victim choice is the policy's: LRU picks the least recently
+		// used, the adaptive policies the lowest-scored resident.
+		victim := h.policy.Victim(tier, h.candidatesLocked(tier, protect))
 		if victim == "" {
 			return out, fmt.Errorf("storage: tier %s: %w (nothing evictable)", t.Name, ErrCapacity)
 		}
@@ -309,24 +314,3 @@ func (h *Hierarchy) ensureRoomLocked(tier int, bytes int64, protect string) ([]M
 	return out, nil
 }
 
-// coldestOn returns the least-recently-used key on a tier, or "" if the
-// tier holds nothing evictable.
-func (h *Hierarchy) coldestOn(tier int, protect string) string {
-	best := ""
-	var bestUsed int64
-	keys := make([]string, 0)
-	for k, e := range h.catalog {
-		if e.tier == tier && k != protect {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys) // deterministic tie-break
-	for _, k := range keys {
-		e := h.catalog[k]
-		if best == "" || e.lastUsed < bestUsed {
-			best = k
-			bestUsed = e.lastUsed
-		}
-	}
-	return best
-}

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/place"
+)
+
+// Placement policy wiring. The hierarchy is pure mechanism: it gathers the
+// facts a decision needs (residency, capacity, tracked heat), hands them to
+// the pluggable place.Policy, and executes the verdicts through the
+// migration-race-safe machinery in migrate.go. All decision logic — the
+// admission fall-through order, eviction victim choice, hot-set promotion,
+// capacity-pressure demotion — lives in internal/place.
+
+// SetPolicy installs the placement policy consulted for admission, eviction
+// victims, and background movement. nil restores the default (place.LRU,
+// byte-compatible with the historical static behavior). The policy applies
+// to subsequent decisions; residency already established stays put until
+// the policy moves it.
+func (h *Hierarchy) SetPolicy(p place.Policy) {
+	if p == nil {
+		p = place.LRU{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.policy = p
+}
+
+// Policy reports the installed placement policy.
+func (h *Hierarchy) Policy() place.Policy {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.policy
+}
+
+// Tracker exposes the access tracker the read paths feed, so policies,
+// benchmarks, and tests can inspect or tune the heat signal.
+func (h *Hierarchy) Tracker() *place.Tracker { return h.tracker }
+
+// PlacementView snapshots the hierarchy for a policy decision: every
+// tier's capacity envelope and usage, and every cataloged key's residency,
+// sizes, and tracked heat, key-sorted for deterministic policy output.
+func (h *Hierarchy) PlacementView() place.View {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v := place.View{Clock: h.tracker.Clock()}
+	for i, t := range h.tiers {
+		v.Tiers = append(v.Tiers, place.TierInfo{
+			Index:          i,
+			Name:           t.Name,
+			Capacity:       t.Capacity,
+			Used:           t.backend().Used(),
+			LatencySeconds: t.LatencySeconds,
+			ReadBandwidth:  t.ReadBandwidth,
+			WriteBandwidth: t.WriteBandwidth,
+		})
+	}
+	keys := make([]string, 0, len(h.catalog))
+	for k := range h.catalog {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := h.catalog[k]
+		v.Keys = append(v.Keys, place.Candidate{
+			Key:    k,
+			Tier:   e.tier,
+			Size:   e.size,
+			Stored: e.stored,
+			Stats:  h.tracker.Stats(k),
+		})
+	}
+	return v
+}
+
+// candidatesLocked builds the policy's eviction candidates resident on a
+// tier, key-sorted, excluding protect. Caller holds the lock.
+func (h *Hierarchy) candidatesLocked(tier int, protect string) []place.Candidate {
+	keys := make([]string, 0)
+	for k, e := range h.catalog {
+		if e.tier == tier && k != protect {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	cands := make([]place.Candidate, 0, len(keys))
+	for _, k := range keys {
+		e := h.catalog[k]
+		cands = append(cands, place.Candidate{
+			Key:    k,
+			Tier:   e.tier,
+			Size:   e.size,
+			Stored: e.stored,
+			Stats:  h.tracker.Stats(k),
+		})
+	}
+	return cands
+}
+
+// PlannedTier reports where key is headed: the destination of an intended
+// (published but not yet applied) background move when one is in flight,
+// else the tier currently holding it, or -1 for unknown keys. Cost
+// estimators (internal/plan via core) price retrievals against this instead
+// of raw Where, so a plan built mid-cycle reflects the residency the policy
+// is converging to.
+func (h *Hierarchy) PlannedTier(key string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.catalog[key]; !ok {
+		return -1
+	}
+	if to, ok := h.pending[key]; ok && to >= 0 && to < len(h.tiers) {
+		return to
+	}
+	return h.catalog[key].tier
+}
+
+// moverAdapter adapts the hierarchy to place.Mover: snapshotting is
+// PlacementView, intents land in the pending map PlannedTier consults, and
+// moves execute through the race-safe Promote/Demote.
+type moverAdapter struct{ h *Hierarchy }
+
+// Mover returns the place.Mover surface a Promoter drives.
+func (h *Hierarchy) Mover() place.Mover { return moverAdapter{h} }
+
+// PlacementView implements place.Mover.
+func (m moverAdapter) PlacementView() place.View { return m.h.PlacementView() }
+
+// IntendMoves implements place.Mover.
+func (m moverAdapter) IntendMoves(moves []place.Move) {
+	m.h.mu.Lock()
+	defer m.h.mu.Unlock()
+	for _, mv := range moves {
+		m.h.pending[mv.Key] = mv.To
+	}
+}
+
+// ApplyMove implements place.Mover: one promotion or demotion through the
+// migration machinery, retiring the key's published intent whether or not
+// the move succeeds.
+func (m moverAdapter) ApplyMove(mv place.Move) (int64, error) {
+	h := m.h
+	defer func() {
+		h.mu.Lock()
+		delete(h.pending, mv.Key)
+		h.mu.Unlock()
+	}()
+	h.mu.Lock()
+	e, ok := h.catalog[mv.Key]
+	if !ok {
+		h.mu.Unlock()
+		return 0, fmt.Errorf("storage: apply move %q: %w", mv.Key, ErrNotFound)
+	}
+	cur, stored := e.tier, e.stored
+	h.mu.Unlock()
+	switch {
+	case mv.To == cur:
+		return 0, nil
+	case mv.To < cur:
+		_, err := h.Promote(mv.Key, mv.To)
+		return stored, err
+	default:
+		_, err := h.Demote(mv.Key, mv.To)
+		return stored, err
+	}
+}
+
+// NewPromoter builds a background promoter/demoter over this hierarchy
+// with its current policy, wires the read paths to nudge it (every
+// successful read Kicks a cycle), and returns it unstarted: call Start for
+// the background goroutine, or drive RunOnce directly for deterministic
+// cycles. interval <= 0 selects place.DefaultPromoterInterval.
+func (h *Hierarchy) NewPromoter(interval time.Duration) *place.Promoter {
+	pr := place.NewPromoter(h.Mover(), h.Policy(), interval)
+	h.promoter.Store(pr)
+	return pr
+}
+
+// kickPromoter nudges an attached promoter, if any. Called outside the
+// hierarchy lock on every successful read.
+func (h *Hierarchy) kickPromoter() {
+	if pr := h.promoter.Load(); pr != nil {
+		pr.Kick()
+	}
+}

@@ -3,9 +3,10 @@
 # benchmark, emit the ranged-read results as BENCH_ranged.json, emit the
 # chunked-codec results (intra-product parallel decode plus the ranged-read
 # numbers they move) as BENCH_codec.json, emit span-derived per-phase
-# medians of the fixed observability workload as BENCH_obs.json, and emit
+# medians of the fixed observability workload as BENCH_obs.json, emit
 # the error-target retrieval sweep (requested eps vs achieved error vs bytes
-# moved, self-asserting) as BENCH_tolerance.json.
+# moved, self-asserting) as BENCH_tolerance.json, and emit the Zipfian
+# static-vs-adaptive placement comparison as BENCH_placement.json.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  value for go test -benchtime (default 1x for a quick sweep;
@@ -90,3 +91,9 @@ go run ./cmd/canopus-bench -obs-json BENCH_obs.json -scale quick
 # per-level error bound plus midpoints; the run itself fails if any sweep
 # point misses its requested eps (see DESIGN.md §11 "Retrieval planning").
 go run ./cmd/canopus-bench -tolerance-sweep BENCH_tolerance.json -scale quick
+
+# BENCH_placement.json: static LRU vs workload-adaptive placement on a
+# Zipfian trace with the fast tier sized to 10% of the working set; the run
+# fails unless the best adaptive policy's fast-tier hit rate beats static
+# by >= 1.5x (see DESIGN.md §12 "Placement policy").
+go run ./cmd/canopus-bench -placement-bench BENCH_placement.json -scale quick
