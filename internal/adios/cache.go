@@ -3,6 +3,7 @@ package adios
 import (
 	"container/list"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -23,6 +24,11 @@ var (
 	metricCacheEvictions     = obs.NewCounter("canopus_adios_cache_evictions_total")
 	metricCacheInvalidations = obs.NewCounter("canopus_adios_cache_invalidations_total")
 )
+
+// evCacheEvict records LRU page evictions in the flight recorder — a stream
+// of these for one hot key is the "cache too small for the working set"
+// signal the eviction counter alone cannot localize.
+var evCacheEvict = obs.RegisterEventType("cache_evict")
 
 // PageCache is an optional fixed-size read cache shared by every handle of
 // one IO. Containers are cached as aligned pages keyed by (storage key, page
@@ -123,8 +129,15 @@ func (c *PageCache) insert(pk string, data []byte) {
 	for c.lru.Len() > c.maxPages {
 		last := c.lru.Back()
 		c.lru.Remove(last)
-		delete(c.pages, last.Value.(*cachePage).key)
+		victim := last.Value.(*cachePage).key
+		delete(c.pages, victim)
 		metricCacheEvictions.Inc()
+		// The page key is storagekey\x00gen\x00idx; attribute the eviction
+		// to the storage key.
+		if i := strings.IndexByte(victim, 0); i > 0 {
+			victim = victim[:i]
+		}
+		evCacheEvict.Emit("key", victim)
 	}
 }
 
@@ -151,8 +164,10 @@ func (c *PageCache) Invalidate(key string) {
 // readAt copies [off, off+len(p)) of the container `key` (of total length
 // size) into p, filling missing pages through fetch. fetch reads an exact
 // extent from the backing tier and is called at most once per missing page
-// across all concurrent readers.
-func (c *PageCache) readAt(key string, size int64, p []byte, off int64, fetch func(off, n int64) ([]byte, error)) error {
+// across all concurrent readers. The returned hit/miss counts are this
+// call's alone, so callers (the per-handle cost tracker) can attribute
+// cache behavior to the request that caused it.
+func (c *PageCache) readAt(key string, size int64, p []byte, off int64, fetch func(off, n int64) ([]byte, error)) (hits, misses int64, err error) {
 	gen := c.generation(key)
 	for done := int64(0); done < int64(len(p)); {
 		pos := off + done
@@ -160,13 +175,15 @@ func (c *PageCache) readAt(key string, size int64, p []byte, off int64, fetch fu
 		pk := pageCacheKey(key, gen, idx)
 		page := c.lookup(pk)
 		if page != nil {
+			hits++
 			c.hits.Add(1)
 			metricCacheHits.Inc()
 		} else {
+			misses++
 			c.misses.Add(1)
 			metricCacheMisses.Inc()
 			fetched := false
-			v, err := c.flight.Do(pk, func() (any, error) {
+			v, ferr := c.flight.Do(pk, func() (any, error) {
 				if page := c.lookup(pk); page != nil {
 					return page, nil // raced with another fill
 				}
@@ -181,8 +198,8 @@ func (c *PageCache) readAt(key string, size int64, p []byte, off int64, fetch fu
 				c.insert(pk, data)
 				return data, nil
 			})
-			if err != nil {
-				return err
+			if ferr != nil {
+				return hits, misses, ferr
 			}
 			if !fetched {
 				// This miss rode another reader's in-flight fill (or a fill
@@ -194,9 +211,9 @@ func (c *PageCache) readAt(key string, size int64, p []byte, off int64, fetch fu
 		pageOff := idx * c.pageSize
 		n := copy(p[done:], page[pos-pageOff:])
 		if n == 0 {
-			return fmt.Errorf("adios: page cache: empty copy at %d of %q", pos, key)
+			return hits, misses, fmt.Errorf("adios: page cache: empty copy at %d of %q", pos, key)
 		}
 		done += int64(n)
 	}
-	return nil
+	return hits, misses, nil
 }

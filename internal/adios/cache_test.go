@@ -42,7 +42,7 @@ func TestPageCacheReadAt(t *testing.T) {
 	// Spanning read across page boundaries, including the short tail page.
 	for _, rg := range []struct{ off, n int64 }{{0, 1000}, {100, 300}, {990, 10}, {0, 1}, {255, 2}} {
 		p := make([]byte, rg.n)
-		if err := c.readAt("k", 1000, p, rg.off, fetch); err != nil {
+		if _, _, err := c.readAt("k", 1000, p, rg.off, fetch); err != nil {
 			t.Fatalf("readAt(%d,%d): %v", rg.off, rg.n, err)
 		}
 		if !bytes.Equal(p, data[rg.off:rg.off+rg.n]) {
@@ -68,7 +68,7 @@ func TestPageCacheEvictsLRU(t *testing.T) {
 	fetch := fetchFrom(data, &calls)
 	p := make([]byte, 256)
 	for _, idx := range []int64{0, 1, 2, 0} {
-		if err := c.readAt("k", 1024, p, idx*256, fetch); err != nil {
+		if _, _, err := c.readAt("k", 1024, p, idx*256, fetch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -82,12 +82,12 @@ func TestPageCacheInvalidate(t *testing.T) {
 	old := cachePayload(256)
 	c := NewPageCache(1<<20, 256)
 	p := make([]byte, 256)
-	if err := c.readAt("k", 256, p, 0, fetchFrom(old, nil)); err != nil {
+	if _, _, err := c.readAt("k", 256, p, 0, fetchFrom(old, nil)); err != nil {
 		t.Fatal(err)
 	}
 	c.Invalidate("k")
 	fresh := bytes.Repeat([]byte{0xAB}, 256)
-	if err := c.readAt("k", 256, p, 0, fetchFrom(fresh, nil)); err != nil {
+	if _, _, err := c.readAt("k", 256, p, 0, fetchFrom(fresh, nil)); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(p, fresh) {
@@ -110,7 +110,7 @@ func TestPageCacheSingleFlight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			p := make([]byte, 4096)
-			if err := c.readAt("k", 4096, p, 0, fetch); err != nil {
+			if _, _, err := c.readAt("k", 4096, p, 0, fetch); err != nil {
 				errs[g] = err
 				return
 			}

@@ -154,6 +154,10 @@ type costTracker struct {
 	bytes atomic.Int64
 	// real is the bytes actually read from the backend for this handle.
 	real atomic.Int64
+	// cacheHits/cacheMisses are this handle's share of the page cache's
+	// traffic (zero when no cache is attached), for per-request attribution.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 	// readers models bandwidth sharing for this retrieval.
 	readers int
 }
@@ -184,7 +188,10 @@ func (c *costTracker) fetchInto(p []byte, off int64) error {
 		return nil
 	}
 	if c.cache != nil {
-		return c.cache.readAt(c.key, c.size, p, off, c.fetch)
+		hits, misses, err := c.cache.readAt(c.key, c.size, p, off, c.fetch)
+		c.cacheHits.Add(hits)
+		c.cacheMisses.Add(misses)
+		return err
 	}
 	data, err := c.fetch(off, int64(len(p)))
 	if err != nil {
@@ -297,6 +304,14 @@ func (h *Handle) Cost() storage.Cost { return h.tracker.cost() }
 // fills included. Compare with Cost().Bytes (the modeled extents) to see how
 // closely real traffic tracks the cost model.
 func (h *Handle) RealBytes() int64 { return h.tracker.real.Load() }
+
+// CacheStats reports the page-cache hits and misses this handle's reads
+// incurred (both zero when the IO has no cache attached). Request-scoped
+// attribution folds these at the same single-fold sites as Cost and
+// RealBytes.
+func (h *Handle) CacheStats() (hits, misses int64) {
+	return h.tracker.cacheHits.Load(), h.tracker.cacheMisses.Load()
+}
 
 // InqVar is the adios_inq_var analogue: metadata-only lookup.
 func (h *Handle) InqVar(name string, level int) (bp.VarInfo, bool) {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -22,10 +23,32 @@ type ObsPhase struct {
 	TotalSeconds  float64 `json:"total_seconds"`
 }
 
+// ObsOverhead is the instrumentation-cost A/B: the same ranged-read
+// workload run with a live trace (real spans, request attribution mirrored
+// onto span attrs, trace-ring recording) and without one (the nil-span
+// no-op path). Each round times both arms back to back — order alternating
+// round to round — and contributes one instrumented/baseline ratio;
+// MedianPct is the median of those paired ratios, minus one, in percent.
+// Pairing is what makes the number stable on shared machines: CPU-frequency
+// and noisy-neighbor drift hits both halves of a pair, so it cancels in the
+// ratio instead of landing on whichever arm ran during the bad stretch. CI
+// fails the overhead gate when MedianPct reaches ObsOverheadBudgetPct.
+type ObsOverhead struct {
+	Rounds                    int     `json:"rounds"`
+	MedianInstrumentedSeconds float64 `json:"median_instrumented_seconds"`
+	MedianBaselineSeconds     float64 `json:"median_baseline_seconds"`
+	MedianPct                 float64 `json:"median_pct"`
+	Pass                      bool    `json:"pass"`
+}
+
+// ObsOverheadBudgetPct is the ceiling on acceptable median span overhead.
+const ObsOverheadBudgetPct = 5.0
+
 // ObsReport is the document ObsBench writes (BENCH_obs.json in CI).
 type ObsReport struct {
-	Workload string     `json:"workload"`
-	Phases   []ObsPhase `json:"phases"`
+	Workload string       `json:"workload"`
+	Phases   []ObsPhase   `json:"phases"`
+	Overhead *ObsOverhead `json:"overhead,omitempty"`
 }
 
 // ObsBench runs a fixed traced workload — refactor an XGC1 field into four
@@ -103,6 +126,12 @@ func (r *Runner) ObsBench(ctx context.Context, path string) error {
 			TotalSeconds:  total,
 		})
 	}
+	ov, err := measureOverhead(ctx, rd, cx-qx, cy-qy, cx+qx, cy+qy)
+	if err != nil {
+		return err
+	}
+	rep.Overhead = ov
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -110,6 +139,79 @@ func (r *Runner) ObsBench(ctx context.Context, path string) error {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(r.Out, "wrote span-phase report (%d phases) to %s\n", len(rep.Phases), path)
+	fmt.Fprintf(r.Out, "wrote span-phase report (%d phases, overhead %.2f%%) to %s\n",
+		len(rep.Phases), ov.MedianPct, path)
 	return nil
+}
+
+// measureOverhead times the instrumented and uninstrumented arms of the
+// same full-plus-regional retrieval as adjacent pairs, with the within-pair
+// order alternating round to round so a fixed first-arm advantage (cache
+// warmth, a GC inherited from the previous pair) flips sign and cancels in
+// the median. One unmeasured warmup round settles the page cache.
+func measureOverhead(ctx context.Context, rd *core.Reader, minX, minY, maxX, maxY float64) (*ObsOverhead, error) {
+	const rounds = 100
+	run := func(c context.Context) error {
+		if _, err := rd.Retrieve(c, 0); err != nil {
+			return err
+		}
+		_, err := rd.RetrieveRegion(c, 0, minX, minY, maxX, maxY)
+		return err
+	}
+	if err := run(ctx); err != nil {
+		return nil, err
+	}
+	instrArm := func() (float64, error) {
+		t0 := time.Now()
+		tctx, root := obs.Trace(ctx, "bench.overhead")
+		err := run(tctx)
+		root.End()
+		return time.Since(t0).Seconds(), err
+	}
+	baseArm := func() (float64, error) {
+		t0 := time.Now()
+		err := run(ctx)
+		return time.Since(t0).Seconds(), err
+	}
+	instr := make([]float64, 0, rounds)
+	base := make([]float64, 0, rounds)
+	ratios := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		var ti, tb float64
+		var err error
+		if i%2 == 0 {
+			if ti, err = instrArm(); err == nil {
+				tb, err = baseArm()
+			}
+		} else {
+			if tb, err = baseArm(); err == nil {
+				ti, err = instrArm()
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		instr = append(instr, ti)
+		base = append(base, tb)
+		if tb > 0 {
+			ratios = append(ratios, ti/tb)
+		}
+	}
+	pct := 0.0
+	if len(ratios) > 0 {
+		pct = (median(ratios) - 1) * 100
+	}
+	return &ObsOverhead{
+		Rounds:                    rounds,
+		MedianInstrumentedSeconds: median(instr),
+		MedianBaselineSeconds:     median(base),
+		MedianPct:                 pct,
+		Pass:                      pct < ObsOverheadBudgetPct,
+	}, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }

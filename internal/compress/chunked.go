@@ -165,7 +165,7 @@ func ChunkedDecodeInto(ctx context.Context, pool Runner, c Codec, dst []float64,
 	nChunks := len(lens)
 	metricFramedDecodes.Inc()
 	metricDecodeChunks.Add(int64(nChunks))
-	_, span := obs.StartSpan(ctx, "compress.chunked_decode")
+	span := obs.FromContext(ctx).Child("compress.chunked_decode")
 	span.SetAttrInt("chunks", nChunks)
 	span.SetAttrInt("values", total)
 	defer span.End()

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"strconv"
 
 	"repro/internal/obs"
 	"repro/internal/storage"
@@ -21,6 +22,10 @@ import (
 var (
 	metricDegradedRetrievals = obs.NewCounter("canopus_core_degraded_retrievals_total")
 	metricDegradedLevelsLost = obs.NewCounter("canopus_core_degraded_levels_lost_total")
+
+	// evDegradation records each degraded retrieval in the flight recorder:
+	// which accuracy was asked for, what was actually served, and why.
+	evDegradation = obs.RegisterEventType("degradation")
 )
 
 // Degradation reports a retrieval that completed below the accuracy it was
@@ -66,9 +71,18 @@ func newDegradation(requested, achieved int, err error, bound float64) *Degradat
 	}
 }
 
-func countDegradation(d *Degradation) {
+// countDegradation counts the final report once per retrieval, records the
+// matching flight-recorder event, and marks the request carried by ctx (if
+// any) as degraded so the CostReport explains itself.
+func countDegradation(ctx context.Context, d *Degradation) {
 	metricDegradedRetrievals.Inc()
 	metricDegradedLevelsLost.Add(int64(d.LevelsLost))
+	evDegradation.Emit(
+		"requested_level", strconv.Itoa(d.RequestedLevel),
+		"achieved_level", strconv.Itoa(d.AchievedLevel),
+		"levels_lost", strconv.Itoa(d.LevelsLost),
+		"reason", d.Reason)
+	obs.RequestFrom(ctx).SetDegraded(d.Reason)
 }
 
 // degradable reports whether err is a storage-layer failure a degraded

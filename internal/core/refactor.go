@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"time"
 
 	"repro/internal/adios"
 	"repro/internal/bp"
@@ -87,11 +88,14 @@ func (t *PhaseTimings) Add(o PhaseTimings) {
 
 // addHandleIO folds an open handle's accumulated I/O (simulated cost plus
 // real backend traffic) into the read-path timings, and mirrors the totals
-// into the process-wide obs counters. Each handle must be folded exactly
-// once, by the goroutine that owns the view: PhaseTimings fields are plain
-// (its public shape predates the obs layer), so cross-goroutine accumulation
-// belongs in the atomic counters, not here — see TestConcurrentTimingRace.
-func (t *PhaseTimings) addHandleIO(h *adios.Handle) {
+// into the process-wide obs counters and the request carried by ctx. Each
+// handle must be folded exactly once, by the goroutine that owns the view:
+// PhaseTimings fields are plain (its public shape predates the obs layer),
+// so cross-goroutine accumulation belongs in the atomic counters, not here —
+// see TestConcurrentTimingRace. Because the request folds at this same
+// single-fold site, a CostReport's I/O totals agree with the view's
+// PhaseTimings by construction.
+func (t *PhaseTimings) addHandleIO(ctx context.Context, h *adios.Handle) {
 	c := h.Cost()
 	real := h.RealBytes()
 	t.IOSeconds += c.Seconds
@@ -100,6 +104,10 @@ func (t *PhaseTimings) addHandleIO(h *adios.Handle) {
 	metricIOSeconds.Add(c.Seconds)
 	metricIOModeledBytes.Add(c.Bytes)
 	metricIORealBytes.Add(real)
+	if req := obs.RequestFrom(ctx); req != nil {
+		req.AddIO(c.Bytes, real, c.Seconds)
+		req.AddCache(h.CacheStats())
+	}
 }
 
 // TotalSeconds sums every phase.
@@ -266,6 +274,10 @@ func Write(ctx context.Context, aio *adios.IO, ds *Dataset, opts Options) (*Writ
 	span.SetAttr("mode", opts.Mode.String())
 	span.SetAttrInt("levels", opts.Levels)
 	defer span.End()
+	t0 := time.Now()
+	defer func() {
+		obs.ObserveLatency(metricWriteSeconds, span, time.Since(t0).Seconds())
+	}()
 	metricWrites.Inc()
 	est, err := delta.EstimatorByName(opts.Estimator)
 	if err != nil {

@@ -38,6 +38,9 @@ type RegionView struct {
 	// Degradation is non-nil when the view stopped short of the requested
 	// accuracy under Options.Degrade; Level then equals AchievedLevel.
 	Degradation *Degradation
+	// Cost is the request-scoped bill for the RetrieveRegion call that
+	// produced this view (see View.Cost).
+	Cost *obs.CostReport
 }
 
 // CountHave reports how many vertices carry valid data.
@@ -75,6 +78,7 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	if r.mode != ModeDelta {
 		return nil, fmt.Errorf("canopus: regional retrieval requires delta mode, have %s", r.mode)
 	}
+	ctx, req, owned := obs.BeginRequest(ctx, "core.retrieve_region")
 	ctx, span := obs.StartSpan(ctx, "core.retrieve_region")
 	span.SetAttr("name", r.name)
 	span.SetAttrInt("target_level", targetLevel)
@@ -158,6 +162,7 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	dspan.End()
 	out.Timings.DecompressSeconds += baseDecSecs
 	metricDecompressSeconds.Add(baseDecSecs)
+	req.AddDecompress(baseDecSecs)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: decompress base: %w", err)
 	}
@@ -233,12 +238,13 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 		}
 		out.Timings.RestoreSeconds += restoreSecs
 		metricRestoreSeconds.Add(restoreSecs)
+		req.AddRestore(restoreSecs)
 		data = fineData
 	}
 
 	// Accumulate I/O from every handle the active plan touched.
 	for _, st := range active {
-		out.Timings.addHandleIO(handles[st.Level].h)
+		out.Timings.addHandleIO(ctx, handles[st.Level].h)
 	}
 	out.Level = effTarget
 	out.Mesh = handles[effTarget].mesh
@@ -255,9 +261,16 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	}
 	if deg != nil {
 		out.Degradation = deg
-		countDegradation(deg)
+		countDegradation(ctx, deg)
 		span.SetAttrInt("achieved_level", effTarget)
 		span.SetAttr("degraded", "true")
+	}
+	req.SetLevel(out.Level)
+	req.SetErrorBound(out.ErrorBound)
+	if owned {
+		rep := req.Report(span)
+		obs.ObserveLatency(metricRetrieveRegionSeconds, span, rep.DurationSeconds)
+		out.Cost = rep
 	}
 	return out, nil
 }

@@ -196,6 +196,12 @@ type View struct {
 	// Degradation is non-nil when the view stopped short of the requested
 	// accuracy under Options.Degrade; Level then equals AchievedLevel.
 	Degradation *Degradation
+	// Cost is the request-scoped bill for the Retrieve / RetrieveToTolerance
+	// / RetrieveStep call that produced this view: per-tier reads and
+	// retries, modeled vs real bytes, cache behavior, decode seconds, and
+	// the degradation verdict. Nil on views built by hand through Base /
+	// Augment (their costs accumulate in Timings as before).
+	Cost *obs.CostReport
 }
 
 // DecimationRatio reports |V^0| / |V^Level| relative to the full mesh, when
@@ -232,7 +238,7 @@ func (r *Reader) Base(ctx context.Context) (*View, error) {
 		return nil, err
 	}
 	v := &View{Level: l, Mesh: m, ErrorBound: r.boundAt(l)}
-	v.Timings.addHandleIO(h)
+	v.Timings.addHandleIO(ctx, h)
 
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
@@ -240,6 +246,7 @@ func (r *Reader) Base(ctx context.Context) (*View, error) {
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	dspan.End()
 	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
+	obs.RequestFrom(ctx).AddDecompress(v.Timings.DecompressSeconds)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: decompress base: %w", err)
 	}
@@ -290,7 +297,7 @@ func (r *Reader) Augment(ctx context.Context, v *View) error {
 	if err := r.readDeltaChunks(ctx, h, fineLevel, nil, d, nil, &decompress); err != nil {
 		return err
 	}
-	v.Timings.addHandleIO(h)
+	v.Timings.addHandleIO(ctx, h)
 	v.Timings.DecompressSeconds += decompress.Value()
 
 	rspan := span.Child("core.restore")
@@ -302,6 +309,7 @@ func (r *Reader) Augment(ctx context.Context, v *View) error {
 	rspan.End()
 	v.Timings.RestoreSeconds += restoreSecs
 	metricRestoreSeconds.Add(restoreSecs)
+	obs.RequestFrom(ctx).AddRestore(restoreSecs)
 	if err != nil {
 		return fmt.Errorf("canopus: restore level %d: %w", fineLevel, err)
 	}
@@ -353,18 +361,20 @@ func (r *Reader) RetrieveToTolerance(ctx context.Context, eps float64) (*View, e
 		return nil, err
 	}
 	metricToleranceRetrievals.Inc()
+	ctx, req, owned := obs.BeginRequest(ctx, "core.retrieve")
 	v, err := r.execute(ctx, pl)
 	if err != nil {
 		return nil, err
 	}
-	finishTolerance(v, pl)
+	finishTolerance(ctx, v, pl)
+	finishView(v, req, owned, obs.FromContext(ctx), metricRetrieveSeconds)
 	return v, nil
 }
 
 // finishTolerance attaches the tolerance context to a tolerance-driven
 // view: the eps on any degradation report, and a terminal "unreachable"
 // report when the plan already knew eps undercuts the finest bound.
-func finishTolerance(v *View, pl *plan.Plan) {
+func finishTolerance(ctx context.Context, v *View, pl *plan.Plan) {
 	if v.Degradation != nil {
 		v.Degradation.RequestedTolerance = pl.Tolerance
 		return
@@ -378,7 +388,7 @@ func finishTolerance(v *View, pl *plan.Plan) {
 				pl.Tolerance, v.ErrorBound),
 			ErrorBound: v.ErrorBound,
 		}
-		countDegradation(v.Degradation)
+		countDegradation(ctx, v.Degradation)
 	}
 }
 
@@ -387,6 +397,7 @@ func finishTolerance(v *View, pl *plan.Plan) {
 // single product and fall back along pl.Fallbacks under degradation. All
 // level selection lives in the plan; execute only follows it.
 func (r *Reader) execute(ctx context.Context, pl *plan.Plan) (*View, error) {
+	ctx, req, owned := obs.BeginRequest(ctx, "core.retrieve")
 	ctx, span := obs.StartSpan(ctx, "core.retrieve")
 	span.SetAttr("name", r.name)
 	span.SetAttrInt("target_level", pl.Target)
@@ -396,7 +407,12 @@ func (r *Reader) execute(ctx context.Context, pl *plan.Plan) (*View, error) {
 	defer span.End()
 	metricRetrievals.Inc()
 	if pl.Mode == plan.Direct {
-		return r.executeDirect(ctx, span, pl)
+		v, err := r.executeDirect(ctx, span, pl)
+		if err != nil {
+			return nil, err
+		}
+		finishView(v, req, owned, span, metricRetrieveSeconds)
+		return v, nil
 	}
 	v, err := r.Base(ctx)
 	if err != nil {
@@ -406,14 +422,16 @@ func (r *Reader) execute(ctx context.Context, pl *plan.Plan) (*View, error) {
 		if err := r.Augment(ctx, v); err != nil {
 			if r.degradeOn() && degradable(err) {
 				v.Degradation = newDegradation(pl.Target, v.Level, err, r.boundAt(v.Level))
-				countDegradation(v.Degradation)
+				countDegradation(ctx, v.Degradation)
 				span.SetAttrInt("achieved_level", v.Level)
 				span.SetAttr("degraded", "true")
+				finishView(v, req, owned, span, metricRetrieveSeconds)
 				return v, nil
 			}
 			return nil, err
 		}
 	}
+	finishView(v, req, owned, span, metricRetrieveSeconds)
 	return v, nil
 }
 
@@ -430,7 +448,7 @@ func (r *Reader) executeDirect(ctx context.Context, span *obs.Span, pl *plan.Pla
 		v, lerr := r.retrieveDirect(ctx, l)
 		if lerr == nil {
 			v.Degradation = newDegradation(pl.Target, l, firstErr, r.boundAt(l))
-			countDegradation(v.Degradation)
+			countDegradation(ctx, v.Degradation)
 			span.SetAttrInt("achieved_level", l)
 			span.SetAttr("degraded", "true")
 			return v, nil
@@ -462,13 +480,14 @@ func (r *Reader) retrieveDirect(ctx context.Context, l int) (*View, error) {
 		return nil, err
 	}
 	v := &View{Level: l, Mesh: m, ErrorBound: r.boundAt(l)}
-	v.Timings.addHandleIO(h)
+	v.Timings.addHandleIO(ctx, h)
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
 	v.Data, err = compress.ChunkedDecode(ctx, r.pool, r.codec, p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	dspan.End()
 	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
+	obs.RequestFrom(ctx).AddDecompress(v.Timings.DecompressSeconds)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: decompress level %d: %w", l, err)
 	}
@@ -601,7 +620,7 @@ func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle
 	if err != nil {
 		return err
 	}
-	_, dspan := obs.StartSpan(ctx, "core.decompress")
+	dspan := obs.FromContext(ctx).Child("core.decompress")
 	dspan.SetAttrInt("tiles", len(present))
 	defer dspan.End()
 	// Tile-level and chunk-level parallelism compete for the same pool;
@@ -660,6 +679,10 @@ func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle
 	elapsed := time.Since(t0).Seconds()
 	decompress.Add(elapsed)
 	metricDecompressSeconds.Add(elapsed)
+	// Folded here — the same elapsed the caller's Timings receive through
+	// decompress — so CostReport and PhaseTimings agree without a second
+	// fold at the call sites.
+	obs.RequestFrom(ctx).AddDecompress(elapsed)
 	return err
 }
 
@@ -723,7 +746,7 @@ func (r *RawReader) Retrieve(ctx context.Context) (*View, error) {
 		return nil, err
 	}
 	v := &View{Level: 0, Mesh: m, Data: data}
-	v.Timings.addHandleIO(h)
+	v.Timings.addHandleIO(ctx, h)
 	return v, nil
 }
 

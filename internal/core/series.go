@@ -596,11 +596,13 @@ func (sr *SeriesReader) RetrieveStepToTolerance(ctx context.Context, step int, e
 		return nil, err
 	}
 	metricToleranceRetrievals.Inc()
+	ctx, req, owned := obs.BeginRequest(ctx, "core.retrieve_step")
 	v, err := sr.executeStep(ctx, step, pl)
 	if err != nil {
 		return nil, err
 	}
-	finishTolerance(v, pl)
+	finishTolerance(ctx, v, pl)
+	finishView(v, req, owned, obs.FromContext(ctx), metricRetrieveStepSeconds)
 	return v, nil
 }
 
@@ -609,6 +611,7 @@ func (sr *SeriesReader) RetrieveStepToTolerance(ctx context.Context, step int, e
 // restored level on a degradable failure. All level selection lives in the
 // plan.
 func (sr *SeriesReader) executeStep(ctx context.Context, step int, pl *plan.Plan) (*View, error) {
+	ctx, req, owned := obs.BeginRequest(ctx, "core.retrieve_step")
 	ctx, span := obs.StartSpan(ctx, "core.retrieve_step")
 	span.SetAttr("name", sr.name)
 	span.SetAttrInt("step", step)
@@ -629,13 +632,14 @@ func (sr *SeriesReader) executeStep(ctx context.Context, step int, pl *plan.Plan
 		return nil, err
 	}
 	v := &View{Level: base, Mesh: baseMesh, ErrorBound: sr.boundAt(base)}
-	v.Timings.addHandleIO(h)
+	v.Timings.addHandleIO(ctx, h)
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
 	v.Data, err = compress.ChunkedDecode(ctx, sr.pool, sr.codec, p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	dspan.End()
 	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
+	obs.RequestFrom(ctx).AddDecompress(v.Timings.DecompressSeconds)
 	if err != nil {
 		return nil, fmt.Errorf("canopus: step %d decompress base: %w", step, err)
 	}
@@ -649,14 +653,16 @@ func (sr *SeriesReader) executeStep(ctx context.Context, step int, pl *plan.Plan
 		if err := sr.augmentStep(ctx, span, step, st.Level, v); err != nil {
 			if degrade && degradable(err) {
 				v.Degradation = newDegradation(pl.Target, v.Level, err, sr.boundAt(v.Level))
-				countDegradation(v.Degradation)
+				countDegradation(ctx, v.Degradation)
 				span.SetAttrInt("achieved_level", v.Level)
 				span.SetAttr("degraded", "true")
+				finishView(v, req, owned, span, metricRetrieveStepSeconds)
 				return v, nil
 			}
 			return nil, err
 		}
 	}
+	finishView(v, req, owned, span, metricRetrieveStepSeconds)
 	return v, nil
 }
 
@@ -678,7 +684,7 @@ func (sr *SeriesReader) augmentStep(ctx context.Context, span *obs.Span, step, l
 	if err := readDeltaChunksFrom(ctx, sr.pool, hs, sr.codec, tb, l, nil, d, nil, &decompress); err != nil {
 		return err
 	}
-	v.Timings.addHandleIO(hs)
+	v.Timings.addHandleIO(ctx, hs)
 	v.Timings.DecompressSeconds += decompress.Value()
 
 	rspan := span.Child("core.restore")
@@ -690,6 +696,7 @@ func (sr *SeriesReader) augmentStep(ctx context.Context, span *obs.Span, step, l
 	rspan.End()
 	v.Timings.RestoreSeconds += restoreSecs
 	metricRestoreSeconds.Add(restoreSecs)
+	obs.RequestFrom(ctx).AddRestore(restoreSecs)
 	if err != nil {
 		return fmt.Errorf("canopus: step %d restore level %d: %w", step, l, err)
 	}

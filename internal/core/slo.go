@@ -1,0 +1,52 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Per-operation latency histograms — the SLO surface. Each public read/write
+// entry point observes its wall-clock duration here; /debug/slo evaluates
+// the declared objectives against them, and observations past the
+// -slow-trace-ms threshold carry exemplar links to the pinned slow trace.
+var (
+	metricRetrieveSeconds       = obs.NewHistogram("canopus_core_retrieve_seconds", nil)
+	metricRetrieveRegionSeconds = obs.NewHistogram("canopus_core_retrieve_region_seconds", nil)
+	metricRetrieveStepSeconds   = obs.NewHistogram("canopus_core_retrieve_step_seconds", nil)
+	metricSubscribeSeconds      = obs.NewHistogram("canopus_core_subscribe_seconds", nil)
+	metricWriteSeconds          = obs.NewHistogram("canopus_core_write_seconds", nil)
+)
+
+func init() {
+	// Default objectives, replaceable at runtime via obs.SetObjective. The
+	// targets are generous on purpose: real deployments tighten them to
+	// their own hierarchy; the defaults exist so /debug/slo is meaningful
+	// out of the box.
+	obs.SetObjective("canopus_core_retrieve_seconds", 0.99, 2*time.Second)
+	obs.SetObjective("canopus_core_retrieve_region_seconds", 0.99, 2*time.Second)
+	obs.SetObjective("canopus_core_retrieve_step_seconds", 0.99, 2*time.Second)
+	obs.SetObjective("canopus_core_write_seconds", 0.99, 10*time.Second)
+}
+
+// finishView closes out request-scoped attribution for a view-producing
+// operation: the achieved accuracy is recorded on the request, and — when
+// this call owns the request (it was the outermost BeginRequest) — the
+// request is frozen into the view's CostReport, mirrored onto the span, and
+// the operation's latency lands in hist (with a slow-trace exemplar when it
+// qualifies). Non-owners fold and return: their cost is part of the outer
+// request's bill.
+func finishView(v *View, req *obs.Request, owned bool, span *obs.Span, hist *obs.Histogram) {
+	if v != nil {
+		req.SetLevel(v.Level)
+		req.SetErrorBound(v.ErrorBound)
+	}
+	if !owned {
+		return
+	}
+	rep := req.Report(span)
+	obs.ObserveLatency(hist, span, rep.DurationSeconds)
+	if v != nil {
+		v.Cost = rep
+	}
+}

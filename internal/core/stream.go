@@ -63,6 +63,7 @@ func (r *Reader) Subscribe(ctx context.Context, eps float64) (<-chan *View, erro
 // subscriber never strands the goroutine.
 func (r *Reader) stream(ctx context.Context, pl *plan.Plan, ch chan<- *View) {
 	defer close(ch)
+	ctx, req, owned := obs.BeginRequest(ctx, "core.subscribe")
 	ctx, span := obs.StartSpan(ctx, "core.subscribe")
 	span.SetAttr("name", r.name)
 	span.SetAttrInt("target_level", pl.Target)
@@ -111,27 +112,32 @@ func (r *Reader) stream(ctx context.Context, pl *plan.Plan, ch chan<- *View) {
 			metricStreamFaults.Inc()
 			d := newDegradation(pl.Target, v.Level, err, r.boundAt(v.Level))
 			d.RequestedTolerance = pl.Tolerance
-			countDegradation(d)
+			countDegradation(ctx, d)
 			span.SetAttrInt("achieved_level", v.Level)
 			span.SetAttr("degraded", "true")
 			final := snapshotView(v)
 			final.Degradation = d
+			finishView(final, req, owned, span, metricSubscribeSeconds)
 			send(final)
 			return
 		}
 		out := snapshotView(v)
-		if i == len(pl.Steps)-1 && pl.Unreachable {
-			// The plan already knew eps undercuts the finest recorded
-			// bound: the terminal view reports how close the stream got.
-			out.Degradation = &Degradation{
-				RequestedLevel:     pl.Target,
-				AchievedLevel:      v.Level,
-				RequestedTolerance: pl.Tolerance,
-				Reason: fmt.Sprintf("tolerance %g unreachable: finest recorded bound is %g",
-					pl.Tolerance, v.ErrorBound),
-				ErrorBound: v.ErrorBound,
+		if i == len(pl.Steps)-1 {
+			if pl.Unreachable {
+				// The plan already knew eps undercuts the finest recorded
+				// bound: the terminal view reports how close the stream got.
+				out.Degradation = &Degradation{
+					RequestedLevel:     pl.Target,
+					AchievedLevel:      v.Level,
+					RequestedTolerance: pl.Tolerance,
+					Reason: fmt.Sprintf("tolerance %g unreachable: finest recorded bound is %g",
+						pl.Tolerance, v.ErrorBound),
+					ErrorBound: v.ErrorBound,
+				}
+				countDegradation(ctx, out.Degradation)
 			}
-			countDegradation(out.Degradation)
+			// The terminal view carries the whole stream's bill.
+			finishView(out, req, owned, span, metricSubscribeSeconds)
 		}
 		if !send(out) {
 			return

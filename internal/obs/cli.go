@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 // CLI is the standard observability wiring shared by the canopus command
@@ -17,17 +18,25 @@ type CLI struct {
 	// the process.
 	DebugAddr string
 	// MetricsJSON, when non-empty, is a path that receives a JSON snapshot
-	// of every registered metric plus the recent span trees when the tool
-	// finishes.
+	// of every registered metric plus the recent span trees, pinned slow
+	// traces, and flight-recorder events when the tool finishes.
 	MetricsJSON string
+	// SlowTraceMS, when positive, pins every root trace that takes at
+	// least this many milliseconds into the slow-trace ring
+	// (/debug/trace/slow), and latency-histogram observations past the
+	// threshold carry exemplar links to the pinned trace.
+	SlowTraceMS int
 }
 
-// Bind registers the -debug-addr and -metrics-json flags on fs.
+// Bind registers the -debug-addr, -metrics-json and -slow-trace-ms flags
+// on fs.
 func (c *CLI) Bind(fs *flag.FlagSet) {
 	fs.StringVar(&c.DebugAddr, "debug-addr", "",
-		"serve pprof, /debug/vars, /debug/metrics and /debug/trace/last on this address (empty = off)")
+		"serve pprof, /debug/vars, /debug/metrics, /debug/trace/*, /debug/events and /debug/slo on this address (empty = off)")
 	fs.StringVar(&c.MetricsJSON, "metrics-json", "",
-		"write a metrics + trace snapshot to this file on exit (empty = off)")
+		"write a metrics + trace + event snapshot to this file on exit (empty = off)")
+	fs.IntVar(&c.SlowTraceMS, "slow-trace-ms", 0,
+		"pin root traces at least this many ms long into the slow-trace ring (0 = off)")
 }
 
 // Start brings up the debug listener (if configured), announcing the bound
@@ -37,6 +46,9 @@ func (c *CLI) Bind(fs *flag.FlagSet) {
 // after the tool's work completes (including on the error path, so partial
 // runs still leave a snapshot behind).
 func (c *CLI) Start(ctx context.Context, tool string) (context.Context, func() error, error) {
+	if c.SlowTraceMS > 0 {
+		SetSlowTraceThreshold(time.Duration(c.SlowTraceMS) * time.Millisecond)
+	}
 	if c.DebugAddr != "" {
 		addr, err := ServeDebug(c.DebugAddr)
 		if err != nil {

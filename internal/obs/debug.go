@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 )
 
 // ServeDebug starts the live introspection listener the CLI tools expose
@@ -17,6 +18,9 @@ import (
 //	/debug/vars        expvar (includes the "canopus" metric snapshot)
 //	/debug/metrics     the typed metric snapshot plus recent traces as JSON
 //	/debug/trace/last  the most recent completed span trees (?n=K limits)
+//	/debug/trace/slow  pinned slow traces (?n=K limits, ?id=T fetches one)
+//	/debug/events      the flight recorder (?type=a,b filters, ?since=N tails)
+//	/debug/slo         declared latency objectives evaluated live
 //
 // It returns the bound address (useful with ":0") and never blocks; the
 // listener lives until the process exits.
@@ -47,15 +51,60 @@ func DebugHandler() http.Handler {
 		writeJSON(w, TakeSnapshot(0))
 	})
 	mux.HandleFunc("/debug/trace/last", func(w http.ResponseWriter, r *http.Request) {
-		n := 0
-		if q := r.URL.Query().Get("n"); q != "" {
-			if v, err := strconv.Atoi(q); err == nil {
-				n = v
+		writeJSON(w, LastTraces(queryInt(r, "n")))
+	})
+	mux.HandleFunc("/debug/trace/slow", func(w http.ResponseWriter, r *http.Request) {
+		if q := r.URL.Query().Get("id"); q != "" {
+			id, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad id: "+q, http.StatusBadRequest)
+				return
+			}
+			d, ok := SlowTraceByID(id)
+			if !ok {
+				http.Error(w, "no pinned slow trace with id "+q, http.StatusNotFound)
+				return
+			}
+			writeJSON(w, d)
+			return
+		}
+		writeJSON(w, SlowTraces(queryInt(r, "n")))
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		var types []string
+		for _, t := range r.URL.Query()["type"] {
+			for _, part := range strings.Split(t, ",") {
+				if part = strings.TrimSpace(part); part != "" {
+					types = append(types, part)
+				}
 			}
 		}
-		writeJSON(w, LastTraces(n))
+		var since uint64
+		if q := r.URL.Query().Get("since"); q != "" {
+			v, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+q, http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		writeJSON(w, Events(types, since))
+	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, SLOReport())
 	})
 	return mux
+}
+
+// queryInt parses an optional integer query parameter, 0 when absent or
+// malformed.
+func queryInt(r *http.Request, key string) int {
+	if q := r.URL.Query().Get(key); q != "" {
+		if v, err := strconv.Atoi(q); err == nil {
+			return v
+		}
+	}
+	return 0
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

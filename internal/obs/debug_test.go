@@ -3,9 +3,11 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 func TestDebugHandlerEndpoints(t *testing.T) {
@@ -69,6 +71,119 @@ func TestDebugHandlerEndpoints(t *testing.T) {
 	}
 	if !found {
 		t.Error("/debug/trace/last missing the debug.test root")
+	}
+}
+
+func TestDebugEventsEndpoint(t *testing.T) {
+	ResetEvents()
+	et := RegisterEventType("obs_test_debug_event")
+	other := RegisterEventType("obs_test_debug_other")
+	start := LastEventSeq()
+	et.Emit("k", "one")
+	other.Emit("k", "noise")
+	et.Emit("k", "two")
+
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+	getEvents := func(query string) []Event {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/events" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /debug/events%s: status %d", query, resp.StatusCode)
+		}
+		var evs []Event
+		if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+			t.Fatalf("decode events: %v", err)
+		}
+		return evs
+	}
+
+	evs := getEvents("?type=obs_test_debug_event")
+	if len(evs) != 2 || evs[0].Attrs["k"] != "one" || evs[1].Attrs["k"] != "two" {
+		t.Errorf("type filter returned %+v, want the two obs_test_debug_event emits oldest-first", evs)
+	}
+	evs = getEvents(fmt.Sprintf("?type=obs_test_debug_event,obs_test_debug_other&since=%d", start+1))
+	if len(evs) != 2 || evs[0].Attrs["k"] != "noise" {
+		t.Errorf("comma-split types + since returned %+v, want the later two events", evs)
+	}
+	resp, err := http.Get(srv.URL + "/debug/events?since=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed since: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDebugSLOAndSlowTraceEndpoints(t *testing.T) {
+	ResetTraces()
+	SetSlowTraceThreshold(time.Nanosecond)
+	defer SetSlowTraceThreshold(0)
+	h := NewHistogram("canopus_obs_debug_slo_seconds", nil)
+	SetObjective("canopus_obs_debug_slo_seconds", 0.9, time.Second)
+	ctx, root := Trace(context.Background(), "debug.slow")
+	ObserveLatency(h, FromContext(ctx), 0.25)
+	root.End()
+
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report []SLOStatus
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatalf("decode /debug/slo: %v", err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, st := range report {
+		if st.Metric == "canopus_obs_debug_slo_seconds" {
+			found = true
+			if !st.Met || st.Count != 1 || len(st.Exemplars) != 1 {
+				t.Errorf("slo status = %+v, want met, 1 observation, 1 exemplar", st)
+			}
+			if len(st.Exemplars) == 1 && st.Exemplars[0].TraceID != root.TraceID() {
+				t.Errorf("exemplar trace id = %d, want %d", st.Exemplars[0].TraceID, root.TraceID())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("/debug/slo missing the declared objective")
+	}
+
+	// The exemplar link resolves over HTTP.
+	resp, err = http.Get(fmt.Sprintf("%s/debug/trace/slow?id=%d", srv.URL, root.TraceID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d SpanDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("decode /debug/trace/slow?id=: %v", err)
+	}
+	resp.Body.Close()
+	if d.Name != "debug.slow" || d.TraceID != root.TraceID() {
+		t.Errorf("pinned trace over HTTP = %s/%d, want debug.slow/%d", d.Name, d.TraceID, root.TraceID())
+	}
+
+	for query, want := range map[string]int{
+		"?id=notanumber": http.StatusBadRequest,
+		"?id=9999999999": http.StatusNotFound,
+	} {
+		resp, err := http.Get(srv.URL + "/debug/trace/slow" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET /debug/trace/slow%s: status %d, want %d", query, resp.StatusCode, want)
+		}
 	}
 }
 

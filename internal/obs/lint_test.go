@@ -75,6 +75,67 @@ func TestPlaceMetricsRegistered(t *testing.T) {
 	}
 }
 
+// Event type names are lowercase snake_case, enforced over every type the
+// instrumented packages register — the same walk the metric lint does.
+func TestEventTypeNamingConvention(t *testing.T) {
+	types := obs.EventTypes()
+	if len(types) == 0 {
+		t.Fatal("no event types registered")
+	}
+	for _, name := range types {
+		if err := obs.ValidEventType(name); err != nil {
+			t.Errorf("registered event type fails its own lint: %v", err)
+		}
+	}
+}
+
+// The flight-recorder taxonomy DESIGN.md §13 documents must actually be
+// registered by the instrumented packages; a refactor that drops an emit
+// site's registration would otherwise pass the naming lint vacuously.
+func TestEventTaxonomyRegistered(t *testing.T) {
+	want := []string{
+		"degradation",
+		"fault_injected",
+		"retry",
+		"retry_exhausted",
+		"migration",
+		"promotion",
+		"demotion",
+		"corruption",
+		"cache_evict",
+	}
+	have := make(map[string]bool)
+	for _, n := range obs.EventTypes() {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("event type %q not registered", w)
+		}
+	}
+}
+
+// The SLO surface's per-operation latency histograms must be registered so
+// /debug/slo has something to evaluate.
+func TestCoreLatencyHistogramsRegistered(t *testing.T) {
+	want := []string{
+		"canopus_core_retrieve_seconds",
+		"canopus_core_retrieve_region_seconds",
+		"canopus_core_retrieve_step_seconds",
+		"canopus_core_subscribe_seconds",
+		"canopus_core_write_seconds",
+	}
+	names := make(map[string]bool)
+	for _, n := range obs.Default.Names() {
+		names[n] = true
+	}
+	for _, w := range want {
+		if !names[w] {
+			t.Errorf("latency histogram %q not registered", w)
+		}
+	}
+}
+
 // Counters and histograms are totals/distributions and end in _total or
 // _seconds; gauges are instantaneous levels and must not claim to be
 // totals. The seconds histograms keep a bare _seconds suffix.

@@ -83,6 +83,27 @@ type Histogram struct {
 	counts []atomic.Int64 // counts[i] observes (bounds[i-1], bounds[i]]
 	count  atomic.Int64
 	sum    FloatCounter
+
+	// exemplars maps bucket index -> the most recent exemplar observed into
+	// that bucket (mutex-guarded; only the SLO path writes it, so the plain
+	// Observe hot path never touches the lock).
+	exMu      sync.Mutex
+	exemplars map[int]Exemplar
+}
+
+// Exemplar links one histogram bucket to the trace that landed an
+// observation there — the bridge from "the p99 is high" to "here is a
+// retained slow trace showing why".
+type Exemplar struct {
+	// Bucket is the index into the histogram's buckets (len(bounds) =
+	// overflow); UpperBound is that bucket's bound (-1 for the unbounded
+	// overflow bucket — +Inf does not survive JSON encoding).
+	Bucket     int     `json:"bucket"`
+	UpperBound float64 `json:"upper_bound"`
+	// Value is the observed sample; TraceID identifies the pinned trace
+	// (serve it via /debug/trace/slow?id=).
+	Value   float64 `json:"value"`
+	TraceID uint64  `json:"trace_id"`
 }
 
 // DefSecondsBuckets is the default latency bucket layout: exponential from
@@ -99,6 +120,40 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveWithExemplar records one sample and, when traceID is non-zero,
+// attaches it as the bucket's exemplar (latest wins). Core's SLO surface
+// uses it for observations whose trace was pinned into the slow-trace ring,
+// so a tail-latency bucket links straight to a retained trace.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	ub := -1.0
+	if i < len(h.bounds) {
+		ub = h.bounds[i]
+	}
+	h.exMu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make(map[int]Exemplar, 4)
+	}
+	h.exemplars[i] = Exemplar{Bucket: i, UpperBound: ub, Value: v, TraceID: traceID}
+	h.exMu.Unlock()
+}
+
+// Exemplars returns the per-bucket exemplars, ascending by bucket index.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.exMu.Lock()
+	out := make([]Exemplar, 0, len(h.exemplars))
+	for _, e := range h.exemplars {
+		out = append(out, e)
+	}
+	h.exMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
+	return out
 }
 
 // Count reports the number of observations.
@@ -277,6 +332,8 @@ type HistogramSnapshot struct {
 	Buckets []int64   `json:"buckets"`
 	P50     float64   `json:"p50"`
 	P99     float64   `json:"p99"`
+	// Exemplars links buckets to pinned slow traces, when any were observed.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot returns a JSON-marshalable view of every metric. Values are read
@@ -297,12 +354,13 @@ func (r *Registry) Snapshot() map[string]any {
 		case *Histogram:
 			bounds, counts := v.Buckets()
 			out[name] = HistogramSnapshot{
-				Count:   v.Count(),
-				Sum:     v.Sum(),
-				Bounds:  bounds,
-				Buckets: counts,
-				P50:     v.Quantile(0.5),
-				P99:     v.Quantile(0.99),
+				Count:     v.Count(),
+				Sum:       v.Sum(),
+				Bounds:    bounds,
+				Buckets:   counts,
+				P50:       v.Quantile(0.5),
+				P99:       v.Quantile(0.99),
+				Exemplars: v.Exemplars(),
 			}
 		}
 	}
@@ -327,16 +385,24 @@ func NewHistogram(name string, bounds []float64) *Histogram {
 }
 
 // SnapshotDoc is the top-level shape -metrics-json writes and /debug/metrics
-// serves: every registered metric plus the most recent completed trace trees.
+// serves: every registered metric, the most recent completed trace trees, the
+// pinned slow traces, and the flight recorder's retained events.
 type SnapshotDoc struct {
-	Metrics map[string]any `json:"metrics"`
-	Traces  []SpanDump     `json:"traces,omitempty"`
+	Metrics    map[string]any `json:"metrics"`
+	Traces     []SpanDump     `json:"traces,omitempty"`
+	SlowTraces []SpanDump     `json:"slow_traces,omitempty"`
+	Events     []Event        `json:"events,omitempty"`
 }
 
-// TakeSnapshot captures the default registry and the last n trace trees
-// (n <= 0 means all retained).
+// TakeSnapshot captures the default registry, the last n trace trees (n <= 0
+// means all retained), every pinned slow trace, and every retained event.
 func TakeSnapshot(n int) SnapshotDoc {
-	return SnapshotDoc{Metrics: Default.Snapshot(), Traces: LastTraces(n)}
+	return SnapshotDoc{
+		Metrics:    Default.Snapshot(),
+		Traces:     LastTraces(n),
+		SlowTraces: SlowTraces(0),
+		Events:     Events(nil, 0),
+	}
 }
 
 // WriteMetricsJSON writes a TakeSnapshot document to path, indented. An

@@ -1,0 +1,129 @@
+package obs_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestNilRequestIsNoOp(t *testing.T) {
+	var r *obs.Request
+	r.AddIO(1, 2, 0.5)
+	r.AddTierRead("tmpfs", 10)
+	r.AddTierRetry("tmpfs")
+	r.AddDecompress(0.1)
+	r.AddRestore(0.1)
+	r.AddCache(1, 1)
+	r.SetLevel(3)
+	r.SetErrorBound(1e-3)
+	r.SetDegraded("why")
+	if r.Op() != "" {
+		t.Errorf("nil request Op() = %q, want empty", r.Op())
+	}
+	if rep := r.Report(nil); rep != nil {
+		t.Errorf("nil request Report() = %+v, want nil", rep)
+	}
+}
+
+func TestBeginRequestOwnership(t *testing.T) {
+	ctx := context.Background()
+	if got := obs.RequestFrom(ctx); got != nil {
+		t.Fatalf("RequestFrom(empty ctx) = %v, want nil", got)
+	}
+	ctx, outer, owned := obs.BeginRequest(ctx, "test.outer")
+	if !owned || outer == nil {
+		t.Fatalf("first BeginRequest: owned=%v req=%v, want owner with request", owned, outer)
+	}
+	if got := obs.RequestFrom(ctx); got != outer {
+		t.Fatal("RequestFrom does not return the begun request")
+	}
+	// A nested begin folds into the existing request instead of opening a
+	// second bill.
+	_, inner, ownedInner := obs.BeginRequest(ctx, "test.inner")
+	if ownedInner {
+		t.Error("nested BeginRequest claims ownership")
+	}
+	if inner != outer {
+		t.Error("nested BeginRequest returned a different request")
+	}
+	if inner.Op() != "test.outer" {
+		t.Errorf("nested request op = %q, want the outer op", inner.Op())
+	}
+}
+
+func TestRequestAccumulationAndReport(t *testing.T) {
+	ctx, span := obs.Trace(context.Background(), "test.request")
+	ctx, req, owned := obs.BeginRequest(ctx, "test.request")
+	if !owned {
+		t.Fatal("expected ownership of a fresh request")
+	}
+
+	req.AddIO(100, 40, 0.25)
+	req.AddIO(50, 10, 0.25)
+	req.AddTierRead("tmpfs", 30)
+	req.AddTierRead("tmpfs", 12)
+	req.AddTierRead("lustre", 8)
+	req.AddTierRetry("lustre")
+	req.AddDecompress(0.125)
+	req.AddRestore(0.0625)
+	req.AddCache(3, 1)
+	req.SetLevel(2)
+	req.SetErrorBound(1e-4)
+	req.SetDegraded("first reason")
+	req.SetDegraded("second reason")
+
+	rep := obs.RequestFrom(ctx).Report(span)
+	span.End()
+	if rep.Op != "test.request" {
+		t.Errorf("op = %q", rep.Op)
+	}
+	if rep.ModeledBytes != 150 || rep.RealBytes != 50 {
+		t.Errorf("bytes = %d/%d, want 150/50", rep.ModeledBytes, rep.RealBytes)
+	}
+	if rep.IOSeconds != 0.5 || rep.DecompressSecs != 0.125 || rep.RestoreSecs != 0.0625 {
+		t.Errorf("seconds = %v/%v/%v", rep.IOSeconds, rep.DecompressSecs, rep.RestoreSecs)
+	}
+	if rep.CacheHits != 3 || rep.CacheMisses != 1 {
+		t.Errorf("cache = %d/%d, want 3/1", rep.CacheHits, rep.CacheMisses)
+	}
+	if rep.Retries != 1 {
+		t.Errorf("retries = %d, want 1", rep.Retries)
+	}
+	if tc := rep.Tiers["tmpfs"]; tc.Reads != 2 || tc.Bytes != 42 || tc.Retries != 0 {
+		t.Errorf("tmpfs tier = %+v, want 2 reads / 42 bytes", tc)
+	}
+	if tc := rep.Tiers["lustre"]; tc.Reads != 1 || tc.Bytes != 8 || tc.Retries != 1 {
+		t.Errorf("lustre tier = %+v, want 1 read / 8 bytes / 1 retry", tc)
+	}
+	if rep.Level != 2 || rep.ErrorBound != 1e-4 {
+		t.Errorf("level/bound = %d/%v", rep.Level, rep.ErrorBound)
+	}
+	if !rep.Degraded || rep.DegradedReason != "first reason" {
+		t.Errorf("degraded = %v %q, want the first reason to win", rep.Degraded, rep.DegradedReason)
+	}
+	if rep.TraceID == 0 || rep.TraceID != span.TraceID() {
+		t.Errorf("trace id = %d, want the root span's %d", rep.TraceID, span.TraceID())
+	}
+	if rep.DurationSeconds <= 0 {
+		t.Errorf("duration = %v, want > 0", rep.DurationSeconds)
+	}
+
+	// The headline numbers are mirrored onto the span.
+	d := span.Dump()
+	wantAttrs := map[string]string{
+		"cost.modeled_bytes": "150",
+		"cost.real_bytes":    "50",
+		"cost.cache_hits":    "3",
+		"cost.cache_misses":  "1",
+		"cost.retries":       "1",
+		"cost.degraded":      "first reason",
+		"cost.tier.tmpfs":    "reads=2 bytes=42 retries=0",
+		"cost.tier.lustre":   "reads=1 bytes=8 retries=1",
+	}
+	for k, want := range wantAttrs {
+		if got := d.Attrs[k]; got != want {
+			t.Errorf("span attr %s = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package obs_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestSLOReportEvaluatesObjectives(t *testing.T) {
+	h := obs.NewHistogram("canopus_obs_slo_met_seconds", nil)
+	obs.SetObjective("canopus_obs_slo_met_seconds", 0.99, time.Second)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	miss := obs.NewHistogram("canopus_obs_slo_missed_seconds", nil)
+	obs.SetObjective("canopus_obs_slo_missed_seconds", 0.5, time.Millisecond)
+	for i := 0; i < 100; i++ {
+		miss.Observe(2.0)
+	}
+	// Declared but never registered as a histogram: must be skipped, not
+	// reported vacuously.
+	obs.SetObjective("canopus_obs_slo_ghost_seconds", 0.99, time.Second)
+
+	byMetric := map[string]obs.SLOStatus{}
+	for _, st := range obs.SLOReport() {
+		byMetric[st.Metric] = st
+	}
+	st, ok := byMetric["canopus_obs_slo_met_seconds"]
+	if !ok {
+		t.Fatal("SLOReport missing the met objective")
+	}
+	if !st.Met || st.Count != 100 || st.ActualSeconds > 1 {
+		t.Errorf("met objective status = %+v, want met with 100 observations", st)
+	}
+	st, ok = byMetric["canopus_obs_slo_missed_seconds"]
+	if !ok {
+		t.Fatal("SLOReport missing the missed objective")
+	}
+	if st.Met || st.ActualSeconds < 0.001 {
+		t.Errorf("missed objective status = %+v, want not met", st)
+	}
+	if _, ok := byMetric["canopus_obs_slo_ghost_seconds"]; ok {
+		t.Error("SLOReport evaluated an objective with no registered histogram")
+	}
+}
+
+func TestSetObjectiveInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetObjective with an invalid metric name did not panic")
+		}
+	}()
+	obs.SetObjective("Not-A-Metric", 0.99, time.Second)
+}
+
+// TestObserveLatencySlowExemplar covers the full exemplar chain: a slow
+// operation's observation lands with the trace ID as the bucket exemplar,
+// the root trace is pinned into the slow ring when it ends, and the ID from
+// the exemplar resolves through SlowTraceByID — the lookup behind
+// /debug/trace/slow?id=.
+func TestObserveLatencySlowExemplar(t *testing.T) {
+	obs.ResetTraces()
+	obs.SetSlowTraceThreshold(time.Millisecond)
+	defer obs.SetSlowTraceThreshold(0)
+
+	h := obs.NewHistogram("canopus_obs_slo_exemplar_seconds", nil)
+	ctx, root := obs.Trace(context.Background(), "slo.slow_op")
+	_, span := obs.StartSpan(ctx, "slo.inner")
+
+	// Fast observation: no exemplar attached.
+	obs.ObserveLatency(h, span, 0.0001)
+	if exs := h.Exemplars(); len(exs) != 0 {
+		t.Fatalf("fast observation attached exemplars %+v", exs)
+	}
+	// Slow observation: exemplar carries the trace ID.
+	obs.ObserveLatency(h, span, 0.5)
+	span.End()
+	exs := h.Exemplars()
+	if len(exs) != 1 {
+		t.Fatalf("got %d exemplars, want 1", len(exs))
+	}
+	ex := exs[0]
+	if ex.TraceID != root.TraceID() || ex.Value != 0.5 {
+		t.Errorf("exemplar = %+v, want value 0.5 linking trace %d", ex, root.TraceID())
+	}
+	if ex.UpperBound < 0.5 {
+		t.Errorf("exemplar bucket upper bound %v does not cover the observation", ex.UpperBound)
+	}
+
+	// Before the root ends nothing is pinned; ending it (the root outlives
+	// the slow operation, so it is at least as slow) makes the exemplar link
+	// resolvable.
+	if _, ok := obs.SlowTraceByID(ex.TraceID); ok {
+		t.Error("slow trace pinned before the root ended")
+	}
+	time.Sleep(2 * time.Millisecond) // ensure the root itself crosses the threshold
+	root.End()
+	d, ok := obs.SlowTraceByID(ex.TraceID)
+	if !ok {
+		t.Fatal("exemplar trace ID does not resolve to a pinned slow trace")
+	}
+	if d.Name != "slo.slow_op" || d.TraceID != ex.TraceID {
+		t.Errorf("pinned trace = %s/%d, want slo.slow_op/%d", d.Name, d.TraceID, ex.TraceID)
+	}
+	if len(obs.SlowTraces(0)) == 0 {
+		t.Error("SlowTraces empty after pinning")
+	}
+
+	// The registry snapshot carries the exemplar and the pinned trace, so
+	// -metrics-json preserves the link on exit.
+	snap := obs.TakeSnapshot(0)
+	hs, ok := snap.Metrics["canopus_obs_slo_exemplar_seconds"].(obs.HistogramSnapshot)
+	if !ok || len(hs.Exemplars) != 1 {
+		t.Errorf("snapshot exemplars = %+v (histogram present %v), want 1", hs.Exemplars, ok)
+	}
+	if len(snap.SlowTraces) == 0 {
+		t.Error("snapshot carries no slow traces")
+	}
+}
+
+func TestSlowTraceThresholdDisabled(t *testing.T) {
+	obs.ResetTraces()
+	obs.SetSlowTraceThreshold(0)
+	h := obs.NewHistogram("canopus_obs_slo_off_seconds", nil)
+	ctx, root := obs.Trace(context.Background(), "slo.off")
+	obs.ObserveLatency(h, obs.FromContext(ctx), 10)
+	root.End()
+	if exs := h.Exemplars(); len(exs) != 0 {
+		t.Errorf("exemplars attached with pinning off: %+v", exs)
+	}
+	if got := obs.SlowTraces(0); len(got) != 0 {
+		t.Errorf("slow traces pinned with pinning off: %d", len(got))
+	}
+}
+
+func TestSetTraceRetention(t *testing.T) {
+	obs.ResetTraces()
+	obs.SetSlowTraceThreshold(time.Nanosecond) // everything qualifies as slow
+	defer obs.SetSlowTraceThreshold(0)
+	obs.SetTraceRetention(3, 2)
+	defer obs.SetTraceRetention(0, 0)
+
+	for i := 0; i < 5; i++ {
+		_, root := obs.Trace(context.Background(), "retention.op")
+		root.End()
+	}
+	if got := len(obs.LastTraces(0)); got != 3 {
+		t.Errorf("recent ring holds %d traces, want 3", got)
+	}
+	if got := len(obs.SlowTraces(0)); got != 2 {
+		t.Errorf("slow ring holds %d traces, want 2", got)
+	}
+	// Restoring the default must not drop retained traces.
+	obs.SetTraceRetention(0, 0)
+	if got := len(obs.LastTraces(0)); got != 3 {
+		t.Errorf("widening retention dropped traces: %d, want 3", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,23 +21,57 @@ import (
 type Span struct {
 	name  string
 	start time.Time
+	id    uint64 // non-zero on roots only: the trace ID exemplars link by
 
 	mu       sync.Mutex
 	end      time.Time
-	attrs    map[string]string
+	attrs    []attr
 	children []*Span
 	root     *Span // self for roots; the tree's root otherwise
+
+	// Roots own a slab the whole tree's spans are carved from. Span-heavy
+	// request trees (one span per chunk read) otherwise pay one heap object
+	// per child, and that garbage — not the spans' CPU cost — is what shows
+	// up as GC assist time in the overhead benchmark.
+	slabMu sync.Mutex
+	slab   []Span
+}
+
+// childBlock is how many child spans are allocated per slab refill.
+const childBlock = 16
+
+// attr is one span attribute. Integer values stay unformatted until the
+// span is dumped, so hot paths pay an append instead of strconv + a map
+// insert; duplicate keys resolve last-wins at dump time.
+type attr struct {
+	key   string
+	str   string
+	num   int
+	isNum bool
 }
 
 // ctxKey carries the active span through context.Context.
 type ctxKey struct{}
 
+// traceIDSeq assigns process-unique root trace IDs.
+var traceIDSeq atomic.Uint64
+
 // Trace starts a new root span and returns a context carrying it. The
 // returned span must be End()ed to publish the tree.
 func Trace(ctx context.Context, name string) (context.Context, *Span) {
-	s := &Span{name: name, start: time.Now()}
+	s := &Span{name: name, start: time.Now(), id: traceIDSeq.Add(1)}
 	s.root = s
 	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// TraceID reports the ID of the trace this span belongs to (0 for nil
+// spans — tracing off). Latency-histogram exemplars store this ID; the
+// matching pinned tree is served by /debug/trace/slow?id=.
+func (s *Span) TraceID() uint64 {
+	if s == nil || s.root == nil {
+		return 0
+	}
+	return s.root.id
 }
 
 // FromContext returns the span carried by ctx, or nil.
@@ -63,11 +98,32 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now(), root: s.root}
+	start := time.Now()
+	root := s.root
+	root.slabMu.Lock()
+	if len(root.slab) == 0 {
+		root.slab = make([]Span, childBlock)
+	}
+	c := &root.slab[0]
+	root.slab = root.slab[1:]
+	root.slabMu.Unlock()
+	c.name, c.start, c.root = name, start, root
 	s.mu.Lock()
+	if s.children == nil {
+		s.children = make([]*Span, 0, 8)
+	}
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// appendAttr adds one attribute under s.mu, sizing the backing array for
+// the common handful-of-attrs span in one allocation.
+func (s *Span) appendAttr(a attr) {
+	if s.attrs == nil {
+		s.attrs = make([]attr, 0, 4)
+	}
+	s.attrs = append(s.attrs, a)
 }
 
 // SetAttr attaches a key=value attribute.
@@ -76,21 +132,20 @@ func (s *Span) SetAttr(key, value string) {
 		return
 	}
 	s.mu.Lock()
-	if s.attrs == nil {
-		s.attrs = make(map[string]string, 4)
-	}
-	s.attrs[key] = value
+	s.appendAttr(attr{key: key, str: value})
 	s.mu.Unlock()
 }
 
-// SetAttrInt attaches an integer attribute. Unlike SetAttr with a
-// pre-formatted value, the formatting happens only when the span is live,
-// so hot paths carry no strconv cost while tracing is off.
+// SetAttrInt attaches an integer attribute. The value is held as an int and
+// formatted only if the span is ever dumped, so hot paths carry no strconv
+// cost for traces nobody reads.
 func (s *Span) SetAttrInt(key string, value int) {
 	if s == nil {
 		return
 	}
-	s.SetAttr(key, strconv.Itoa(value))
+	s.mu.Lock()
+	s.appendAttr(attr{key: key, num: value, isNum: true})
+	s.mu.Unlock()
 }
 
 // End closes the span. Ending a root publishes its dump to the trace ring;
@@ -105,7 +160,7 @@ func (s *Span) End() {
 	}
 	s.mu.Unlock()
 	if s.root == s {
-		recordTrace(s.dump())
+		recordTrace(s)
 	}
 }
 
@@ -123,9 +178,12 @@ func (s *Span) Duration() time.Duration {
 	return s.end.Sub(s.start)
 }
 
-// SpanDump is the immutable JSON form of a span tree.
+// SpanDump is the immutable JSON form of a span tree. TraceID is set on
+// root spans only (0 elsewhere) and is the handle latency-histogram
+// exemplars and /debug/trace/slow?id= use to find a pinned tree.
 type SpanDump struct {
 	Name            string            `json:"name"`
+	TraceID         uint64            `json:"trace_id,omitempty"`
 	StartUnixNano   int64             `json:"start_unix_nano"`
 	DurationSeconds float64           `json:"duration_seconds"`
 	Attrs           map[string]string `json:"attrs,omitempty"`
@@ -153,13 +211,18 @@ func (s *Span) dump() SpanDump {
 	s.mu.Lock()
 	d := SpanDump{
 		Name:            s.name,
+		TraceID:         s.id,
 		StartUnixNano:   s.start.UnixNano(),
 		DurationSeconds: s.durationLocked().Seconds(),
 	}
 	if len(s.attrs) > 0 {
 		d.Attrs = make(map[string]string, len(s.attrs))
-		for k, v := range s.attrs {
-			d.Attrs[k] = v
+		for _, a := range s.attrs {
+			if a.isNum {
+				d.Attrs[a.key] = strconv.Itoa(a.num)
+			} else {
+				d.Attrs[a.key] = a.str
+			}
 		}
 	}
 	children := append([]*Span(nil), s.children...)
@@ -177,42 +240,144 @@ func (s *Span) durationLocked() time.Duration {
 	return s.end.Sub(s.start)
 }
 
-// traceRing retains the most recent completed root traces.
-const traceRingSize = 32
+// DefaultTraceRetention is the depth of both the recent-trace ring and the
+// slow-trace ring when SetTraceRetention has not chosen otherwise (the
+// historical hard-coded depth).
+const DefaultTraceRetention = 32
 
+// The rings retain live *Span roots, not dumps: deep-copying a 50-span tree
+// on every root End is the kind of per-request allocation burst that shows
+// up as GC assist time in the hot path and blows the <5% overhead budget.
+// Trees are dumped lazily, only when a debug endpoint or snapshot reads
+// them; a still-open descendant then reports its running duration.
 var (
 	traceMu   sync.Mutex
-	traceRing []SpanDump // oldest first, bounded by traceRingSize
+	traceRing []*Span // oldest first, bounded by traceCap
+	traceCap  = DefaultTraceRetention
+
+	// slowRing pins root traces whose duration met the slow threshold.
+	// Slow traces matter precisely because they are rare: in the recent
+	// ring one tail-latency trace ages out under a burst of fast ones, so
+	// it gets its own retention and its own endpoint.
+	slowRing      []*Span // oldest first, bounded by slowCap
+	slowCap       = DefaultTraceRetention
+	slowThreshold time.Duration // 0 = slow-trace pinning off
 )
 
-func recordTrace(d SpanDump) {
+// SetTraceRetention bounds the recent-trace ring to recent entries and the
+// slow-trace ring to slow entries (<= 0 restores DefaultTraceRetention for
+// that ring). Already-retained traces are kept newest-first up to the new
+// bounds.
+func SetTraceRetention(recent, slow int) {
+	if recent <= 0 {
+		recent = DefaultTraceRetention
+	}
+	if slow <= 0 {
+		slow = DefaultTraceRetention
+	}
 	traceMu.Lock()
 	defer traceMu.Unlock()
-	traceRing = append(traceRing, d)
-	if len(traceRing) > traceRingSize {
-		traceRing = traceRing[len(traceRing)-traceRingSize:]
+	traceCap, slowCap = recent, slow
+	if len(traceRing) > traceCap {
+		traceRing = append([]*Span(nil), traceRing[len(traceRing)-traceCap:]...)
+	}
+	if len(slowRing) > slowCap {
+		slowRing = append([]*Span(nil), slowRing[len(slowRing)-slowCap:]...)
+	}
+}
+
+// SetSlowTraceThreshold pins every root trace at least d long into the
+// slow-trace ring as it completes (d <= 0 disables pinning, the default).
+// The CLI tools expose this as -slow-trace-ms.
+func SetSlowTraceThreshold(d time.Duration) {
+	traceMu.Lock()
+	if d < 0 {
+		d = 0
+	}
+	slowThreshold = d
+	traceMu.Unlock()
+}
+
+// SlowTraceThreshold reports the active pinning threshold (0 = off).
+func SlowTraceThreshold() time.Duration {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return slowThreshold
+}
+
+func recordTrace(s *Span) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	traceRing = append(traceRing, s)
+	if len(traceRing) > traceCap {
+		traceRing = traceRing[len(traceRing)-traceCap:]
+	}
+	if slowThreshold > 0 && s.Duration() >= slowThreshold {
+		slowRing = append(slowRing, s)
+		if len(slowRing) > slowCap {
+			slowRing = slowRing[len(slowRing)-slowCap:]
+		}
 	}
 }
 
 // LastTraces returns up to n most recent completed root traces, newest
 // first. n <= 0 returns all retained traces.
 func LastTraces(n int) []SpanDump {
+	return dumpLast(func() []*Span {
+		traceMu.Lock()
+		defer traceMu.Unlock()
+		return append([]*Span(nil), traceRing...)
+	}(), n)
+}
+
+// SlowTraces returns up to n most recently pinned slow traces, newest
+// first. n <= 0 returns all retained slow traces.
+func SlowTraces(n int) []SpanDump {
+	return dumpLast(func() []*Span {
+		traceMu.Lock()
+		defer traceMu.Unlock()
+		return append([]*Span(nil), slowRing...)
+	}(), n)
+}
+
+// SlowTraceByID finds a pinned slow trace by its root trace ID — the lookup
+// behind a latency-histogram exemplar.
+func SlowTraceByID(id uint64) (SpanDump, bool) {
 	traceMu.Lock()
-	defer traceMu.Unlock()
-	if n <= 0 || n > len(traceRing) {
-		n = len(traceRing)
+	var found *Span
+	for i := len(slowRing) - 1; i >= 0; i-- {
+		if slowRing[i].id == id {
+			found = slowRing[i]
+			break
+		}
+	}
+	traceMu.Unlock()
+	if found == nil {
+		return SpanDump{}, false
+	}
+	// Dump outside traceMu: dump() takes each span's own lock, and holding
+	// the ring lock across a tree walk would stall every End().
+	return found.dump(), true
+}
+
+// dumpLast renders the newest n roots of a ring copy, newest first, outside
+// the ring lock.
+func dumpLast(ring []*Span, n int) []SpanDump {
+	if n <= 0 || n > len(ring) {
+		n = len(ring)
 	}
 	out := make([]SpanDump, 0, n)
-	for i := len(traceRing) - 1; i >= len(traceRing)-n; i-- {
-		out = append(out, traceRing[i])
+	for i := len(ring) - 1; i >= len(ring)-n; i-- {
+		out = append(out, ring[i].dump())
 	}
 	return out
 }
 
-// ResetTraces clears the retained traces (tests and fixed benchmark
-// workloads use it to isolate runs).
+// ResetTraces clears the retained traces, both rings (tests and fixed
+// benchmark workloads use it to isolate runs).
 func ResetTraces() {
 	traceMu.Lock()
 	traceRing = nil
+	slowRing = nil
 	traceMu.Unlock()
 }

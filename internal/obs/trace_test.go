@@ -133,15 +133,15 @@ func TestDumpWhileTreeGrows(t *testing.T) {
 
 func TestTraceRingBounded(t *testing.T) {
 	ResetTraces()
-	for i := 0; i < traceRingSize+10; i++ {
+	for i := 0; i < DefaultTraceRetention+10; i++ {
 		_, r := Trace(context.Background(), fmt.Sprintf("t%d", i))
 		r.End()
 	}
 	all := LastTraces(0)
-	if len(all) != traceRingSize {
-		t.Fatalf("ring retained %d, want %d", len(all), traceRingSize)
+	if len(all) != DefaultTraceRetention {
+		t.Fatalf("ring retained %d, want %d", len(all), DefaultTraceRetention)
 	}
-	if all[0].Name != fmt.Sprintf("t%d", traceRingSize+9) {
+	if all[0].Name != fmt.Sprintf("t%d", DefaultTraceRetention+9) {
 		t.Fatalf("newest-first order violated: first is %s", all[0].Name)
 	}
 }

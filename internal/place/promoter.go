@@ -124,7 +124,7 @@ func (pr *Promoter) loop() {
 // applied. Benchmarks and tests drive it directly for deterministic
 // convergence; the background loop calls it on every tick or kick.
 func (pr *Promoter) RunOnce(ctx context.Context) int {
-	_, span := obs.StartSpan(ctx, "place.cycle")
+	span := obs.FromContext(ctx).Child("place.cycle")
 	span.SetAttr("policy", pr.pol.Name())
 	defer span.End()
 	metricCycles.Inc()

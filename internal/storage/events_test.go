@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestRetryEventChainAndRequestAttribution drives transient read faults
+// through the retry loop and checks the two observability surfaces against
+// each other: every retry emits a flight-recorder event with full
+// attribution, and the request carried in the context bills exactly the
+// same retry and read counts.
+func TestRetryEventChainAndRequestAttribution(t *testing.T) {
+	h := TitanTwoTier(0)
+	data := payload(128)
+	if _, err := h.Put(context.Background(), "k", data, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.InjectFaults("seed=3,read.err=0.5"); err != nil {
+		t.Fatal(err)
+	}
+	h.SetRetryPolicy(RetryPolicy{Attempts: 10, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond})
+
+	start := obs.LastEventSeq()
+	ctx, req, owned := obs.BeginRequest(context.Background(), "storage.test")
+	if !owned {
+		t.Fatal("expected a fresh request")
+	}
+	const reads = 40
+	for i := 0; i < reads; i++ {
+		got, _, err := h.Get(ctx, "k", 1)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("read %d: bytes differ", i)
+		}
+	}
+
+	evs := obs.Events([]string{"retry"}, start)
+	if len(evs) == 0 {
+		t.Fatal("no retry events recorded; fault spec too weak to exercise the chain")
+	}
+	for _, e := range evs {
+		if e.Attrs["op"] != "storage.get" || e.Attrs["key"] != "k" {
+			t.Errorf("retry event attrs = %v, want op=storage.get key=k", e.Attrs)
+		}
+		if e.Attrs["tier"] == "" || e.Attrs["error"] == "" {
+			t.Errorf("retry event missing tier/error attribution: %v", e.Attrs)
+		}
+		if n, err := strconv.Atoi(e.Attrs["attempt"]); err != nil || n < 1 {
+			t.Errorf("retry event attempt = %q, want a positive integer", e.Attrs["attempt"])
+		}
+	}
+
+	rep := req.Report(nil)
+	if rep.Retries != int64(len(evs)) {
+		t.Errorf("request bills %d retries, flight recorder has %d retry events", rep.Retries, len(evs))
+	}
+	var tierReads, tierBytes, tierRetries int64
+	for _, tc := range rep.Tiers {
+		tierReads += tc.Reads
+		tierBytes += tc.Bytes
+		tierRetries += tc.Retries
+	}
+	if tierReads != reads {
+		t.Errorf("request bills %d tier reads, want %d", tierReads, reads)
+	}
+	if tierBytes != int64(reads*len(data)) {
+		t.Errorf("request bills %d tier bytes, want %d", tierBytes, reads*len(data))
+	}
+	if tierRetries != rep.Retries {
+		t.Errorf("per-tier retries sum %d != request total %d", tierRetries, rep.Retries)
+	}
+}
+
+// TestRetryExhaustedEvent: burning the whole attempt budget must leave one
+// retry_exhausted event carrying the attempt count the surfaced error
+// reports, preceded by attempts-1 retry events for the same key.
+func TestRetryExhaustedEvent(t *testing.T) {
+	h := TitanTwoTier(0)
+	if _, err := h.Put(context.Background(), "doomed", payload(10), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.InjectFaults("seed=1,read.err=1"); err != nil {
+		t.Fatal(err)
+	}
+	const attempts = 3
+	h.SetRetryPolicy(RetryPolicy{Attempts: attempts, BaseDelay: time.Microsecond, MaxDelay: 2 * time.Microsecond})
+
+	start := obs.LastEventSeq()
+	_, _, err := h.Get(context.Background(), "doomed", 1)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	ex := obs.Events([]string{"retry_exhausted"}, start)
+	if len(ex) != 1 {
+		t.Fatalf("got %d retry_exhausted events, want 1", len(ex))
+	}
+	e := ex[0]
+	if e.Attrs["op"] != "storage.get" || e.Attrs["key"] != "doomed" || e.Attrs["tier"] != "tmpfs" {
+		t.Errorf("retry_exhausted attrs = %v, want op=storage.get key=doomed tier=tmpfs", e.Attrs)
+	}
+	if e.Attrs["attempts"] != strconv.Itoa(attempts) {
+		t.Errorf("retry_exhausted attempts = %q, want %d", e.Attrs["attempts"], attempts)
+	}
+	if e.Attrs["error"] == "" {
+		t.Error("retry_exhausted event missing the terminal error")
+	}
+	if got := len(obs.Events([]string{"retry"}, start)); got != attempts-1 {
+		t.Errorf("got %d retry events before exhaustion, want %d", got, attempts-1)
+	}
+}
+
+// TestMigrationEvents: promotions and demotions emit both the generic
+// migration record (from move) and their intent-level event.
+func TestMigrationEvents(t *testing.T) {
+	h := TitanTwoTier(0)
+	data := payload(64)
+	if _, err := h.Put(context.Background(), "k", data, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	start := obs.LastEventSeq()
+	if _, err := h.Promote("k", 0); err != nil {
+		t.Fatal(err)
+	}
+	proms := obs.Events([]string{"promotion"}, start)
+	if len(proms) != 1 || proms[0].Attrs["key"] != "k" ||
+		proms[0].Attrs["from"] != "lustre" || proms[0].Attrs["to"] != "tmpfs" {
+		t.Errorf("promotion events = %+v, want one k lustre->tmpfs", proms)
+	}
+	migs := obs.Events([]string{"migration"}, start)
+	if len(migs) != 1 {
+		t.Fatalf("got %d migration events, want 1", len(migs))
+	}
+	if b, err := strconv.ParseInt(migs[0].Attrs["bytes"], 10, 64); err != nil || b < int64(len(data)) {
+		t.Errorf("migration bytes = %q, want >= payload size %d (envelope included)", migs[0].Attrs["bytes"], len(data))
+	}
+
+	start = obs.LastEventSeq()
+	if _, err := h.Demote("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	dems := obs.Events([]string{"demotion"}, start)
+	if len(dems) != 1 || dems[0].Attrs["from"] != "tmpfs" || dems[0].Attrs["to"] != "lustre" {
+		t.Errorf("demotion events = %+v, want one tmpfs->lustre", dems)
+	}
+}
+
+// TestFaultAndCorruptionEvents: injected faults record what they did
+// (fault_injected, the cause) and the checksum layer records what it caught
+// (corruption, the detection) — distinct types, so an operator can tell a
+// chaos drill from real at-rest damage.
+func TestFaultAndCorruptionEvents(t *testing.T) {
+	h := TitanTwoTier(0)
+	if _, err := h.Put(context.Background(), "k", payload(512), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.InjectFaults("seed=11,read.corrupt=1"); err != nil {
+		t.Fatal(err)
+	}
+	h.SetRetryPolicy(fastRetry)
+
+	start := obs.LastEventSeq()
+	if _, _, err := h.Get(context.Background(), "k", 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	inj := obs.Events([]string{"fault_injected"}, start)
+	if len(inj) == 0 {
+		t.Fatal("no fault_injected events")
+	}
+	for _, e := range inj {
+		if e.Attrs["kind"] != "read.corrupt" || e.Attrs["key"] != "k" {
+			t.Errorf("fault_injected attrs = %v, want kind=read.corrupt key=k", e.Attrs)
+		}
+	}
+	det := obs.Events([]string{"corruption"}, start)
+	if len(det) == 0 {
+		t.Fatal("no corruption events from the checksum layer")
+	}
+	for _, e := range det {
+		if e.Attrs["key"] != "k" || e.Attrs["detail"] == "" {
+			t.Errorf("corruption attrs = %v, want key=k with detail", e.Attrs)
+		}
+	}
+	if len(det) != len(inj) {
+		t.Errorf("detected %d corruptions for %d injected ones", len(det), len(inj))
+	}
+}

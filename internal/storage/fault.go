@@ -96,6 +96,11 @@ var (
 	metricFaultCrash    = obs.NewCounter("canopus_storage_fault_crashes_total")
 )
 
+// evFaultInjected records every injected fault in the flight recorder with
+// its kind and target, so a failing run's event stream shows the injected
+// cause right next to the retry/degradation events it provoked.
+var evFaultInjected = obs.RegisterEventType("fault_injected")
+
 // crashPutter is implemented by backends that can simulate a put dying
 // mid-write (FileBackend leaves a torn temp file behind). Backends without
 // it get a plain transient write error instead.
@@ -138,13 +143,15 @@ func (f *FaultBackend) intn(n int) int {
 
 // mangle applies post-read faults (corruption, truncation) to data, which
 // the fault backend owns (inner backends return fresh copies).
-func (f *FaultBackend) mangle(data []byte) []byte {
+func (f *FaultBackend) mangle(key string, data []byte) []byte {
 	if f.spec.ReadCorrupt > 0 && len(data) > 0 && f.roll() < f.spec.ReadCorrupt {
 		metricFaultCorrupt.Inc()
+		evFaultInjected.Emit("kind", "read.corrupt", "key", key)
 		data[f.intn(len(data))] ^= 1 << f.intn(8)
 	}
 	if f.spec.ReadTrunc > 0 && len(data) > 0 && f.roll() < f.spec.ReadTrunc {
 		metricFaultTrunc.Inc()
+		evFaultInjected.Emit("kind", "read.trunc", "key", key)
 		data = data[:f.intn(len(data))]
 	}
 	return data
@@ -156,6 +163,7 @@ func (f *FaultBackend) readFault(op, key string) error {
 	}
 	if f.spec.ReadErr > 0 && f.roll() < f.spec.ReadErr {
 		metricFaultReadErr.Inc()
+		evFaultInjected.Emit("kind", "read.err", "op", op, "key", key)
 		return fmt.Errorf("storage: %w: injected %s error for %q", ErrTransient, op, key)
 	}
 	return nil
@@ -164,6 +172,7 @@ func (f *FaultBackend) readFault(op, key string) error {
 func (f *FaultBackend) Put(key string, data []byte) error {
 	if f.spec.WriteCrash > 0 && f.roll() < f.spec.WriteCrash {
 		metricFaultCrash.Inc()
+		evFaultInjected.Emit("kind", "write.crash", "key", key)
 		if cp, ok := f.inner.(crashPutter); ok {
 			return cp.CrashPut(key, data, f.intn(len(data)+1))
 		}
@@ -171,6 +180,7 @@ func (f *FaultBackend) Put(key string, data []byte) error {
 	}
 	if f.spec.WriteErr > 0 && f.roll() < f.spec.WriteErr {
 		metricFaultWriteErr.Inc()
+		evFaultInjected.Emit("kind", "write.err", "key", key)
 		return fmt.Errorf("storage: %w: injected put error for %q", ErrTransient, key)
 	}
 	return f.inner.Put(key, data)
@@ -184,7 +194,7 @@ func (f *FaultBackend) Get(key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.mangle(data), nil
+	return f.mangle(key, data), nil
 }
 
 func (f *FaultBackend) GetRange(key string, off, n int64) ([]byte, error) {
@@ -195,7 +205,7 @@ func (f *FaultBackend) GetRange(key string, off, n int64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.mangle(data), nil
+	return f.mangle(key, data), nil
 }
 
 func (f *FaultBackend) Size(key string) (int64, error) { return f.inner.Size(key) }

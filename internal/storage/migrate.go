@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -19,6 +20,17 @@ var (
 	metricMigrationBytes = obs.NewCounter("canopus_storage_migration_bytes_total")
 	metricRetryBackoff   = obs.NewFloatCounter("canopus_storage_retry_backoff_seconds_total")
 	metricRetryExhausted = obs.NewCounter("canopus_storage_retry_exhausted_total")
+)
+
+// Flight-recorder event types for the decisions this file makes: each Emit
+// sits beside the metric increment that already marked the decision, so the
+// counters say how often and the events say which key, which tier, and why.
+var (
+	evRetry          = obs.RegisterEventType("retry")
+	evRetryExhausted = obs.RegisterEventType("retry_exhausted")
+	evMigration      = obs.RegisterEventType("migration")
+	evPromotion      = obs.RegisterEventType("promotion")
+	evDemotion       = obs.RegisterEventType("demotion")
 )
 
 // Data migration and eviction. §IV-B of the paper notes its testbed assumed
@@ -125,9 +137,14 @@ func retryableRead(err error) bool {
 // the key as of the same lookup that chose the tier, so a concurrent Put
 // that re-seals the key cannot pair the new envelope with the old tier.
 func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, op string, read func(t *Tier, env *envInfo) ([]byte, error)) ([]byte, Placement, error) {
-	_, span := obs.StartSpan(ctx, op)
-	span.SetAttr("key", key)
-	defer span.End()
+	// No span on the happy path: one span per chunk read is the hottest
+	// allocation in a retrieval and the same facts are already billed to the
+	// request's per-tier counters (and mirrored onto the owning op's span as
+	// cost.* attrs). A span materializes only once a read misbehaves, which
+	// is exactly when an operator wants the per-read record.
+	var span *obs.Span
+	defer func() { span.End() }()
+	req := obs.RequestFrom(ctx)
 	pol := h.retryPolicy()
 	var slept time.Duration
 	for attempt := 0; ; attempt++ {
@@ -151,9 +168,16 @@ func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, o
 		span.SetAttr("tier", t.Name)
 
 		data, err := read(t, env)
+		if err != nil && span == nil {
+			if span = obs.FromContext(ctx).Child(op); span != nil {
+				span.SetAttr("key", key)
+				span.SetAttr("tier", t.Name)
+			}
+		}
 		if err == nil {
 			h.tm[tierIdx].readBytes.Add(int64(len(data)))
 			h.tm[tierIdx].readOps.Inc()
+			req.AddTierRead(t.Name, len(data))
 			h.tracker.ReadBytes(key, int64(len(data)))
 			h.kickPromoter()
 			span.SetAttrInt("bytes", len(data))
@@ -169,9 +193,14 @@ func (h *Hierarchy) readRetrying(ctx context.Context, key string, readers int, o
 		}
 		if attempt+1 >= pol.Attempts {
 			metricRetryExhausted.Inc()
+			evRetryExhausted.Emit("op", op, "key", key, "tier", t.Name,
+				"attempts", strconv.Itoa(attempt+1), "error", err.Error())
 			return nil, Placement{}, fmt.Errorf("storage: %s %q gave up after %d attempts: %w", op, key, attempt+1, err)
 		}
 		metricReadRetries.Inc()
+		req.AddTierRetry(t.Name)
+		evRetry.Emit("op", op, "key", key, "tier", t.Name,
+			"attempt", strconv.Itoa(attempt+1), "error", err.Error())
 		d := pol.delay(attempt)
 		timer := time.NewTimer(d)
 		select {
@@ -227,6 +256,8 @@ func (h *Hierarchy) move(key string, to int) (Migration, error) {
 	e.tier = to
 	metricMigrations.Inc()
 	metricMigrationBytes.Add(int64(len(data)))
+	evMigration.Emit("key", key, "from", src.Name, "to", dst.Name,
+		"bytes", strconv.FormatInt(int64(len(data)), 10))
 	return m, nil
 }
 
@@ -253,6 +284,7 @@ func (h *Hierarchy) Promote(key string, to int) ([]Migration, error) {
 	// A promotion refreshes recency (so the key does not become the next
 	// eviction's victim) without counting as workload heat.
 	h.tracker.Bump(key)
+	evPromotion.Emit("key", key, "from", m.FromTier, "to", m.ToTier)
 	return append(evictions, m), nil
 }
 
@@ -267,7 +299,11 @@ func (h *Hierarchy) Demote(key string, to int) (Migration, error) {
 	if to <= e.tier {
 		return Migration{}, fmt.Errorf("storage: demote %q: tier %d not below current %d", key, to, e.tier)
 	}
-	return h.move(key, to)
+	m, err := h.move(key, to)
+	if err == nil {
+		evDemotion.Emit("key", key, "from", m.FromTier, "to", m.ToTier)
+	}
+	return m, err
 }
 
 // EnsureRoom evicts policy-chosen victims from tier `tier` into slower
