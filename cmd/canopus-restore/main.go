@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/adios"
 	"repro/internal/analysis"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/place"
@@ -36,6 +37,7 @@ func main() {
 	ascii := flag.Bool("ascii", false, "render the restored field as text art")
 	workers := flag.Int("workers", 0, "concurrent retrieval workers (0 = NumCPU, 1 = serial)")
 	cacheMB := flag.Int("cache-mb", 0, "page cache size in MiB shared across reads (0 = no cache)")
+	tileCacheMB := flag.Int("tile-cache-mb", 0, "decoded-tile cache size in MiB shared across reads: repeated retrievals over the same tiles skip decompression (0 = no cache)")
 	degrade := flag.Bool("degrade", false, "return the best accuracy achieved when a delta level is corrupt or unreachable, instead of failing")
 	placePolicy := flag.String("place-policy", "lru", "placement policy: lru (static), freq, or cost; adaptive policies run a background promoter that physically reorganizes the hierarchy around observed reads")
 	var ocli obs.CLI
@@ -46,7 +48,7 @@ func main() {
 	defer stop()
 	ctx, finish, err := ocli.Start(ctx, "canopus-restore")
 	if err == nil {
-		err = run(ctx, *dir, *name, *level, *tolerance, *region, *ascii, *workers, *cacheMB, *degrade, *placePolicy)
+		err = run(ctx, *dir, *name, *level, *tolerance, *region, *ascii, *workers, *cacheMB, *tileCacheMB, *degrade, *placePolicy)
 		if ferr := finish(); err == nil {
 			err = ferr
 		}
@@ -87,7 +89,7 @@ func parseRegion(s string) (minX, minY, maxX, maxY float64, err error) {
 	return vals[0], vals[1], vals[2], vals[3], nil
 }
 
-func run(ctx context.Context, dir, name string, level int, tolerance float64, region string, ascii bool, workers, cacheMB int, degrade bool, placePolicy string) error {
+func run(ctx context.Context, dir, name string, level int, tolerance float64, region string, ascii bool, workers, cacheMB, tileCacheMB int, degrade bool, placePolicy string) error {
 	h, err := storage.FileTwoTier(dir, 0)
 	if err != nil {
 		return err
@@ -108,6 +110,9 @@ func run(ctx context.Context, dir, name string, level int, tolerance float64, re
 	aio := adios.NewIO(h, nil)
 	if cacheMB > 0 {
 		aio.SetCache(adios.NewPageCache(int64(cacheMB)<<20, 0))
+	}
+	if tileCacheMB > 0 {
+		aio.SetTileCache(compress.NewTileCache(int64(tileCacheMB) << 20))
 	}
 	rd, err := core.OpenReader(ctx, aio, name)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bp"
+	"repro/internal/compress"
 	"repro/internal/obs"
 	"repro/internal/storage"
 )
@@ -41,6 +42,12 @@ type IO struct {
 	// concurrent readers of hot containers do not re-fetch from the tier.
 	// Attach one with SetCache before issuing reads.
 	Cache *PageCache
+	// Tiles, when non-nil, is the shared decoded-tile cache handed to
+	// every handle opened through this IO: the tile read path in
+	// internal/core serves repeated decodes of the same tile from it.
+	// Writers invalidate overwritten keys the same way the page cache is
+	// invalidated. Attach one with SetTileCache before issuing reads.
+	Tiles *compress.TileCache
 
 	// idxMu guards idxCache, the parsed-index cache: re-opening an
 	// unchanged container binds the cached bp index to a fresh cost
@@ -79,12 +86,23 @@ func (io *IO) SetCache(c *PageCache) *IO {
 	return io
 }
 
+// SetTileCache attaches a shared decoded-tile cache to every handle
+// subsequently opened through this IO (nil detaches). It must not be called
+// concurrently with reads or writes.
+func (io *IO) SetTileCache(c *compress.TileCache) *IO {
+	io.Tiles = c
+	return io
+}
+
 // WriteContainer finalizes a BP container and writes it under key, preferring
 // tier pref. A cancelled ctx aborts the write. Cached pages of an overwritten
 // key are invalidated before the bytes land.
 func (io *IO) WriteContainer(ctx context.Context, key string, w *bp.Writer, pref int) (storage.Placement, error) {
 	if io.Cache != nil {
 		io.Cache.Invalidate(key)
+	}
+	if io.Tiles != nil {
+		io.Tiles.Invalidate(key)
 	}
 	io.idxMu.Lock()
 	delete(io.idxCache, key)
@@ -100,6 +118,9 @@ func (io *IO) WriteContainer(ctx context.Context, key string, w *bp.Writer, pref
 func (io *IO) dropCaches(key string) {
 	if io.Cache != nil {
 		io.Cache.Invalidate(key)
+	}
+	if io.Tiles != nil {
+		io.Tiles.Invalidate(key)
 	}
 	io.idxMu.Lock()
 	delete(io.idxCache, key)
@@ -125,7 +146,17 @@ type Handle struct {
 	TierName string
 
 	tracker *costTracker
+	tiles   *compress.TileCache
 }
+
+// Key reports the storage key this handle reads — the namespace decoded-tile
+// cache entries are filed (and invalidated) under.
+func (h *Handle) Key() string { return h.tracker.key }
+
+// TileCache returns the shared decoded-tile cache attached to the IO this
+// handle was opened through, or nil. The tile read path in internal/core
+// consults it before decoding.
+func (h *Handle) TileCache() *compress.TileCache { return h.tiles }
 
 // costTracker is the io.ReaderAt behind a handle. It serves every read as a
 // true ranged read against the storage hierarchy (optionally through the
@@ -262,7 +293,7 @@ func (io *IO) Open(ctx context.Context, key string, readers int) (*Handle, error
 		if r, err := cached.r.WithReaderAt(tr, size); err == nil {
 			tr.bytes.Add(cached.metaBytes)
 			metricModeledBytes.Add(cached.metaBytes)
-			return &Handle{BP: r, TierIdx: idx, TierName: tier.Name, tracker: tr}, nil
+			return &Handle{BP: r, TierIdx: idx, TierName: tier.Name, tracker: tr, tiles: io.Tiles}, nil
 		}
 		// Size mismatch: the container was rewritten behind this IO's
 		// back. Drop the stale index and re-parse below.
@@ -293,7 +324,7 @@ func (io *IO) Open(ctx context.Context, key string, readers int) (*Handle, error
 	}
 	io.idxCache[key] = &cachedIndex{r: r, metaBytes: tr.bytes.Load()}
 	io.idxMu.Unlock()
-	return &Handle{BP: r, TierIdx: idx, TierName: tier.Name, tracker: tr}, nil
+	return &Handle{BP: r, TierIdx: idx, TierName: tier.Name, tracker: tr, tiles: io.Tiles}, nil
 }
 
 // Cost reports the simulated cost accumulated by this handle so far.

@@ -1,8 +1,10 @@
 package compress
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // bitWriter packs bits LSB-first into a byte slice. The zfp-like codec's
@@ -46,11 +48,39 @@ func (w *bitWriter) writeBits(v uint64, n uint) {
 }
 
 func (w *bitWriter) flushWord() {
-	for i := 0; i < 8; i++ {
-		w.buf = append(w.buf, byte(w.cur>>(8*i)))
-	}
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, w.cur)
 	w.cur = 0
 	w.nbit = 0
+}
+
+// bitWriterPool recycles encode-side writers: the zfp/zfp2d encoders burn
+// one writer (and its grown buffer) per chunk, which dominated the chunked
+// encode path's allocation count. reset reclaims the retained buffer; the
+// encoder copies the finished stream out before Put, so pooled buffers never
+// alias returned payloads.
+var bitWriterPool = sync.Pool{
+	New: func() any {
+		return &bitWriter{buf: make([]byte, 0, 32<<10)}
+	},
+}
+
+func getBitWriter() *bitWriter {
+	w := bitWriterPool.Get().(*bitWriter)
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.nbit = 0
+	return w
+}
+
+func putBitWriter(w *bitWriter) { bitWriterPool.Put(w) }
+
+// finish seals the stream and returns an exactly-sized copy safe to retain
+// after the writer goes back to the pool.
+func (w *bitWriter) finish() []byte {
+	enc := w.bytes()
+	out := make([]byte, len(enc))
+	copy(out, enc)
+	return out
 }
 
 // bytes finalizes the stream, padding the last partial byte with zeros.
@@ -101,6 +131,34 @@ func (r *bitReader) fill() {
 		r.pos++
 		r.n += 8
 	}
+}
+
+// refillWord tops cur up from the stream a whole 64-bit word at a time,
+// leaving at least 57 buffered bits whenever the stream still has them. It
+// is the batch decoder's refill: one unaligned load and two shifts replace
+// up to seven byte-sized iterations of fill. Bits of the loaded word beyond
+// cur's free space are discarded and re-read by the next refill (pos only
+// advances over fully-accepted bytes), so the consumed stream is identical
+// to fill's. Falls back to fill near the end of the buffer.
+func (r *bitReader) refillWord() {
+	if r.pos+8 <= len(r.buf) && r.n <= 56 {
+		w := binary.LittleEndian.Uint64(r.buf[r.pos:])
+		r.cur |= w << r.n
+		k := (63 - r.n) >> 3
+		r.pos += int(k)
+		r.n += k * 8
+		return
+	}
+	r.fill()
+}
+
+// take consumes k buffered bits without bounds checks. Callers must
+// guarantee k <= r.n (and hence k <= 63).
+func (r *bitReader) take(k uint) uint64 {
+	v := r.cur & (1<<k - 1)
+	r.cur >>= k
+	r.n -= k
+	return v
 }
 
 func (r *bitReader) readBit() (uint64, error) {

@@ -89,17 +89,19 @@ func minPlaneFor(tol float64, e int) int {
 	return p
 }
 
-// Encode implements Codec.
+// Encode implements Codec. The bit writer (and its grown buffer) comes from
+// a pool and the finished stream is copied out exactly-sized, so a steady
+// encode loop allocates once per call — the returned payload.
 func (z *ZFP) Encode(vals []float64) ([]byte, error) {
 	if err := checkFinite(vals); err != nil {
 		return nil, err
 	}
-	hdr := make([]byte, 0, 16)
-	hdr = binary.LittleEndian.AppendUint32(hdr, zfpMagic)
-	hdr = binary.AppendUvarint(hdr, uint64(len(vals)))
-	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(z.tol))
+	w := getBitWriter()
+	defer putBitWriter(w)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, zfpMagic)
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(vals)))
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(z.tol))
 
-	w := &bitWriter{buf: hdr}
 	var block [4]float64
 	for i := 0; i < len(vals); i += 4 {
 		k := copy(block[:], vals[i:])
@@ -110,7 +112,7 @@ func (z *ZFP) Encode(vals []float64) ([]byte, error) {
 		}
 		encodeZFPBlock(w, block, z.tol)
 	}
-	return w.bytes(), nil
+	return w.finish(), nil
 }
 
 func encodeZFPBlock(w *bitWriter, f [4]float64, tol float64) {
@@ -223,29 +225,60 @@ func (z *ZFP) Decode(data []byte) ([]float64, error) {
 	return z.DecodeInto(nil, data)
 }
 
-// DecodeInto implements Codec. The bit reader lives on the stack and the
-// output goes straight into dst when it has capacity, so a warm decode loop
-// performs no allocations.
-func (z *ZFP) DecodeInto(dst []float64, data []byte) ([]float64, error) {
+// parseZFPHeader validates the stream header shared by the batch and scalar
+// decoders and returns the stored value count, the encode-time tolerance,
+// and the bit-plane payload.
+func parseZFPHeader(data []byte) (count int, tol float64, payload []byte, err error) {
 	if len(data) < 4 || binary.LittleEndian.Uint32(data) != zfpMagic {
-		return nil, errors.New("compress: bad zfp magic")
+		return 0, 0, nil, errors.New("compress: bad zfp magic")
 	}
 	off := 4
-	count, nn := binary.Uvarint(data[off:])
+	countU, nn := binary.Uvarint(data[off:])
 	if nn <= 0 {
-		return nil, errors.New("compress: truncated zfp header")
+		return 0, 0, nil, errors.New("compress: truncated zfp header")
 	}
 	off += nn
 	if len(data)-off < 8 {
-		return nil, errors.New("compress: truncated zfp header")
+		return 0, 0, nil, errors.New("compress: truncated zfp header")
 	}
-	tol := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	tol = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 	off += 8
-	if count > uint64(len(data))*64 {
-		return nil, fmt.Errorf("compress: implausible zfp count %d", count)
+	if countU > uint64(len(data))*64 {
+		return 0, 0, nil, fmt.Errorf("compress: implausible zfp count %d", countU)
 	}
-	out := sizeFloats(dst, int(count))
-	r := bitReader{buf: data[off:]}
+	return int(countU), tol, data[off:], nil
+}
+
+// DecodeInto implements Codec through the batch bit-plane decoder
+// (zfp_batch.go): whole 64-bit words move from the stream into a register,
+// significance runs collapse to TrailingZeros counts, and tolerance-truncated
+// blocks accumulate through the spread table. The bit reader lives on the
+// stack and the output goes straight into dst when it has capacity, so a
+// warm decode loop performs no allocations.
+func (z *ZFP) DecodeInto(dst []float64, data []byte) ([]float64, error) {
+	count, tol, payload, err := parseZFPHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	out := sizeFloats(dst, count)
+	r := bitReader{buf: payload}
+	if err := zfpDecodeBlocks(&r, tol, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeIntoScalar is the retained scalar decoder: one readBit per stream
+// bit, exactly the pre-batch implementation. It is the reference the batch
+// decoder is fuzzed against (FuzzZFPBatchVsScalar) and takes no part in the
+// production read path.
+func (z *ZFP) decodeIntoScalar(dst []float64, data []byte) ([]float64, error) {
+	count, tol, payload, err := parseZFPHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	out := sizeFloats(dst, count)
+	r := bitReader{buf: payload}
 	for i := 0; i < len(out); i += 4 {
 		blk, err := decodeZFPBlock(&r, tol)
 		if err != nil {

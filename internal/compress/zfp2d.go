@@ -54,13 +54,13 @@ func (z *ZFP2D) Encode(vals []float64, nx, ny int) ([]byte, error) {
 	if err := checkFinite(vals); err != nil {
 		return nil, err
 	}
-	hdr := make([]byte, 0, 24)
-	hdr = binary.LittleEndian.AppendUint32(hdr, zfp2dMagic)
-	hdr = binary.AppendUvarint(hdr, uint64(nx))
-	hdr = binary.AppendUvarint(hdr, uint64(ny))
-	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(z.tol))
+	w := getBitWriter()
+	defer putBitWriter(w)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, zfp2dMagic)
+	w.buf = binary.AppendUvarint(w.buf, uint64(nx))
+	w.buf = binary.AppendUvarint(w.buf, uint64(ny))
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(z.tol))
 
-	w := &bitWriter{buf: hdr}
 	var block [16]float64
 	for by := 0; by < ny; by += 4 {
 		for bx := 0; bx < nx; bx += 4 {
@@ -82,7 +82,7 @@ func (z *ZFP2D) Encode(vals []float64, nx, ny int) ([]byte, error) {
 			encodeZFP2DBlock(w, &block, z.tol)
 		}
 	}
-	return w.bytes(), nil
+	return w.finish(), nil
 }
 
 func encodeZFP2DBlock(w *bitWriter, f *[16]float64, tol float64) {
@@ -228,33 +228,65 @@ func decodePlane16(r *bitReader, n *uint) (uint64, error) {
 	return x, nil
 }
 
-// Decode reverses Encode, returning the grid values and its dimensions.
-func (z *ZFP2D) Decode(data []byte) ([]float64, int, int, error) {
+// parseZFP2DHeader validates the grid stream header shared by the batch and
+// scalar decoders.
+func parseZFP2DHeader(data []byte) (nx, ny int, tol float64, payload []byte, err error) {
 	if len(data) < 4 || binary.LittleEndian.Uint32(data) != zfp2dMagic {
-		return nil, 0, 0, errors.New("compress: bad zfp2d magic")
+		return 0, 0, 0, nil, errors.New("compress: bad zfp2d magic")
 	}
 	off := 4
 	nxU, n := binary.Uvarint(data[off:])
 	if n <= 0 {
-		return nil, 0, 0, errors.New("compress: truncated zfp2d header")
+		return 0, 0, 0, nil, errors.New("compress: truncated zfp2d header")
 	}
 	off += n
 	nyU, n := binary.Uvarint(data[off:])
 	if n <= 0 {
-		return nil, 0, 0, errors.New("compress: truncated zfp2d header")
+		return 0, 0, 0, nil, errors.New("compress: truncated zfp2d header")
 	}
 	off += n
 	if len(data)-off < 8 {
-		return nil, 0, 0, errors.New("compress: truncated zfp2d header")
+		return 0, 0, 0, nil, errors.New("compress: truncated zfp2d header")
 	}
-	tol := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	tol = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 	off += 8
-	nx, ny := int(nxU), int(nyU)
+	nx, ny = int(nxU), int(nyU)
 	if nx < 1 || ny < 1 || nxU*nyU > uint64(len(data))*512 {
-		return nil, 0, 0, fmt.Errorf("compress: implausible zfp2d dims %dx%d", nx, ny)
+		return 0, 0, 0, nil, fmt.Errorf("compress: implausible zfp2d dims %dx%d", nx, ny)
+	}
+	return nx, ny, tol, data[off:], nil
+}
+
+// Decode reverses Encode, returning the grid values and its dimensions.
+func (z *ZFP2D) Decode(data []byte) ([]float64, int, int, error) {
+	return z.DecodeInto(nil, data)
+}
+
+// DecodeInto is Decode with destination reuse, running the batch bit-plane
+// decoder (zfp_batch.go). dst's backing array is reused when its capacity
+// covers the stored grid.
+func (z *ZFP2D) DecodeInto(dst []float64, data []byte) ([]float64, int, int, error) {
+	nx, ny, tol, payload, err := parseZFP2DHeader(data)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	out := sizeFloats(dst, nx*ny)
+	r := bitReader{buf: payload}
+	if err := zfp2dDecodeBlocks(&r, tol, out, nx, ny); err != nil {
+		return nil, 0, 0, err
+	}
+	return out, nx, ny, nil
+}
+
+// decodeScalar is the retained scalar 2D decoder, the fuzz reference for the
+// batch path (FuzzZFP2DBatchVsScalar); it takes no part in production reads.
+func (z *ZFP2D) decodeScalar(data []byte) ([]float64, int, int, error) {
+	nx, ny, tol, payload, err := parseZFP2DHeader(data)
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	out := make([]float64, nx*ny)
-	r := newBitReader(data[off:])
+	r := newBitReader(payload)
 	var block [16]float64
 	for by := 0; by < ny; by += 4 {
 		for bx := 0; bx < nx; bx += 4 {

@@ -1,6 +1,7 @@
 package compress
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -235,5 +236,32 @@ func BenchmarkZFP2DEncode(b *testing.B) {
 		if _, err := z.Encode(in, 256, 256); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkZFP2DDecode measures the batch 2D decoder (zfp_batch.go) at the
+// tolerances the pipeline actually uses; MB/s counts decoded output floats.
+func BenchmarkZFP2DDecode(b *testing.B) {
+	in := smoothGrid(256, 256, 21)
+	for _, tol := range []float64{1e-3, 1e-6} {
+		z, err := NewZFP2D(tol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc, err := z.Encode(in, 256, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("tol=%g", tol), func(b *testing.B) {
+			dst := make([]float64, len(in))
+			b.SetBytes(int64(8 * len(in)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := z.DecodeInto(dst, enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,216 @@
+package compress
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// The batch decoders (zfp_batch.go) must be observationally identical to the
+// retained scalar decoders on EVERY input — valid streams, truncated
+// streams, and arbitrary corruption — because the batch path falls back to
+// the scalar path mid-stream and the two must agree on where each block
+// starts. These targets enforce that parity, and the golden test pins the
+// encoder output bytes so decode-side restructuring can never drift the
+// on-disk format.
+
+func batchSeedCorpus(f *testing.F, tols []float64) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	for _, tol := range tols {
+		z, _ := NewZFP(tol)
+		for _, n := range []int{1, 4, 5, 64, 1000} {
+			enc, _ := z.Encode(smoothSignal(n, int64(n)))
+			f.Add(enc)
+			if len(enc) > 3 {
+				f.Add(enc[:len(enc)-3]) // truncated tail
+			}
+			if len(enc) > 20 {
+				mid := append([]byte(nil), enc...)
+				mid[len(mid)/2] ^= 0xff // corrupt payload
+				f.Add(mid)
+			}
+		}
+	}
+}
+
+// FuzzZFPBatchVsScalar checks the 1D batch decoder against the scalar
+// reference: identical output floats (bitwise) when both succeed, and
+// rejection parity — neither may accept an input the other rejects.
+func FuzzZFPBatchVsScalar(f *testing.F) {
+	batchSeedCorpus(f, []float64{0, 1e-3, 1e-6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, tol := range []float64{0, 1e-3} {
+			z, err := NewZFP(tol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, bErr := z.DecodeInto(nil, data)
+			scalar, sErr := z.decodeIntoScalar(nil, data)
+			if (bErr == nil) != (sErr == nil) {
+				t.Fatalf("tol=%g rejection mismatch: batch err=%v scalar err=%v", tol, bErr, sErr)
+			}
+			if bErr != nil {
+				continue
+			}
+			if len(batch) != len(scalar) {
+				t.Fatalf("tol=%g length mismatch: batch %d scalar %d", tol, len(batch), len(scalar))
+			}
+			for i := range batch {
+				if math.Float64bits(batch[i]) != math.Float64bits(scalar[i]) {
+					t.Fatalf("tol=%g value %d mismatch: batch %v scalar %v", tol, i, batch[i], scalar[i])
+				}
+			}
+		}
+	})
+}
+
+func batch2DSeedCorpus(f *testing.F, tols []float64) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	for _, tol := range tols {
+		z, _ := NewZFP2D(tol)
+		for _, dim := range [][2]int{{1, 1}, {4, 4}, {5, 3}, {37, 41}} {
+			nx, ny := dim[0], dim[1]
+			enc, _ := z.Encode(smoothSignal(nx*ny, int64(nx*100+ny)), nx, ny)
+			f.Add(enc)
+			if len(enc) > 3 {
+				f.Add(enc[:len(enc)-3])
+			}
+			if len(enc) > 20 {
+				mid := append([]byte(nil), enc...)
+				mid[len(mid)/2] ^= 0xff
+				f.Add(mid)
+			}
+		}
+	}
+}
+
+// FuzzZFP2DBatchVsScalar is the 2D variant of FuzzZFPBatchVsScalar.
+func FuzzZFP2DBatchVsScalar(f *testing.F) {
+	batch2DSeedCorpus(f, []float64{0, 1e-3, 1e-6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, tol := range []float64{0, 1e-3} {
+			z, err := NewZFP2D(tol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, bnx, bny, bErr := z.DecodeInto(nil, data)
+			scalar, snx, sny, sErr := z.decodeScalar(data)
+			if (bErr == nil) != (sErr == nil) {
+				t.Fatalf("tol=%g rejection mismatch: batch err=%v scalar err=%v", tol, bErr, sErr)
+			}
+			if bErr != nil {
+				continue
+			}
+			if bnx != snx || bny != sny || len(batch) != len(scalar) {
+				t.Fatalf("tol=%g shape mismatch: batch %dx%d/%d scalar %dx%d/%d",
+					tol, bnx, bny, len(batch), snx, sny, len(scalar))
+			}
+			for i := range batch {
+				if math.Float64bits(batch[i]) != math.Float64bits(scalar[i]) {
+					t.Fatalf("tol=%g value %d mismatch: batch %v scalar %v", tol, i, batch[i], scalar[i])
+				}
+			}
+		}
+	})
+}
+
+// TestZFPEncodedBytesGolden pins the exact encoder output bytes for fixed
+// inputs across tolerances. The batch-decode work is decode-side only: any
+// change to these hashes means the on-disk format moved and every container
+// written by an earlier build would re-read differently.
+func TestZFPEncodedBytesGolden(t *testing.T) {
+	vals1d := smoothSignal(4099, 7)
+	vals2d := smoothSignal(37*41, 9)
+	goldens := []struct {
+		tol  float64
+		dim  string
+		n    int
+		hash string
+	}{
+		{0, "1d", 28595, "c4c268788d25e4a4b97fd4c4fe54684985f43622b5e1b9280e7b8627ab8d981c"},
+		{0, "2d", 11393, "a73d7a73ba3301a7d36afe0757dd201319ece94e6094ccccee3aeaef2b7a3dfa"},
+		{0.001, "1d", 9400, "86fca41b5028a522c28e6680ca963ab8a35649319d27468190ae12b0cbb9f8f0"},
+		{0.001, "2d", 3457, "bfe896f4b485b7c4e3014a27eeef0a455ac93556ec422afb8fdd31b559d9c5ea"},
+		{1e-06, "1d", 14526, "b8595c5c1882932380339d7bde0d06fd800b3ec8743754c61e8ff14efeefcf3b"},
+		{1e-06, "2d", 5487, "424760954d9079b48b6386e57b72a6fac1d50b217f2fabf516f8c9719cd60b17"},
+	}
+	for _, g := range goldens {
+		t.Run(fmt.Sprintf("%s/tol=%g", g.dim, g.tol), func(t *testing.T) {
+			var enc []byte
+			var err error
+			if g.dim == "1d" {
+				z, zerr := NewZFP(g.tol)
+				if zerr != nil {
+					t.Fatal(zerr)
+				}
+				enc, err = z.Encode(vals1d)
+			} else {
+				z, zerr := NewZFP2D(g.tol)
+				if zerr != nil {
+					t.Fatal(zerr)
+				}
+				enc, err = z.Encode(vals2d, 37, 41)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(enc) != g.n {
+				t.Errorf("encoded length %d, want %d", len(enc), g.n)
+			}
+			sum := sha256.Sum256(enc)
+			if got := hex.EncodeToString(sum[:]); got != g.hash {
+				t.Errorf("encoded bytes changed: sha256 %s, want %s", got, g.hash)
+			}
+		})
+	}
+}
+
+// TestZFPEncodeAllocs guards the pooled-bitWriter encode diet: the seed
+// encoder allocated ~1021 times per chunked op; pooling holds the whole
+// encode to a small constant.
+func TestZFPEncodeAllocs(t *testing.T) {
+	z, err := NewZFP(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := smoothSignal(4096, 3)
+	if _, err := z.Encode(vals); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := z.Encode(vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One output buffer plus pool slack; the point is it no longer scales
+	// with block count (4096 values = 1024 blocks).
+	if allocs > 16 {
+		t.Fatalf("Encode allocates %v times per op, want <= 16", allocs)
+	}
+}
+
+// TestZFPDecodeAllocs guards the batch decoder's steady state: decoding into
+// a reused buffer must not allocate at all.
+func TestZFPDecodeAllocs(t *testing.T) {
+	z, err := NewZFP(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := z.Encode(smoothSignal(4096, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 4096)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := z.DecodeInto(dst, enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeInto allocates %v times per op, want 0", allocs)
+	}
+}

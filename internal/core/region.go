@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/adios"
-	"repro/internal/compress"
 	"repro/internal/delta"
 	"repro/internal/engine"
 	"repro/internal/mesh"
@@ -157,7 +156,7 @@ func (r *Reader) RetrieveRegion(ctx context.Context, targetLevel int, minX, minY
 	}
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
-	baseData, err := compress.ChunkedDecode(ctx, r.pool, r.codec, pBase.Payload)
+	baseData, err := decodeProduct(ctx, r.pool, r.codec, hBase, base, pBase.Payload)
 	baseDecSecs := time.Since(t0).Seconds()
 	dspan.End()
 	out.Timings.DecompressSeconds += baseDecSecs

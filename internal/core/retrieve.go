@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adios"
@@ -213,6 +214,34 @@ func (v *View) DecimationRatio(fullVerts int) float64 {
 	return float64(fullVerts) / float64(v.Mesh.NumVerts())
 }
 
+// decodeProduct decodes one container's whole base/direct data product,
+// serving repeats from the handle's decoded-tile cache when one is attached
+// (keyed under compress.BaseTile). By the time this runs the payload bytes
+// have already been fetched, so a hit skips only the decompress CPU — the
+// request's I/O bill is identical either way (TileCache's cost invariant).
+// Cached slices are shared and read-only, while View data is caller-owned
+// and mutated in place by Augment/restore, so cache results are copied out.
+func decodeProduct(ctx context.Context, pool *engine.Pool, codec compress.Codec, h *adios.Handle, level int, payload []byte) ([]float64, error) {
+	tc := h.TileCache()
+	if tc == nil {
+		return compress.ChunkedDecode(ctx, pool, codec, payload)
+	}
+	vals, hit, err := tc.GetOrDecode(h.Key(), level, compress.BaseTile, func() ([]float64, error) {
+		return compress.ChunkedDecode(ctx, pool, codec, payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		obs.RequestFrom(ctx).AddTileCache(1, 0)
+	} else {
+		obs.RequestFrom(ctx).AddTileCache(0, 1)
+	}
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	return out, nil
+}
+
 // Base retrieves the lowest-accuracy view: read L^(N-1) from the fast tier
 // and decompress — option (1) in §III-B's walkthrough.
 func (r *Reader) Base(ctx context.Context) (*View, error) {
@@ -242,7 +271,7 @@ func (r *Reader) Base(ctx context.Context) (*View, error) {
 
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
-	v.Data, err = compress.ChunkedDecode(ctx, r.pool, r.codec, p.Payload)
+	v.Data, err = decodeProduct(ctx, r.pool, r.codec, h, l, p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	dspan.End()
 	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
@@ -483,7 +512,7 @@ func (r *Reader) retrieveDirect(ctx context.Context, l int) (*View, error) {
 	v.Timings.addHandleIO(ctx, h)
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
-	v.Data, err = compress.ChunkedDecode(ctx, r.pool, r.codec, p.Payload)
+	v.Data, err = decodeProduct(ctx, r.pool, r.codec, h, l, p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	dspan.End()
 	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)
@@ -633,6 +662,16 @@ func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle
 	if len(present) < workers {
 		innerPool = pool
 	}
+	// The decoded-tile cache (when the IO has one attached) serves repeat
+	// decodes of the same tile across requests; hits skip the bit-plane
+	// decode but never the byte fetch above, so modeled cost stays
+	// deterministic. Cached slices are shared and read-only — the scatter
+	// below only copies out of vals, never writes into it — and cache
+	// misses decode into a fresh slice (not the pooled scratch, whose
+	// backing array is reused).
+	tc := h.TileCache()
+	key := h.Key()
+	var tileHits, tileMisses atomic.Int64
 	t0 := time.Now()
 	err = pool.RunRange(ctx, len(present), func(start, end int) error {
 		scratch := floatScratchPool.Get().(*[]float64)
@@ -643,12 +682,25 @@ func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle
 			if err != nil {
 				return fmt.Errorf("canopus: level %d chunk %d: %w", level, ci, err)
 			}
-			vals, err := compress.ChunkedDecodeInto(ctx, innerPool, codec, (*scratch)[:0], enc)
+			var vals []float64
+			if tc != nil {
+				var hit bool
+				vals, hit, err = tc.GetOrDecode(key, level, ci, func() ([]float64, error) {
+					return compress.ChunkedDecodeInto(ctx, innerPool, codec, nil, enc)
+				})
+				if hit {
+					tileHits.Add(1)
+				} else {
+					tileMisses.Add(1)
+				}
+			} else {
+				vals, err = compress.ChunkedDecodeInto(ctx, innerPool, codec, (*scratch)[:0], enc)
+				if err == nil && cap(vals) > cap(*scratch) {
+					*scratch = vals[:0]
+				}
+			}
 			if err != nil {
 				return fmt.Errorf("canopus: decompress delta %d chunk %d: %w", level, ci, err)
-			}
-			if cap(vals) > cap(*scratch) {
-				*scratch = vals[:0]
 			}
 			if len(vals) != runs.count() {
 				return fmt.Errorf("canopus: level %d chunk %d: %d values for %d ids", level, ci, len(vals), runs.count())
@@ -681,8 +733,11 @@ func readDeltaChunksFrom(ctx context.Context, pool *engine.Pool, h *adios.Handle
 	metricDecompressSeconds.Add(elapsed)
 	// Folded here — the same elapsed the caller's Timings receive through
 	// decompress — so CostReport and PhaseTimings agree without a second
-	// fold at the call sites.
-	obs.RequestFrom(ctx).AddDecompress(elapsed)
+	// fold at the call sites. Tile-cache attribution folds at the same
+	// site: one AddTileCache per decode pass.
+	req := obs.RequestFrom(ctx)
+	req.AddDecompress(elapsed)
+	req.AddTileCache(tileHits.Load(), tileMisses.Load())
 	return err
 }
 

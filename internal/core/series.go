@@ -635,7 +635,7 @@ func (sr *SeriesReader) executeStep(ctx context.Context, step int, pl *plan.Plan
 	v.Timings.addHandleIO(ctx, h)
 	dspan := span.Child("core.decompress")
 	t0 := time.Now()
-	v.Data, err = compress.ChunkedDecode(ctx, sr.pool, sr.codec, p.Payload)
+	v.Data, err = decodeProduct(ctx, sr.pool, sr.codec, h, base, p.Payload)
 	v.Timings.DecompressSeconds = time.Since(t0).Seconds()
 	dspan.End()
 	metricDecompressSeconds.Add(v.Timings.DecompressSeconds)

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/adios"
+	"repro/internal/compress"
+	"repro/internal/storage"
+)
+
+// TestTileCacheEndToEnd drives the decoded-tile cache through the real
+// retrieval path: the first full retrieval decodes every tile (all misses),
+// a repeat serves every tile from cache (all hits, no misses) with identical
+// values, and the per-request CostReport attributes both. The cache must not
+// leak shared slices: views stay caller-owned and mutable.
+func TestTileCacheEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	aio := adios.NewIO(storage.TitanTwoTier(0), nil).
+		SetTileCache(compress.NewTileCache(64 << 20))
+	ds := testDataset("dpot", 32)
+	if _, err := Write(ctx, aio, ds, Options{Levels: 3, Chunks: 4, RelTolerance: 1e-6}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(ctx, aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := rd.Retrieve(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cost == nil {
+		t.Fatal("no cost report")
+	}
+	if cold.Cost.TileCacheMisses == 0 || cold.Cost.TileCacheHits != 0 {
+		t.Fatalf("cold retrieval: hits=%d misses=%d, want 0 hits and >0 misses",
+			cold.Cost.TileCacheHits, cold.Cost.TileCacheMisses)
+	}
+
+	hot, err := rd.Retrieve(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Cost.TileCacheHits == 0 || hot.Cost.TileCacheMisses != 0 {
+		t.Fatalf("hot retrieval: hits=%d misses=%d, want >0 hits and 0 misses",
+			hot.Cost.TileCacheHits, hot.Cost.TileCacheMisses)
+	}
+	// A tile-cache hit skips only the decompress CPU, never the byte fetch:
+	// the hot retrieval still pays full modeled I/O for the payloads, and
+	// two hot retrievals bill identically. (Cold vs hot totals differ only
+	// by the reader's one-time mesh reads, cached at the session layer.)
+	if hot.Cost.ModeledBytes == 0 {
+		t.Error("hot retrieval modeled 0 bytes; cache hits must not skip the fetch")
+	}
+	hot2, err := rd.Retrieve(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot2.Cost.ModeledBytes != hot.Cost.ModeledBytes {
+		t.Errorf("modeled bytes drifted between hot retrievals: %d then %d",
+			hot.Cost.ModeledBytes, hot2.Cost.ModeledBytes)
+	}
+	if len(hot.Data) != len(cold.Data) {
+		t.Fatalf("hot %d values, cold %d", len(hot.Data), len(cold.Data))
+	}
+	for i := range hot.Data {
+		if hot.Data[i] != cold.Data[i] {
+			t.Fatalf("value %d differs: hot %v cold %v", i, hot.Data[i], cold.Data[i])
+		}
+	}
+
+	// Views are caller-owned: scribbling on one must not poison the cache.
+	for i := range hot.Data {
+		hot.Data[i] = math.NaN()
+	}
+	again, err := rd.Retrieve(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again.Data {
+		if again.Data[i] != cold.Data[i] {
+			t.Fatalf("cache poisoned: value %d = %v, want %v", i, again.Data[i], cold.Data[i])
+		}
+	}
+}
+
+// TestTileCacheInvalidatedByRewrite overwrites a variable and checks readers
+// never see the pre-write decoded tiles: the write path invalidates every
+// rewritten container key.
+func TestTileCacheInvalidatedByRewrite(t *testing.T) {
+	ctx := context.Background()
+	aio := adios.NewIO(storage.TitanTwoTier(0), nil).
+		SetTileCache(compress.NewTileCache(64 << 20))
+	ds := testDataset("dpot", 24)
+	if _, err := Write(ctx, aio, ds, Options{Levels: 3, Chunks: 4, RelTolerance: 1e-6}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(ctx, aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Retrieve(ctx, 0); err != nil {
+		t.Fatal(err) // warm the cache
+	}
+
+	for i := range ds.Data {
+		ds.Data[i] *= 2
+	}
+	if _, err := Write(ctx, aio, ds, Options{Levels: 3, Chunks: 4, RelTolerance: 1e-6}); err != nil {
+		t.Fatal(err)
+	}
+	rd2, err := OpenReader(ctx, aio, "dpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rd2.Retrieve(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale (pre-rewrite) values would be off by |ds.Data[i]|/2 — around
+	// half the field amplitude — while the codec's composed absolute bound
+	// at this tolerance is orders of magnitude tighter.
+	for i := range v.Data {
+		if math.Abs(v.Data[i]-ds.Data[i]) > 1e-4 {
+			t.Fatalf("stale value after rewrite: v[%d]=%v, want ~%v", i, v.Data[i], ds.Data[i])
+		}
+	}
+}

@@ -36,6 +36,8 @@ type Request struct {
 	restoreS     FloatCounter
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
+	tileHits     atomic.Int64
+	tileMisses   atomic.Int64
 	retries      atomic.Int64
 
 	mu       sync.Mutex
@@ -68,6 +70,8 @@ type CostReport struct {
 	RestoreSecs     float64             `json:"restore_seconds"`
 	CacheHits       int64               `json:"cache_hits"`
 	CacheMisses     int64               `json:"cache_misses"`
+	TileCacheHits   int64               `json:"tile_cache_hits,omitempty"`
+	TileCacheMisses int64               `json:"tile_cache_misses,omitempty"`
 	Retries         int64               `json:"retries"`
 	Tiers           map[string]TierCost `json:"tiers,omitempty"`
 	Level           int                 `json:"level,omitempty"`
@@ -180,6 +184,17 @@ func (r *Request) AddCache(hits, misses int64) {
 	r.cacheMisses.Add(misses)
 }
 
+// AddTileCache folds decoded-tile-cache hit/miss counts observed by one
+// decode pass (core's tile read path). A hit means the decompress work for
+// that tile was skipped entirely; the byte fetch is charged regardless.
+func (r *Request) AddTileCache(hits, misses int64) {
+	if r == nil {
+		return
+	}
+	r.tileHits.Add(hits)
+	r.tileMisses.Add(misses)
+}
+
 // SetLevel records the achieved refinement level.
 func (r *Request) SetLevel(level int) {
 	if r == nil {
@@ -231,6 +246,8 @@ func (r *Request) Report(span *Span) *CostReport {
 		RestoreSecs:     r.restoreS.Value(),
 		CacheHits:       r.cacheHits.Load(),
 		CacheMisses:     r.cacheMisses.Load(),
+		TileCacheHits:   r.tileHits.Load(),
+		TileCacheMisses: r.tileMisses.Load(),
 		Retries:         r.retries.Load(),
 		TraceID:         span.TraceID(),
 	}
@@ -261,6 +278,10 @@ func (r *Request) Report(span *Span) *CostReport {
 		span.SetAttr("cost.restore_seconds", fmt.Sprintf("%.6f", rep.RestoreSecs))
 		span.SetAttrInt("cost.cache_hits", int(rep.CacheHits))
 		span.SetAttrInt("cost.cache_misses", int(rep.CacheMisses))
+		if rep.TileCacheHits > 0 || rep.TileCacheMisses > 0 {
+			span.SetAttrInt("cost.tile_cache_hits", int(rep.TileCacheHits))
+			span.SetAttrInt("cost.tile_cache_misses", int(rep.TileCacheMisses))
+		}
 		if rep.Retries > 0 {
 			span.SetAttrInt("cost.retries", int(rep.Retries))
 		}

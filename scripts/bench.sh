@@ -32,15 +32,16 @@ go test -run '^$' -bench 'BenchmarkPipelineWriteRead|BenchmarkRangedRead' \
 awk '
 /^BenchmarkRangedRead\// {
 	name = $1
-	ns = ""; modeled = ""; real = ""; bytes = ""; allocs = ""
+	ns = ""; modeled = ""; real = ""; bytes = ""; allocs = ""; dns = ""
 	for (i = 2; i <= NF; i++) {
 		if ($(i) == "ns/op") ns = $(i-1)
 		if ($(i) == "modeled-bytes/op") modeled = $(i-1)
 		if ($(i) == "real-bytes/op") real = $(i-1)
 		if ($(i) == "B/op") bytes = $(i-1)
 		if ($(i) == "allocs/op") allocs = $(i-1)
+		if ($(i) == "decompress-ns/op") dns = $(i-1)
 	}
-	printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"modeled_bytes_per_op\":%s,\"real_bytes_per_op\":%s,\"alloc_bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, ns, modeled, real, bytes, allocs
+	printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"modeled_bytes_per_op\":%s,\"real_bytes_per_op\":%s,\"alloc_bytes_per_op\":%s,\"allocs_per_op\":%s,\"decompress_ns_per_op\":%s}", sep, name, ns, modeled, real, bytes, allocs, dns == "" ? "null" : dns
 	sep = ",\n "
 }
 BEGIN { printf "[" }
@@ -57,13 +58,13 @@ CODEC_OUT="BENCH_codec.json"
 CODEC_RAW="$(mktemp)"
 trap 'rm -f "$RAW" "$CODEC_RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkChunked|BenchmarkV1Decode' \
+go test -run '^$' -bench 'BenchmarkChunked|BenchmarkV1Decode|BenchmarkZFP2DDecode' \
 	-benchtime "$BENCHTIME" -benchmem ./internal/compress | tee "$CODEC_RAW"
 
 {
 	printf '{"codec":'
 	awk '
-	/^Benchmark(Chunked|V1Decode)/ {
+	/^Benchmark(Chunked|V1Decode|ZFP2DDecode)/ {
 		name = $1
 		ns = ""; mbs = ""; bytes = ""; allocs = ""
 		for (i = 2; i <= NF; i++) {
