@@ -32,6 +32,7 @@ func main() {
 	faultSpec := flag.String("fault-spec", "", "run the fault-injection demo under this spec (e.g. seed=1,tier=lustre,read.err=1)")
 	tolJSON := flag.String("tolerance-sweep", "", "run the error-target retrieval sweep and write its acceptance record to this file")
 	placeJSON := flag.String("placement-bench", "", "run the Zipfian static-vs-adaptive placement bench and write its acceptance record to this file")
+	serveJSON := flag.String("serve-bench", "", "run the multi-tenant serving load bench and write its acceptance record to this file")
 	var ocli obs.CLI
 	ocli.Bind(flag.CommandLine)
 	flag.Parse()
@@ -46,9 +47,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "canopus-bench: unknown scale %q (want paper or quick)\n", *scale)
 		os.Exit(2)
 	}
-	// -obs-json, -fault-spec, -tolerance-sweep, or -placement-bench alone
-	// run just their own workload; an explicit -fig alongside any of them
-	// runs the figures too.
+	// -obs-json, -fault-spec, -tolerance-sweep, -placement-bench, or
+	// -serve-bench alone run just their own workload; an explicit -fig
+	// alongside any of them runs the figures too.
 	figSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "fig" {
@@ -63,7 +64,7 @@ func main() {
 		r := bench.New(os.Stdout, s)
 		r.ASCII = *ascii
 		r.Workers = *workers
-		if (*obsJSON == "" && *faultSpec == "" && *tolJSON == "" && *placeJSON == "") || figSet {
+		if (*obsJSON == "" && *faultSpec == "" && *tolJSON == "" && *placeJSON == "" && *serveJSON == "") || figSet {
 			err = r.Run(*fig)
 		}
 		if err == nil && *faultSpec != "" {
@@ -74,6 +75,9 @@ func main() {
 		}
 		if err == nil && *placeJSON != "" {
 			err = r.PlacementBench(ctx, *placeJSON)
+		}
+		if err == nil && *serveJSON != "" {
+			err = r.ServeBench(ctx, *serveJSON)
 		}
 		if err == nil && *obsJSON != "" {
 			err = r.ObsBench(ctx, *obsJSON)

@@ -64,7 +64,7 @@ func (r *Runner) Fig6b() error {
 	if err != nil {
 		return err
 	}
-	d, err := delta.Compute(ds.Mesh, ds.Data, dec.Coarse, dec.Data, mp, delta.MeanEstimator{})
+	d, err := delta.Compute(context.Background(), ds.Mesh, ds.Data, dec.Coarse, dec.Data, mp, delta.MeanEstimator{})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adios"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// ServeReport is the document ServeBench writes (BENCH_serve.json in CI).
+// It is self-asserting: Pass mirrors the acceptance criteria — zero failed
+// requests for uncapped tenants, the capped tenant throttled, and p99
+// latency under target — so CI can gate on a one-line jq filter.
+type ServeReport struct {
+	Shards       int `json:"shards"`
+	Campaigns    int `json:"campaigns"`
+	Clients      int `json:"clients"`
+	PerClient    int `json:"requests_per_client"`
+	Requests     int `json:"requests"`
+	Failed       int `json:"failed"`
+	Throttled429 int `json:"throttled_429"`
+	CappedOK     int `json:"capped_ok"`
+	// Latency percentiles over successful uncapped requests, wall-clock
+	// through the full server path (quota, admission, shard, retrieval,
+	// JSON encoding).
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	TargetP99Ms float64 `json:"target_p99_ms"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Tenants carries the server's own per-tenant bills (modeled + real
+	// bytes, per-tier reads, throttle counts) at the end of the run.
+	Tenants []server.TenantStatus `json:"tenants"`
+	Pass    bool                  `json:"pass"`
+}
+
+// percentileMs picks the q-quantile (0<q<=1) of sorted latencies, in ms.
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// ServeBench drives the multi-tenant HTTP front end with a storm of
+// concurrent clients — the serving-side analogue of the paper's elasticity
+// argument. Campaigns are sharded across in-memory hierarchies exactly as
+// canopus-serve would place them; clients issue mixed level/tolerance reads
+// in-process (httptest request + recorder against the real handler, so no
+// socket limits cap the client count). One tenant runs with a near-empty
+// token bucket and must be throttled with well-formed 429s; the other
+// tenants are uncapped and must see zero failures.
+func (r *Runner) ServeBench(ctx context.Context, path string) error {
+	r.header("Serve bench: sharded multi-tenant HTTP front end under load")
+	const (
+		nShards     = 4
+		nCampaigns  = 8
+		clients     = 1200
+		perClient   = 4
+		uncappedN   = 8 // tenants team-0..team-7
+		targetP99Ms = 2000.0
+	)
+
+	ios := make([]*adios.IO, nShards)
+	for i := range ios {
+		ios[i] = adios.NewIO(storage.TitanTwoTier(0), nil)
+	}
+	names := make([]string, nCampaigns)
+	rings, segs := 12, 128
+	if r.Scale == ScaleQuick {
+		rings, segs = 8, 64
+	}
+	for i := range names {
+		res := sim.XGC1(sim.XGC1Config{Rings: rings, Segments: segs, Seed: int64(i + 1)})
+		ds := res.Dataset
+		ds.Name = fmt.Sprintf("dpot-%02d", i)
+		names[i] = ds.Name
+		aio := ios[server.ShardIndex(ds.Name, nShards)]
+		if _, err := core.Write(ctx, aio, ds, core.Options{Levels: 3, RelTolerance: 1e-4, Workers: r.Workers}); err != nil {
+			return fmt.Errorf("serve bench: campaign %s: %w", ds.Name, err)
+		}
+	}
+
+	// A near-empty bucket for the capped tenant; the admission queue is
+	// sized so the storm itself never sheds uncapped load (the no-fault
+	// acceptance criterion is zero uncapped failures).
+	srv, err := server.New(server.Config{
+		Shards:        ios,
+		MaxQueue:      2 * clients * perClient,
+		AdmissionWait: time.Minute,
+		Quotas:        map[string]server.Quota{"capped": {Rate: 0.001, Burst: 3}},
+		Workers:       1,
+	})
+	if err != nil {
+		return fmt.Errorf("serve bench: %w", err)
+	}
+	h := srv.Handler()
+
+	fmt.Fprintf(r.Out, "%d campaigns (%d-vertex XGC1) on %d shards; %d clients x %d requests, %d uncapped tenants + 1 capped\n",
+		nCampaigns, rings*segs+1, nShards, clients, perClient, uncappedN)
+
+	var (
+		failed    atomic.Int64
+		throttled atomic.Int64
+		cappedOK  atomic.Int64
+		latMu     sync.Mutex
+		lats      = make([]time.Duration, 0, clients*perClient)
+	)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	wallStart := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			capped := c%(uncappedN+1) == uncappedN
+			tenant := "capped"
+			if !capped {
+				tenant = fmt.Sprintf("team-%d", c%uncappedN)
+			}
+			<-start
+			for i := 0; i < perClient; i++ {
+				name := names[(c+i)%len(names)]
+				url := fmt.Sprintf("/v1/read/%s?level=%d", name, (c+i)%3)
+				if (c+i)%4 == 0 {
+					url = fmt.Sprintf("/v1/read/%s?tolerance=0.01", name)
+				}
+				req := httptest.NewRequest("GET", url, nil)
+				req.Header.Set(server.TenantHeader, tenant)
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				h.ServeHTTP(rec, req)
+				dt := time.Since(t0)
+				switch {
+				case rec.Code == http.StatusOK:
+					if capped {
+						cappedOK.Add(1)
+					} else {
+						latMu.Lock()
+						lats = append(lats, dt)
+						latMu.Unlock()
+					}
+				case rec.Code == http.StatusTooManyRequests && capped:
+					// The quota doing its job — but only if the rejection
+					// is well-formed (Retry-After + machine-readable body).
+					var body struct {
+						Error             string `json:"error"`
+						RetryAfterSeconds int    `json:"retry_after_seconds"`
+					}
+					if rec.Header().Get("Retry-After") == "" ||
+						json.Unmarshal(rec.Body.Bytes(), &body) != nil ||
+						body.Error == "" || body.RetryAfterSeconds < 1 {
+						failed.Add(1)
+					} else {
+						throttled.Add(1)
+					}
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	out := ServeReport{
+		Shards:       nShards,
+		Campaigns:    nCampaigns,
+		Clients:      clients,
+		PerClient:    perClient,
+		Requests:     clients * perClient,
+		Failed:       int(failed.Load()),
+		Throttled429: int(throttled.Load()),
+		CappedOK:     int(cappedOK.Load()),
+		P50Ms:        percentileMs(lats, 0.50),
+		P95Ms:        percentileMs(lats, 0.95),
+		P99Ms:        percentileMs(lats, 0.99),
+		TargetP99Ms:  targetP99Ms,
+		WallSeconds:  wall.Seconds(),
+	}
+
+	// The server's own accounting is part of the artifact: per-tenant bills
+	// straight off /v1/tenants.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/tenants", nil))
+	var tl struct {
+		Tenants []server.TenantStatus `json:"tenants"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tl); err != nil {
+		return fmt.Errorf("serve bench: tenants endpoint: %w", err)
+	}
+	out.Tenants = tl.Tenants
+
+	w := r.table()
+	fmt.Fprintln(w, "tenant\trequests\tthrottled\tmodeled bytes\treal bytes")
+	for _, st := range out.Tenants {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%s\n", st.Tenant,
+			st.Bill.Requests, st.Bill.Throttled, fmtBytes(st.Bill.ModeledBytes), fmtBytes(st.Bill.RealBytes))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Out, "%d requests in %.2fs (%.0f req/s): %d ok uncapped, %d capped ok, %d throttled, %d failed; p50 %.1fms p95 %.1fms p99 %.1fms\n",
+		out.Requests, out.WallSeconds, float64(out.Requests)/out.WallSeconds,
+		len(lats), out.CappedOK, out.Throttled429, out.Failed, out.P50Ms, out.P95Ms, out.P99Ms)
+
+	out.Pass = out.Failed == 0 && out.Throttled429 > 0 && out.P99Ms <= targetP99Ms
+	if path != "" {
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(r.Out, "wrote serve bench (%d tenants) to %s\n", len(out.Tenants), path)
+	}
+	if !out.Pass {
+		return fmt.Errorf("serve bench: failed=%d throttled=%d p99=%.1fms (want 0 failed, >0 throttled, p99 <= %.0fms)",
+			out.Failed, out.Throttled429, out.P99Ms, targetP99Ms)
+	}
+	return nil
+}

@@ -150,9 +150,10 @@ func sizeOut(dst []float64, n int) []float64 {
 }
 
 // Compute is Algorithm 2: it returns delta^(l−(l+1)), one value per fine
-// vertex.
-func Compute(fine *mesh.Mesh, fineData []float64, coarse *mesh.Mesh, coarseData []float64, mp Mapping, est Estimator) ([]float64, error) {
-	return ComputeInto(context.Background(), nil, fine, fineData, coarse, coarseData, mp, est, nil)
+// vertex. ctx bounds the work: cancellation from a caller (a disconnected
+// server request, a shut-down pipeline) stops the per-vertex loop early.
+func Compute(ctx context.Context, fine *mesh.Mesh, fineData []float64, coarse *mesh.Mesh, coarseData []float64, mp Mapping, est Estimator) ([]float64, error) {
+	return ComputeInto(ctx, nil, fine, fineData, coarse, coarseData, mp, est, nil)
 }
 
 // ComputeInto is Compute with dst reuse and the per-vertex loop sharded over
@@ -183,9 +184,9 @@ func ComputeInto(ctx context.Context, pool *engine.Pool, fine *mesh.Mesh, fineDa
 // delta. With deltas stored losslessly the result matches the original to
 // within one floating-point rounding of the estimate ((a−e)+e is not always
 // exactly a in IEEE-754); with an error-bounded codec the deviation adds the
-// codec's bound.
-func Restore(fine *mesh.Mesh, coarse *mesh.Mesh, coarseData []float64, mp Mapping, deltas []float64, est Estimator) ([]float64, error) {
-	return RestoreInto(context.Background(), nil, fine, coarse, coarseData, mp, deltas, est, nil)
+// codec's bound. ctx bounds the work, as in Compute.
+func Restore(ctx context.Context, fine *mesh.Mesh, coarse *mesh.Mesh, coarseData []float64, mp Mapping, deltas []float64, est Estimator) ([]float64, error) {
+	return RestoreInto(ctx, nil, fine, coarse, coarseData, mp, deltas, est, nil)
 }
 
 // RestoreInto is Restore with dst reuse and the per-vertex loop sharded over

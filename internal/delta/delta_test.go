@@ -1,6 +1,7 @@
 package delta
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -65,11 +66,11 @@ func TestComputeRestoreRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		d, err := Compute(fine, data, coarse, coarseData, mp, est)
+		d, err := Compute(context.Background(), fine, data, coarse, coarseData, mp, est)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Restore(fine, coarse, coarseData, mp, d, est)
+		got, err := Restore(context.Background(), fine, coarse, coarseData, mp, d, est)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func TestDeltasSmootherThanLevel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := Compute(fine, data, coarse, coarseData, mp, BarycentricEstimator{})
+	d, err := Compute(context.Background(), fine, data, coarse, coarseData, mp, BarycentricEstimator{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,21 +159,21 @@ func TestComputeArgErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Compute(fine, data[:3], coarse, coarseData, mp, MeanEstimator{}); err == nil {
+	if _, err := Compute(context.Background(), fine, data[:3], coarse, coarseData, mp, MeanEstimator{}); err == nil {
 		t.Error("accepted short fine data")
 	}
-	if _, err := Compute(fine, data, coarse, coarseData[:2], mp, MeanEstimator{}); err == nil {
+	if _, err := Compute(context.Background(), fine, data, coarse, coarseData[:2], mp, MeanEstimator{}); err == nil {
 		t.Error("accepted short coarse data")
 	}
-	if _, err := Compute(fine, data, coarse, coarseData, mp[:4], MeanEstimator{}); err == nil {
+	if _, err := Compute(context.Background(), fine, data, coarse, coarseData, mp[:4], MeanEstimator{}); err == nil {
 		t.Error("accepted short mapping")
 	}
 	bad := append(Mapping(nil), mp...)
 	bad[0] = int32(coarse.NumTris() + 5)
-	if _, err := Compute(fine, data, coarse, coarseData, bad, MeanEstimator{}); err == nil {
+	if _, err := Compute(context.Background(), fine, data, coarse, coarseData, bad, MeanEstimator{}); err == nil {
 		t.Error("accepted out-of-range mapping")
 	}
-	if _, err := Restore(fine, coarse, coarseData, mp, data[:1], MeanEstimator{}); err == nil {
+	if _, err := Restore(context.Background(), fine, coarse, coarseData, mp, data[:1], MeanEstimator{}); err == nil {
 		t.Error("Restore accepted short delta")
 	}
 }
@@ -255,11 +256,11 @@ func TestQuickRoundTripVariousRatios(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		d, err := Compute(fine, data, res.Coarse, res.Data, mp, MeanEstimator{})
+		d, err := Compute(context.Background(), fine, data, res.Coarse, res.Data, mp, MeanEstimator{})
 		if err != nil {
 			return false
 		}
-		got, err := Restore(fine, res.Coarse, res.Data, mp, d, MeanEstimator{})
+		got, err := Restore(context.Background(), fine, res.Coarse, res.Data, mp, d, MeanEstimator{})
 		if err != nil {
 			return false
 		}
@@ -300,7 +301,7 @@ func BenchmarkComputeDelta(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Compute(fine, data, res.Coarse, res.Data, mp, MeanEstimator{}); err != nil {
+		if _, err := Compute(context.Background(), fine, data, res.Coarse, res.Data, mp, MeanEstimator{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -317,14 +318,14 @@ func BenchmarkRestore(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	d, err := Compute(fine, data, res.Coarse, res.Data, mp, MeanEstimator{})
+	d, err := Compute(context.Background(), fine, data, res.Coarse, res.Data, mp, MeanEstimator{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Restore(fine, res.Coarse, res.Data, mp, d, MeanEstimator{}); err != nil {
+		if _, err := Restore(context.Background(), fine, res.Coarse, res.Data, mp, d, MeanEstimator{}); err != nil {
 			b.Fatal(err)
 		}
 	}

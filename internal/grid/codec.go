@@ -30,9 +30,10 @@ const pyramidMagic = 0x31504743 // "CGP1"
 
 // EncodePyramid serializes p with absolute error bound tol on every stored
 // plane. Restoring level l from the decoded pyramid deviates from the
-// original by at most (levels-l) * tol.
-func EncodePyramid(p *Pyramid, tol float64) ([]byte, error) {
-	return EncodePyramidParallel(context.Background(), nil, p, tol)
+// original by at most (levels-l) * tol. ctx bounds the per-plane encodes:
+// caller cancellation stops the work early.
+func EncodePyramid(ctx context.Context, p *Pyramid, tol float64) ([]byte, error) {
+	return EncodePyramidParallel(ctx, nil, p, tol)
 }
 
 // EncodePyramidParallel is EncodePyramid with the per-plane zfp2d encodes

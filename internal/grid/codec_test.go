@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestPyramidEncodeDecodeWithinBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	const tol = 1e-5
-	enc, err := EncodePyramid(p, tol)
+	enc, err := EncodePyramid(context.Background(), p, tol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestPyramidCompressionBeatsRaw(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc, err := EncodePyramid(p, 1e-6)
+	enc, err := EncodePyramid(context.Background(), p, 1e-6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestPyramidDeltasCompressBetterThanLevels(t *testing.T) {
 		t.Fatal(err)
 	}
 	const tol = 1e-6
-	enc, err := EncodePyramid(p, tol)
+	enc, err := EncodePyramid(context.Background(), p, tol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestDecodePyramidErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc, err := EncodePyramid(p, 1e-6)
+	enc, err := EncodePyramid(context.Background(), p, 1e-6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestEncodePyramidBadTolerance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := EncodePyramid(p, -1); err == nil {
+	if _, err := EncodePyramid(context.Background(), p, -1); err == nil {
 		t.Error("accepted negative tolerance")
 	}
 }
@@ -138,7 +139,7 @@ func TestPyramidSingleLevelCodec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc, err := EncodePyramid(p, 1e-8)
+	enc, err := EncodePyramid(context.Background(), p, 1e-8)
 	if err != nil {
 		t.Fatal(err)
 	}

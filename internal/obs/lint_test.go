@@ -15,6 +15,7 @@ import (
 	_ "repro/internal/engine"
 	_ "repro/internal/place"
 	_ "repro/internal/plan"
+	_ "repro/internal/server"
 	_ "repro/internal/storage"
 )
 
@@ -31,6 +32,7 @@ var (
 		"compress": true,
 		"plan":     true,
 		"place":    true,
+		"server":   true,
 		"obs":      true, // obs's own tests register under this subsystem
 	}
 )

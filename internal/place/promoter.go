@@ -18,7 +18,9 @@ type Mover interface {
 	// IntendMoves publishes the cycle's planned destinations before any
 	// byte moves, so cost estimators (internal/plan via PlannedTier) price
 	// reads against where data is headed; ApplyMove retires each key's
-	// intent as it completes or fails.
+	// intent as it completes or fails. The set replaces the previous
+	// publication — a cancelled cycle publishes nil to retract the moves
+	// it never attempted.
 	IntendMoves(moves []Move)
 	// ApplyMove executes one move and reports the stored bytes it
 	// relocated. Failures are advisory: the key may have been deleted or
@@ -40,6 +42,13 @@ type Promoter struct {
 	stop chan struct{}
 	done chan struct{}
 
+	// ctx is the background loop's context, cancelled by Stop before it
+	// waits for the in-flight cycle: RunOnce checks it between moves, so
+	// shutdown interrupts a long migration cycle promptly instead of
+	// letting it run to completion against a detached context.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu      sync.Mutex
 	started bool
 	stopped bool
@@ -56,6 +65,7 @@ func NewPromoter(mover Mover, pol Policy, interval time.Duration) *Promoter {
 	if interval <= 0 {
 		interval = DefaultPromoterInterval
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Promoter{
 		mover:    mover,
 		pol:      pol,
@@ -63,6 +73,8 @@ func NewPromoter(mover Mover, pol Policy, interval time.Duration) *Promoter {
 		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
 	}
 }
 
@@ -81,11 +93,14 @@ func (pr *Promoter) Start() {
 }
 
 // Stop halts the background goroutine and waits for the in-flight cycle to
-// finish. Idempotent; safe to call without Start.
+// finish. The loop's context is cancelled first, so a cycle mid-migration
+// stops at the next move boundary rather than draining its whole move list.
+// Idempotent; safe to call without Start.
 func (pr *Promoter) Stop() {
 	pr.mu.Lock()
 	if !pr.stopped {
 		pr.stopped = true
+		pr.cancel()
 		close(pr.stop)
 	}
 	started := pr.started
@@ -116,7 +131,7 @@ func (pr *Promoter) loop() {
 		case <-t.C:
 		case <-pr.kick:
 		}
-		pr.RunOnce(context.Background())
+		pr.RunOnce(pr.ctx)
 	}
 }
 
@@ -141,6 +156,12 @@ func (pr *Promoter) RunOnce(ctx context.Context) int {
 	var movedBytes int64
 	apply := func(moves []Move, metric *obs.Counter) {
 		for _, m := range moves {
+			// A cancelled cycle (promoter shutdown, caller gave up) stops
+			// between moves and retracts the intents it will never act on.
+			if ctx.Err() != nil {
+				pr.mover.IntendMoves(nil)
+				return
+			}
 			n, err := pr.mover.ApplyMove(m)
 			if err != nil {
 				metricMoveErrors.Inc()

@@ -117,6 +117,77 @@ func TestPromoterKickDrivesCycle(t *testing.T) {
 	t.Fatal("kicked promoter never applied the planned moves")
 }
 
+// slowMover stretches every ApplyMove so a cycle spans real time, letting
+// the interrupt test observe Stop landing mid-cycle.
+type slowMover struct {
+	fakeMover
+	delay time.Duration
+}
+
+func (s *slowMover) ApplyMove(m Move) (int64, error) {
+	time.Sleep(s.delay)
+	return s.fakeMover.ApplyMove(m)
+}
+
+// slabPolicy plans a fixed batch of promotions regardless of the view.
+type slabPolicy struct {
+	LRU
+	moves []Move
+}
+
+func (slabPolicy) Name() string          { return "slab" }
+func (p slabPolicy) Promote(View) []Move { return append([]Move(nil), p.moves...) }
+
+func TestPromoterStopInterruptsCycle(t *testing.T) {
+	// 200 planned moves at 10ms each: a full cycle takes ~2s. Stop must
+	// come back in roughly one move's worth of time, because the loop's
+	// context is cancelled before Stop waits and RunOnce checks it
+	// between moves.
+	const (
+		planned = 200
+		perMove = 10 * time.Millisecond
+	)
+	moves := make([]Move, planned)
+	for i := range moves {
+		moves[i] = Move{Key: "k" + string(rune('a'+i%26)), To: 0}
+	}
+	sm := &slowMover{delay: perMove}
+	pr := NewPromoter(sm, slabPolicy{moves: moves}, time.Hour)
+	pr.Start()
+	pr.Kick()
+
+	// Wait until the cycle is demonstrably in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sm.mu.Lock()
+		n := len(sm.applied)
+		sm.mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cycle never started applying moves")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	pr.Stop()
+	elapsed := time.Since(start)
+
+	sm.mu.Lock()
+	applied := len(sm.applied)
+	sm.mu.Unlock()
+	if applied >= planned {
+		t.Fatalf("cycle ran to completion (%d moves) despite Stop", applied)
+	}
+	// Generous bound: one in-flight move plus scheduling slack, still far
+	// below the ~2s a full cycle would take.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("Stop took %v waiting out the cycle; want prompt interrupt", elapsed)
+	}
+}
+
 func TestPromoterStopLifecycle(t *testing.T) {
 	fm := &fakeMover{view: View{}}
 	pr := NewPromoter(fm, LRU{}, time.Millisecond)

@@ -1,0 +1,341 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// statusClientClosed is the nonstandard (nginx-convention) status for a
+// request whose client went away; it is never written to the wire, only
+// used internally to suppress the error response.
+const statusClientClosed = 499
+
+// apiError carries an HTTP status code with a handler error.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errCode(err error) int {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.code
+	case errors.Is(err, storage.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, context.Canceled):
+		return statusClientClosed
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg, "status": code})
+}
+
+// writeThrottle writes the 429 backpressure response: a machine-readable
+// body plus the standard Retry-After header (whole seconds, rounded up).
+func writeThrottle(w http.ResponseWriter, after time.Duration, msg string) {
+	secs := int(math.Ceil(after.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":               msg,
+		"status":              http.StatusTooManyRequests,
+		"retry_after_seconds": secs,
+	})
+}
+
+func tenantName(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// handler is a guarded endpoint body: it runs with the tenant admitted and
+// a slot held, under a context carrying the server-owned obs request. fin
+// freezes and returns the request's cost bill (idempotent), so handlers can
+// embed the bill in their response before guard charges it to the tenant.
+type handler func(w http.ResponseWriter, r *http.Request, sh *shard, fin func() *obs.CostReport) error
+
+// guard wraps an endpoint with the full request protocol: accounting,
+// quota, admission, tracing, cost attribution, and error mapping.
+func (s *Server) guard(op string, fn handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		metricRequests.Inc()
+		tenant := tenantName(r)
+		if ok, after := s.tenants.take(tenant); !ok {
+			metricThrottled.Inc()
+			s.tenants.throttled(tenant)
+			evThrottled.Emit("reason", "quota", "tenant", tenant, "op", op)
+			writeThrottle(w, after, "tenant quota exhausted")
+			return
+		}
+		release, after, ok := s.admit.acquire(r.Context())
+		if !ok {
+			if r.Context().Err() != nil {
+				return // client gone while queued; nothing to write
+			}
+			metricRejected.Inc()
+			s.tenants.throttled(tenant)
+			evThrottled.Emit("reason", "admission", "tenant", tenant, "op", op)
+			writeThrottle(w, after, "server saturated, retry later")
+			return
+		}
+		defer release()
+
+		// Each request is its own trace; the server owns the obs request,
+		// so every nested core/storage/adios cost folds into one bill.
+		ctx, span := obs.Trace(r.Context(), "server."+op)
+		defer span.End()
+		span.SetAttr("tenant", tenant)
+		ctx, req, _ := obs.BeginRequest(ctx, "server."+op)
+
+		start := time.Now()
+		var rep *obs.CostReport
+		fin := func() *obs.CostReport {
+			if rep == nil {
+				rep = req.Report(span)
+			}
+			return rep
+		}
+		err := fn(w, r.WithContext(ctx), s.shardFor(r.PathValue("name")), fin)
+		fin()
+		obs.ObserveLatency(metricLatency, span, time.Since(start).Seconds())
+		s.tenants.charge(tenant, rep, err != nil)
+		if err != nil {
+			if code := errCode(err); code != statusClientClosed {
+				metricErrors.Inc()
+				httpError(w, code, err.Error())
+			}
+		}
+	}
+}
+
+// viewPayload is the wire form of a restored view. Data is the raw
+// little-endian float64 field (base64 inside JSON) so clients — and the
+// bit-identity tests — recover the exact values the library returns.
+type viewPayload struct {
+	Name        string            `json:"name"`
+	Level       int               `json:"level"`
+	Levels      int               `json:"levels"`
+	ErrorBound  float64           `json:"error_bound"`
+	NumVerts    int               `json:"num_verts"`
+	Data        []byte            `json:"data"`
+	Degradation *core.Degradation `json:"degradation,omitempty"`
+	Cost        *obs.CostReport   `json:"cost,omitempty"`
+}
+
+func f64le(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func viewWire(name string, rd *core.Reader, v *core.View, cost *obs.CostReport) viewPayload {
+	return viewPayload{
+		Name:        name,
+		Level:       v.Level,
+		Levels:      rd.Levels(),
+		ErrorBound:  v.ErrorBound,
+		NumVerts:    v.Mesh.NumVerts(),
+		Data:        f64le(v.Data),
+		Degradation: v.Degradation,
+		Cost:        cost,
+	}
+}
+
+// handleRead serves GET /v1/read/{name}?level=N or ?tolerance=eps: a full
+// progressive retrieval to a level (default: full accuracy, level 0) or to
+// the cheapest level meeting an absolute error target.
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request, sh *shard, fin func() *obs.CostReport) error {
+	ctx := r.Context()
+	name := r.PathValue("name")
+	rd, err := sh.reader(ctx, name)
+	if err != nil {
+		return err
+	}
+	q := r.URL.Query()
+	var v *core.View
+	if ts := q.Get("tolerance"); ts != "" {
+		eps, err := strconv.ParseFloat(ts, 64)
+		if err != nil || eps <= 0 || math.IsNaN(eps) {
+			return badRequest("tolerance %q: want a positive float", ts)
+		}
+		v, err = rd.RetrieveToTolerance(ctx, eps)
+		if err != nil {
+			return err
+		}
+	} else {
+		level := 0
+		if ls := q.Get("level"); ls != "" {
+			level, err = strconv.Atoi(ls)
+			if err != nil {
+				return badRequest("level %q: %v", ls, err)
+			}
+		}
+		if level < 0 || level >= rd.Levels() {
+			return badRequest("level %d out of range [0,%d)", level, rd.Levels())
+		}
+		v, err = rd.Retrieve(ctx, level)
+		if err != nil {
+			return err
+		}
+	}
+	writeJSON(w, http.StatusOK, viewWire(name, rd, v, fin()))
+	return nil
+}
+
+// regionPayload is the wire form of a focused (spatial) retrieval: Data as
+// in viewPayload, plus a 0/1 byte per vertex marking which indices carry
+// restored values.
+type regionPayload struct {
+	Name        string            `json:"name"`
+	Level       int               `json:"level"`
+	ErrorBound  float64           `json:"error_bound"`
+	NumVerts    int               `json:"num_verts"`
+	Restored    int               `json:"restored"`
+	Data        []byte            `json:"data"`
+	Have        []byte            `json:"have"`
+	Degradation *core.Degradation `json:"degradation,omitempty"`
+	Cost        *obs.CostReport   `json:"cost,omitempty"`
+}
+
+// handleRegion serves GET /v1/region/{name}?level=N&minx=&miny=&maxx=&maxy=:
+// a focused retrieval restoring only the vertices inside the region.
+func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request, sh *shard, fin func() *obs.CostReport) error {
+	ctx := r.Context()
+	name := r.PathValue("name")
+	rd, err := sh.reader(ctx, name)
+	if err != nil {
+		return err
+	}
+	q := r.URL.Query()
+	level := 0
+	if ls := q.Get("level"); ls != "" {
+		if level, err = strconv.Atoi(ls); err != nil {
+			return badRequest("level %q: %v", ls, err)
+		}
+	}
+	coords := make([]float64, 4)
+	for i, key := range []string{"minx", "miny", "maxx", "maxy"} {
+		s := q.Get(key)
+		if s == "" {
+			return badRequest("missing region coordinate %q", key)
+		}
+		if coords[i], err = strconv.ParseFloat(s, 64); err != nil {
+			return badRequest("%s=%q: %v", key, s, err)
+		}
+	}
+	rv, err := rd.RetrieveRegion(ctx, level, coords[0], coords[1], coords[2], coords[3])
+	if err != nil {
+		return err
+	}
+	have := make([]byte, len(rv.Have))
+	for i, ok := range rv.Have {
+		if ok {
+			have[i] = 1
+		}
+	}
+	writeJSON(w, http.StatusOK, regionPayload{
+		Name:        name,
+		Level:       rv.Level,
+		ErrorBound:  rv.ErrorBound,
+		NumVerts:    rv.Mesh.NumVerts(),
+		Restored:    rv.CountHave(),
+		Data:        f64le(rv.Data),
+		Have:        have,
+		Degradation: rv.Degradation,
+		Cost:        fin(),
+	})
+	return nil
+}
+
+// handleStream serves GET /v1/stream/{name}?tolerance=eps as Server-Sent
+// Events: one "view" event per accuracy level as the stream refines toward
+// eps, then a terminal "end" event carrying the whole stream's cost bill.
+// A client that disconnects mid-stream cancels the underlying Subscribe —
+// the request context is the subscription context.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sh *shard, fin func() *obs.CostReport) error {
+	ctx := r.Context()
+	name := r.PathValue("name")
+	rd, err := sh.reader(ctx, name)
+	if err != nil {
+		return err
+	}
+	ts := r.URL.Query().Get("tolerance")
+	if ts == "" {
+		return badRequest("stream requires ?tolerance=")
+	}
+	eps, err := strconv.ParseFloat(ts, 64)
+	if err != nil || eps <= 0 || math.IsNaN(eps) {
+		return badRequest("tolerance %q: want a positive float", ts)
+	}
+	ch, err := rd.Subscribe(ctx, eps)
+	if err != nil {
+		return badRequest("subscribe: %v", err)
+	}
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	for v := range ch {
+		metricViews.Inc()
+		if writeSSE(w, fl, "view", viewWire(name, rd, v, nil)) != nil {
+			// The write path is dead (client gone); keep draining so the
+			// stream goroutine observes ctx cancellation and exits.
+			continue
+		}
+	}
+	if ctx.Err() != nil {
+		return nil // disconnected mid-stream; nothing more to say
+	}
+	_ = writeSSE(w, fl, "end", map[string]any{"cost": fin()})
+	return nil
+}
+
+func writeSSE(w http.ResponseWriter, fl http.Flusher, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+		return err
+	}
+	if fl != nil {
+		fl.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+// Package server exposes Canopus retrieval as a multi-tenant network
+// service: a stdlib-only HTTP/JSON front end over a sharded keyspace of
+// refactored campaigns. Each shard owns one storage hierarchy (and the
+// reader cache over it); campaigns hash to shards by name, so N shards
+// serve N hierarchies' worth of aggregate fast-tier capacity — the paper's
+// elasticity argument applied to the serving side (cf. ScaleStore's one
+// storage engine / many concurrent clients shape).
+//
+// Request flow: tenant resolution (X-Canopus-Tenant) → token-bucket quota →
+// admission (bounded in-flight retrievals with a bounded wait) → shard →
+// cached Reader → core retrieval. The server opens the obs request before
+// calling core, so every nested cost — per-tier reads, modeled vs real
+// bytes, decompress seconds — folds into one bill that is returned in the
+// response and accumulated per tenant.
+package server
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/adios"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// DefaultTenant is billed when a request carries no X-Canopus-Tenant header.
+const DefaultTenant = "anon"
+
+// TenantHeader names the tenant a request is billed to.
+const TenantHeader = "X-Canopus-Tenant"
+
+var (
+	metricRequests  = obs.NewCounter("canopus_server_requests_total")
+	metricThrottled = obs.NewCounter("canopus_server_throttled_total")
+	metricRejected  = obs.NewCounter("canopus_server_rejected_total")
+	metricErrors    = obs.NewCounter("canopus_server_errors_total")
+	metricViews     = obs.NewCounter("canopus_server_stream_views_total")
+	metricInflight  = obs.NewGauge("canopus_server_inflight")
+	metricQueue     = obs.NewGauge("canopus_server_queue_depth")
+	metricLatency   = obs.NewHistogram("canopus_server_request_seconds", nil)
+
+	// evThrottled records every quota or admission rejection in the flight
+	// recorder, so a tenant's 429s are inspectable next to the engine load
+	// that caused them.
+	evThrottled = obs.RegisterEventType("throttled")
+)
+
+func init() {
+	// Same posture as core's objectives: generous defaults so /debug/slo is
+	// meaningful out of the box, tightened per deployment via SetObjective.
+	obs.SetObjective("canopus_server_request_seconds", 0.99, 2*time.Second)
+}
+
+// Quota is a per-tenant token bucket: Burst tokens capacity, refilled at
+// Rate tokens per second, one token per request. The zero Quota means
+// unlimited.
+type Quota struct {
+	Rate  float64 `json:"rate"`
+	Burst float64 `json:"burst"`
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Shards are the campaign stores, one hierarchy each. Campaigns hash to
+	// shards by name; at least one shard is required.
+	Shards []*adios.IO
+	// MaxInflight bounds concurrently executing retrievals across all
+	// shards (the engine-pool saturation point). 0 means 4×GOMAXPROCS.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an in-flight slot; arrivals
+	// beyond it are rejected immediately with 429. 0 means 4×MaxInflight.
+	MaxQueue int
+	// AdmissionWait bounds how long an admitted-to-queue request waits for
+	// a slot before giving up with 429. 0 means 2s.
+	AdmissionWait time.Duration
+	// Quotas maps tenant name to its token bucket; absent tenants are
+	// unlimited.
+	Quotas map[string]Quota
+	// Workers sets each cached Reader's engine pool size (0 = NumCPU).
+	Workers int
+	// Degrade enables best-effort views on partially unreadable campaigns
+	// (core's Options.Degrade) instead of failing the request.
+	Degrade bool
+}
+
+// Server is the HTTP front end. Create with New, mount via Handler.
+type Server struct {
+	shards  []*shard
+	tenants *tenantTable
+	admit   *admission
+	mux     *http.ServeMux
+}
+
+// New builds a Server over cfg's shards.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("server: no shards configured")
+	}
+	inflight := cfg.MaxInflight
+	if inflight <= 0 {
+		inflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	queue := cfg.MaxQueue
+	if queue <= 0 {
+		queue = 4 * inflight
+	}
+	wait := cfg.AdmissionWait
+	if wait <= 0 {
+		wait = 2 * time.Second
+	}
+	s := &Server{
+		tenants: newTenantTable(cfg.Quotas),
+		admit:   newAdmission(inflight, queue, wait),
+	}
+	for i, aio := range cfg.Shards {
+		if aio == nil {
+			return nil, fmt.Errorf("server: shard %d is nil", i)
+		}
+		s.shards = append(s.shards, &shard{aio: aio, workers: cfg.Workers, degrade: cfg.Degrade, readers: map[string]*core.Reader{}})
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler: the /v1 API, /healthz, and the
+// obs debug surface (pprof, metrics, /debug/slo, the event flight recorder)
+// under /debug/.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "shards": len(s.shards)})
+	})
+	mux.HandleFunc("GET /v1/campaigns", s.handleCampaigns)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	mux.HandleFunc("GET /v1/read/{name}", s.guard("read", s.handleRead))
+	mux.HandleFunc("GET /v1/region/{name}", s.guard("region", s.handleRegion))
+	mux.HandleFunc("GET /v1/stream/{name}", s.guard("stream", s.handleStream))
+	mux.Handle("/debug/", obs.DebugHandler())
+	return mux
+}
+
+// ShardIndex maps a campaign name onto one of n shards (FNV-1a mod n).
+// Exported so loaders and benchmarks can place campaigns on the hierarchy
+// the server will route their reads to.
+func ShardIndex(name string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32()) % n
+}
+
+// shardFor hashes a campaign name onto a shard.
+func (s *Server) shardFor(name string) *shard {
+	return s.shards[ShardIndex(name, len(s.shards))]
+}
+
+// shard owns one hierarchy and a cache of open readers over it. Readers are
+// safe for concurrent retrievals, so one cached Reader serves any number of
+// in-flight requests for its campaign.
+type shard struct {
+	aio     *adios.IO
+	workers int
+	degrade bool
+
+	mu      sync.Mutex
+	readers map[string]*core.Reader
+}
+
+// reader returns the cached Reader for campaign name, opening it on first
+// use. Concurrent first requests may race to open; the first to land in the
+// map wins and the losers' readers are dropped (opening is metadata-cheap).
+func (sh *shard) reader(ctx context.Context, name string) (*core.Reader, error) {
+	sh.mu.Lock()
+	rd := sh.readers[name]
+	sh.mu.Unlock()
+	if rd != nil {
+		return rd, nil
+	}
+	opened, err := core.OpenReader(ctx, sh.aio, name)
+	if err != nil {
+		return nil, err
+	}
+	opened.SetWorkers(sh.workers)
+	opened.SetDegrade(sh.degrade)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rd := sh.readers[name]; rd != nil {
+		return rd, nil
+	}
+	sh.readers[name] = opened
+	return opened, nil
+}
+
+// campaigns lists the campaign names stored on this shard: every key of the
+// form <name>/meta marks one refactored variable.
+func (sh *shard) campaigns() []string {
+	var out []string
+	for _, k := range sh.aio.H.Keys() {
+		if name, ok := strings.CutSuffix(k, "/meta"); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name  string `json:"name"`
+		Shard int    `json:"shard"`
+	}
+	var out []entry
+	for i, sh := range s.shards {
+		for _, name := range sh.campaigns() {
+			out = append(out, entry{Name: name, Shard: i})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.tenants.snapshot()})
+}

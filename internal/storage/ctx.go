@@ -1,0 +1,30 @@
+package storage
+
+import "context"
+
+// Backend reads predate context (an in-memory map or a local file read has
+// nothing to cancel), so Backend.Get/GetRange stay ctx-free. Backends whose
+// reads can block for real time — today FaultBackend's injected read.delay —
+// additionally implement ctxReader, and every hierarchy read path dispatches
+// through the helpers below so caller cancellation reaches the block.
+type ctxReader interface {
+	GetCtx(ctx context.Context, key string) ([]byte, error)
+	GetRangeCtx(ctx context.Context, key string, off, n int64) ([]byte, error)
+}
+
+// backendGet reads key through b, routing ctx to backends that honor it.
+func backendGet(ctx context.Context, b Backend, key string) ([]byte, error) {
+	if cr, ok := b.(ctxReader); ok {
+		return cr.GetCtx(ctx, key)
+	}
+	return b.Get(key)
+}
+
+// backendGetRange reads an extent through b, routing ctx to backends that
+// honor it.
+func backendGetRange(ctx context.Context, b Backend, key string, off, n int64) ([]byte, error) {
+	if cr, ok := b.(ctxReader); ok {
+		return cr.GetRangeCtx(ctx, key, off, n)
+	}
+	return b.GetRange(key, off, n)
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -159,8 +160,8 @@ func (e *envInfo) verifyBlocks(key string, first, last int64, table, data []byte
 }
 
 // envGet reads and fully verifies a sealed value, returning the payload.
-func envGet(b Backend, key string, e *envInfo) ([]byte, error) {
-	raw, err := b.Get(key)
+func envGet(ctx context.Context, b Backend, key string, e *envInfo) ([]byte, error) {
+	raw, err := backendGet(ctx, b, key)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +195,7 @@ func envReadErr(key string, err error) error {
 // verifying the header and exactly the checksum blocks the extent touches.
 // Two backend reads: header + table prefix, then the covering payload
 // blocks — the rest of the value is never materialized.
-func envGetRange(b Backend, key string, e *envInfo, off, n int64) ([]byte, error) {
+func envGetRange(ctx context.Context, b Backend, key string, e *envInfo, off, n int64) ([]byte, error) {
 	if err := checkRange(key, off, n, e.payload); err != nil {
 		return nil, err
 	}
@@ -203,7 +204,7 @@ func envGetRange(b Backend, key string, e *envInfo, off, n int64) ([]byte, error
 	}
 	first := off / e.block
 	last := (off + n - 1) / e.block
-	head, err := b.GetRange(key, 0, envHeaderSize+4*(last+1))
+	head, err := backendGetRange(ctx, b, key, 0, envHeaderSize+4*(last+1))
 	if err != nil {
 		return nil, envReadErr(key, err)
 	}
@@ -215,7 +216,7 @@ func envGetRange(b Backend, key string, e *envInfo, off, n int64) ([]byte, error
 	}
 	dstart := e.dataOff() + first*e.block
 	dend := min(e.dataOff()+(last+1)*e.block, e.dataOff()+e.payload)
-	data, err := b.GetRange(key, dstart, dend-dstart)
+	data, err := backendGetRange(ctx, b, key, dstart, dend-dstart)
 	if err != nil {
 		return nil, envReadErr(key, err)
 	}

@@ -24,7 +24,7 @@ func TestEnvelopeSealRoundTrip(t *testing.T) {
 		if err := b.Put("k", sealed); err != nil {
 			t.Fatal(err)
 		}
-		got, err := envGet(b, "k", env)
+		got, err := envGet(context.Background(), b, "k", env)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -36,7 +36,7 @@ func TestEnvelopeSealRoundTrip(t *testing.T) {
 				if ln <= 0 || off+ln > int64(n) {
 					continue
 				}
-				got, err := envGetRange(b, "k", env, off, ln)
+				got, err := envGetRange(context.Background(), b, "k", env, off, ln)
 				if err != nil {
 					t.Fatalf("n=%d range [%d,%d): %v", n, off, off+ln, err)
 				}
@@ -61,11 +61,11 @@ func TestEnvelopeEveryByteFlipCaught(t *testing.T) {
 		if err := b.Put("k", damaged); err != nil {
 			t.Fatal(err)
 		}
-		if got, err := envGet(b, "k", env); !errors.Is(err, ErrCorrupt) {
+		if got, err := envGet(context.Background(), b, "k", env); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("flip at %d: envGet err=%v data=%v", i, err, got != nil)
 		}
 		// The ranged read covering every block must also notice.
-		if _, err := envGetRange(b, "k", env, 0, env.payload); !errors.Is(err, ErrCorrupt) {
+		if _, err := envGetRange(context.Background(), b, "k", env, 0, env.payload); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("flip at %d: envGetRange err=%v", i, err)
 		}
 	}
@@ -83,14 +83,14 @@ func TestEnvelopeRangedFlipOutsideExtent(t *testing.T) {
 	if err := b.Put("k", sealed); err != nil {
 		t.Fatal(err)
 	}
-	got, err := envGetRange(b, "k", env, 10, 50)
+	got, err := envGetRange(context.Background(), b, "k", env, 10, 50)
 	if err != nil {
 		t.Fatalf("read clear of damaged block: %v", err)
 	}
 	if !bytes.Equal(got, data[10:60]) {
 		t.Fatal("bytes differ in undamaged block")
 	}
-	if _, err := envGetRange(b, "k", env, 190, 100); !errors.Is(err, ErrCorrupt) {
+	if _, err := envGetRange(context.Background(), b, "k", env, 190, 100); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("read touching damaged block: err=%v", err)
 	}
 }
@@ -102,10 +102,10 @@ func TestEnvelopeTruncationCaught(t *testing.T) {
 	if err := b.Put("k", sealed[:len(sealed)-10]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := envGet(b, "k", env); !errors.Is(err, ErrCorrupt) {
+	if _, err := envGet(context.Background(), b, "k", env); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("envGet on truncated value: %v", err)
 	}
-	if _, err := envGetRange(b, "k", env, 150, 50); !errors.Is(err, ErrCorrupt) {
+	if _, err := envGetRange(context.Background(), b, "k", env, 150, 50); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("envGetRange past truncation: %v", err)
 	}
 }

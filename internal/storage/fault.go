@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -157,9 +158,18 @@ func (f *FaultBackend) mangle(key string, data []byte) []byte {
 	return data
 }
 
-func (f *FaultBackend) readFault(op, key string) error {
+func (f *FaultBackend) readFault(ctx context.Context, op, key string) error {
 	if f.spec.ReadDelay > 0 {
-		time.Sleep(f.spec.ReadDelay)
+		// The injected delay honors caller cancellation: a request that
+		// gives up mid-read must not pin its goroutine (and its engine-pool
+		// slot) for the full injected latency.
+		t := time.NewTimer(f.spec.ReadDelay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
 	}
 	if f.spec.ReadErr > 0 && f.roll() < f.spec.ReadErr {
 		metricFaultReadErr.Inc()
@@ -187,21 +197,31 @@ func (f *FaultBackend) Put(key string, data []byte) error {
 }
 
 func (f *FaultBackend) Get(key string) ([]byte, error) {
-	if err := f.readFault("get", key); err != nil {
+	return f.GetCtx(context.Background(), key)
+}
+
+func (f *FaultBackend) GetRange(key string, off, n int64) ([]byte, error) {
+	return f.GetRangeCtx(context.Background(), key, off, n)
+}
+
+// GetCtx implements ctxReader: Get with cancellable injected delay.
+func (f *FaultBackend) GetCtx(ctx context.Context, key string) ([]byte, error) {
+	if err := f.readFault(ctx, "get", key); err != nil {
 		return nil, err
 	}
-	data, err := f.inner.Get(key)
+	data, err := backendGet(ctx, f.inner, key)
 	if err != nil {
 		return nil, err
 	}
 	return f.mangle(key, data), nil
 }
 
-func (f *FaultBackend) GetRange(key string, off, n int64) ([]byte, error) {
-	if err := f.readFault("getrange", key); err != nil {
+// GetRangeCtx implements ctxReader: GetRange with cancellable injected delay.
+func (f *FaultBackend) GetRangeCtx(ctx context.Context, key string, off, n int64) ([]byte, error) {
+	if err := f.readFault(ctx, "getrange", key); err != nil {
 		return nil, err
 	}
-	data, err := f.inner.GetRange(key, off, n)
+	data, err := backendGetRange(ctx, f.inner, key, off, n)
 	if err != nil {
 		return nil, err
 	}

@@ -57,6 +57,47 @@ func TestFaultBackendDeterministic(t *testing.T) {
 	}
 }
 
+// TestFaultReadDelayHonorsCancel puts a generous injected read delay in the
+// path and cancels immediately: the read must return with the cancellation
+// error in test time, not after waiting out the delay.
+func TestFaultReadDelayHonorsCancel(t *testing.T) {
+	h := TitanTwoTier(0)
+	if _, err := h.Put(context.Background(), "k", payload(256), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := h.InjectFaults("seed=1,read.delay=30s"); err != nil || n != 2 {
+		t.Fatalf("InjectFaults = %d, %v", n, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := h.Get(ctx, "k", 1)
+		done <- err
+	}()
+	// Let the read reach the injected delay, then cancel under it.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Get under cancelled delay: %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get blocked on the injected delay despite cancellation")
+	}
+
+	// An already-cancelled ctx must fail fast on the ranged path too.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	start := time.Now()
+	if _, _, err := h.GetRange(ctx2, "k", 0, 16, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetRange with pre-cancelled ctx: %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("pre-cancelled GetRange took %v", time.Since(start))
+	}
+}
+
 // TestRetryRidesOutTransientFaults injects a moderate transient-error rate
 // and checks the hierarchy's backoff loop converges to the right bytes.
 func TestRetryRidesOutTransientFaults(t *testing.T) {

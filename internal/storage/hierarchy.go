@@ -214,9 +214,9 @@ func (h *Hierarchy) Put(ctx context.Context, key string, data []byte, pref int, 
 func (h *Hierarchy) Get(ctx context.Context, key string, readers int) ([]byte, Placement, error) {
 	return h.readRetrying(ctx, key, readers, "storage.get", func(t *Tier, env *envInfo) ([]byte, error) {
 		if env == nil {
-			return t.backend().Get(key)
+			return backendGet(ctx, t.backend(), key)
 		}
-		return envGet(t.backend(), key, env)
+		return envGet(ctx, t.backend(), key, env)
 	})
 }
 
@@ -228,9 +228,9 @@ func (h *Hierarchy) Get(ctx context.Context, key string, readers int) ([]byte, P
 func (h *Hierarchy) GetRange(ctx context.Context, key string, off, n int64, readers int) ([]byte, Placement, error) {
 	return h.readRetrying(ctx, key, readers, "storage.get_range", func(t *Tier, env *envInfo) ([]byte, error) {
 		if env == nil {
-			return t.backend().GetRange(key, off, n)
+			return backendGetRange(ctx, t.backend(), key, off, n)
 		}
-		return envGetRange(t.backend(), key, env, off, n)
+		return envGetRange(ctx, t.backend(), key, env, off, n)
 	})
 }
 

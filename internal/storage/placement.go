@@ -129,10 +129,14 @@ func (h *Hierarchy) Mover() place.Mover { return moverAdapter{h} }
 // PlacementView implements place.Mover.
 func (m moverAdapter) PlacementView() place.View { return m.h.PlacementView() }
 
-// IntendMoves implements place.Mover.
+// IntendMoves implements place.Mover. The published set replaces any prior
+// intents: each promoter cycle publishes its whole plan up front, and a
+// cancelled cycle publishes nil to retract the moves it never attempted
+// (moves already applied were retired individually by ApplyMove).
 func (m moverAdapter) IntendMoves(moves []place.Move) {
 	m.h.mu.Lock()
 	defer m.h.mu.Unlock()
+	clear(m.h.pending)
 	for _, mv := range moves {
 		m.h.pending[mv.Key] = mv.To
 	}

@@ -5,8 +5,9 @@
 # numbers they move) as BENCH_codec.json, emit span-derived per-phase
 # medians of the fixed observability workload as BENCH_obs.json, emit
 # the error-target retrieval sweep (requested eps vs achieved error vs bytes
-# moved, self-asserting) as BENCH_tolerance.json, and emit the Zipfian
-# static-vs-adaptive placement comparison as BENCH_placement.json.
+# moved, self-asserting) as BENCH_tolerance.json, emit the Zipfian
+# static-vs-adaptive placement comparison as BENCH_placement.json, and emit
+# the multi-tenant serving load bench as BENCH_serve.json.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  value for go test -benchtime (default 1x for a quick sweep;
@@ -98,3 +99,10 @@ go run ./cmd/canopus-bench -tolerance-sweep BENCH_tolerance.json -scale quick
 # fails unless the best adaptive policy's fast-tier hit rate beats static
 # by >= 1.5x (see DESIGN.md §12 "Placement policy").
 go run ./cmd/canopus-bench -placement-bench BENCH_placement.json -scale quick
+
+# BENCH_serve.json: the multi-tenant serving load bench — ~1200 concurrent
+# in-process clients against the sharded HTTP front end; the run fails
+# unless uncapped tenants see zero failures, the capped tenant is throttled
+# with well-formed 429s, and p99 latency is under target (see DESIGN.md
+# §15 "Serving Canopus").
+go run ./cmd/canopus-bench -serve-bench BENCH_serve.json -scale quick
